@@ -1,0 +1,110 @@
+//! Figure 11: PostMark component throughput — encryption in the tenant VM
+//! vs in a StorM middle-box.
+//!
+//! Paper reference (middle-box normalized to tenant-side): read ops 1.34,
+//! append ops 1.34, creation 1.34, deletion 1.34, read rate 1.29, write
+//! rate 1.23.
+
+use storm_bench::{attach_over_path, build_cloud, PathMode, Testbed};
+use storm_core::{MbSpec, RelayMode, StormPlatform};
+use storm_services::EncryptionService;
+use storm_sim::{SimDuration, SimTime};
+use storm_workloads::{postmark, OpClass, TraceWorkload};
+
+const VM_CIPHER_PER_BYTE: SimDuration = SimDuration::from_nanos(19);
+/// Fixed dm-crypt bio overhead dominating small-file workloads.
+const VM_CIPHER_PER_ACCESS: SimDuration = SimDuration::from_micros(350);
+const MB_CIPHER_PER_BYTE: SimDuration = SimDuration::from_nanos(6);
+
+struct Components {
+    read_ops: f64,
+    append_ops: f64,
+    create_ops: f64,
+    delete_ops: f64,
+    read_mbps: f64,
+    write_mbps: f64,
+}
+
+fn components(w: &TraceWorkload) -> Components {
+    let secs = w.elapsed().expect("postmark finished").as_secs_f64();
+    let rate = |c: OpClass| w.class_stats(c).ops.count() as f64 / secs;
+    let read_bytes: u64 = [OpClass::Read, OpClass::Append, OpClass::Create, OpClass::Delete]
+        .into_iter()
+        .map(|c| w.class_stats(c).bytes_read)
+        .sum();
+    let write_bytes: u64 = [OpClass::Read, OpClass::Append, OpClass::Create, OpClass::Delete]
+        .into_iter()
+        .map(|c| w.class_stats(c).bytes_written)
+        .sum();
+    Components {
+        read_ops: rate(OpClass::Read),
+        append_ops: rate(OpClass::Append),
+        create_ops: rate(OpClass::Create),
+        delete_ops: rate(OpClass::Delete),
+        read_mbps: read_bytes as f64 / 1e6 / secs,
+        write_mbps: write_bytes as f64 / 1e6 / secs,
+    }
+}
+
+fn run(testbed: &Testbed, middlebox: bool) -> Components {
+    let cfg = postmark::PostmarkConfig::default();
+    let (mut image, groups) = postmark::prepare(&cfg);
+    let mut cloud = build_cloud(testbed.seed);
+    let vol = cloud.create_volume(cfg.volume_bytes, 0);
+    postmark::install_image(&mut image, &mut vol.shared.clone());
+    let app = if middlebox {
+        let platform = StormPlatform::default();
+        let mut enc = EncryptionService::aes_xts(&[0x31; 64]);
+        enc.set_per_byte_cost(MB_CIPHER_PER_BYTE);
+        let deployment = platform.deploy_chain(
+            &mut cloud,
+            &vol,
+            (1, 2),
+            vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(enc)])],
+        );
+        platform.attach_volume_steered(
+            &mut cloud,
+            &deployment,
+            0,
+            "vm:tenant",
+            &vol,
+            Box::new(TraceWorkload::new(groups)),
+            testbed.seed,
+            false,
+        )
+    } else {
+        let w = TraceWorkload::new(groups)
+            .with_vm_cipher(VM_CIPHER_PER_BYTE, VM_CIPHER_PER_ACCESS);
+        attach_over_path(&mut cloud, PathMode::Legacy, &vol, Box::new(w), testbed, false)
+    };
+    cloud.net.run_until(SimTime::from_nanos(120_000_000_000));
+    let client = cloud.client_mut(0, app);
+    assert_eq!(client.stats.errors, 0);
+    let w = client.workload_ref().unwrap().downcast_ref::<TraceWorkload>().unwrap();
+    assert!(w.is_finished(), "postmark must finish");
+    components(w)
+}
+
+fn main() {
+    let testbed = Testbed::default();
+    println!("# Figure 11: PostMark components, tenant-side vs middle-box encryption");
+    println!("# paper normalized (MB / tenant-side): 1.34 1.34 1.34 1.34 1.29 1.23");
+    println!();
+    let tenant = run(&testbed, false);
+    let mb = run(&testbed, true);
+    println!(
+        "{:<12} | {:>12} | {:>12} | {:>6}",
+        "component", "tenant-side", "middle-box", "norm"
+    );
+    let rows: [(&str, f64, f64); 6] = [
+        ("read ops/s", tenant.read_ops, mb.read_ops),
+        ("append ops/s", tenant.append_ops, mb.append_ops),
+        ("create ops/s", tenant.create_ops, mb.create_ops),
+        ("delete ops/s", tenant.delete_ops, mb.delete_ops),
+        ("read MB/s", tenant.read_mbps, mb.read_mbps),
+        ("write MB/s", tenant.write_mbps, mb.write_mbps),
+    ];
+    for (name, t, m) in rows {
+        println!("{name:<12} | {t:>12.2} | {m:>12.2} | {:>6.2}", m / t);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figures 4 and 7: traffic-redirection overhead, LEGACY vs MB-FWD.
+//!
+//! One Fio thread, 50/50 random read/write, request sizes 4 KiB–256 KiB;
+//! the middle-box performs no processing, so only the extra routing hops
+//! are measured. Paper reference points: IOPS ratio 0.93/0.86/0.83/0.82,
+//! latency ratio 1.08/1.22/1.25/1.30.
+
+use storm_bench::{fio_point, norm, PathMode, Testbed};
+
+fn main() {
+    let testbed = Testbed::default();
+    println!("# Figure 4 + Figure 7: routing overhead (1 Fio thread, 50/50 randrw)");
+    println!("# paper normalized IOPS (MB-FWD/LEGACY): 0.93 0.86 0.83 0.82");
+    println!("# paper normalized latency:              1.08 1.22 1.25 1.30");
+    println!();
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>10} | {:>12} {:>12} | {:>10}",
+        "size", "LEGACY iops", "MB-FWD iops", "norm iops", "LEGACY ms", "MB-FWD ms", "norm lat"
+    );
+    for kb in [4usize, 16, 64, 256] {
+        let legacy = fio_point(PathMode::Legacy, kb * 1024, 1, &testbed);
+        let fwd = fio_point(PathMode::MbFwd, kb * 1024, 1, &testbed);
+        println!(
+            "{:>5}K | {:>12.0} {:>12.0} | {:>10} | {:>12.3} {:>12.3} | {:>10}",
+            kb,
+            legacy.iops,
+            fwd.iops,
+            norm(fwd.iops, legacy.iops),
+            legacy.mean_latency_ms,
+            fwd.mean_latency_ms,
+            norm(fwd.mean_latency_ms, legacy.mean_latency_ms),
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figures 5 and 8: middle-box processing overhead — MB-FWD vs
+//! MB-PASSIVE-RELAY vs MB-ACTIVE-RELAY, all running the byte-wise stream
+//! cipher service (except MB-FWD, which does no processing).
+//!
+//! Paper reference (normalized IOPS to MB-FWD): active
+//! 1.01/1.00/1.06/1.14; passive loses 3–13 % as I/O size grows. Latency
+//! (active/fwd): 0.98/1.01/0.94/0.89.
+
+use storm_bench::{fio_point, norm, PathMode, Testbed};
+
+fn main() {
+    let testbed = Testbed::default();
+    println!("# Figure 5 + Figure 8: processing overhead (1 Fio thread, stream cipher)");
+    println!("# paper act/fwd IOPS: 1.01 1.00 1.06 1.14 ; act/fwd latency: 0.98 1.01 0.94 0.89");
+    println!();
+    println!(
+        "{:>6} | {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9}",
+        "size", "FWD iops", "PAS iops", "ACT iops", "pas/fwd", "act/fwd", "pas lat", "act lat"
+    );
+    for kb in [4usize, 16, 64, 256] {
+        let fwd = fio_point(PathMode::MbFwd, kb * 1024, 1, &testbed);
+        let pas = fio_point(PathMode::MbPassiveRelay, kb * 1024, 1, &testbed);
+        let act = fio_point(PathMode::MbActiveRelay, kb * 1024, 1, &testbed);
+        println!(
+            "{:>5}K | {:>9.0} {:>9.0} {:>9.0} | {:>8} {:>8} | {:>9} {:>9}",
+            kb,
+            fwd.iops,
+            pas.iops,
+            act.iops,
+            norm(pas.iops, fwd.iops),
+            norm(act.iops, fwd.iops),
+            norm(pas.mean_latency_ms, fwd.mean_latency_ms),
+            norm(act.mean_latency_ms, fwd.mean_latency_ms),
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figures 6 and 9: parallelism sweep — 16 KiB requests, 4–32 Fio
+//! threads, the three middle-box modes plus LEGACY.
+//!
+//! Paper reference: MB-ACTIVE-RELAY beats MB-FWD by
+//! 1.06/1.10/1.27/1.39× in IOPS and cuts latency to 0.95/0.91/0.79/0.70×
+//! as threads grow; at 32 threads the active relay is within 10 % of the
+//! paper's LEGACY (whose testbed saturated earlier than this simulator's
+//! full-duplex line rate — see EXPERIMENTS.md).
+
+use storm_bench::{fio_point, norm, PathMode, Testbed};
+
+fn main() {
+    let testbed = Testbed::default();
+    println!("# Figure 6 + Figure 9: parallelism (16 KiB, 50/50 randrw, stream cipher)");
+    println!("# paper act/fwd IOPS: 1.06 1.10 1.27 1.39 ; act/fwd latency: 0.95 0.91 0.79 0.70");
+    println!();
+    println!(
+        "{:>4} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>8}",
+        "thr", "LEG iops", "FWD iops", "PAS iops", "ACT iops", "act/fwd", "act lat", "pas/fwd"
+    );
+    for threads in [4usize, 8, 16, 32] {
+        let leg = fio_point(PathMode::Legacy, 16 * 1024, threads, &testbed);
+        let fwd = fio_point(PathMode::MbFwd, 16 * 1024, threads, &testbed);
+        let pas = fio_point(PathMode::MbPassiveRelay, 16 * 1024, threads, &testbed);
+        let act = fio_point(PathMode::MbActiveRelay, 16 * 1024, threads, &testbed);
+        println!(
+            "{:>4} | {:>9.0} {:>9.0} {:>9.0} {:>9.0} | {:>8} {:>8} | {:>8}",
+            threads,
+            leg.iops,
+            fwd.iops,
+            pas.iops,
+            act.iops,
+            norm(act.iops, fwd.iops),
+            norm(act.mean_latency_ms, fwd.mean_latency_ms),
+            norm(pas.iops, fwd.iops),
+        );
+    }
+}

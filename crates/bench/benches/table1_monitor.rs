@@ -1,0 +1,108 @@
+//! Tables I and II: the storage access monitor reconstructing high-level
+//! file operations from block-level accesses.
+//!
+//! Reproduces the paper's synthetic scenario: an ext-formatted volume
+//! mounted at `/mnt/box` with folders `name0..name9` holding `1.img` …
+//! `10.img`; file operations issued in the tenant VM (Table II) are
+//! reconstructed by the monitoring middle-box into the access log
+//! (Table I).
+
+use storm_bench::{build_cloud, Testbed};
+use storm_core::relay::ActiveRelayMb;
+use storm_core::{MbSpec, Reconstructor, RelayMode, StormPlatform};
+use storm_services::{MonitorConfig, MonitorService};
+use storm_block::{MemDisk, RecordingDevice};
+use storm_extfs::ExtFs;
+use storm_sim::{SimDuration, SimTime};
+use storm_workloads::postmark::install_image;
+use storm_workloads::{OpClass, OpGroup, TraceWorkload};
+
+fn main() {
+    let testbed = Testbed::default();
+    println!("# Table I / Table II: semantic reconstruction of tenant file operations");
+    println!();
+
+    // Build the volume image: /name0../name9 each with 1.img..10.img.
+    let dev = RecordingDevice::new(MemDisk::with_capacity_bytes(256 << 20));
+    let mut fs = ExtFs::mkfs(dev).expect("mkfs");
+    for d in 0..10 {
+        fs.mkdir(&format!("/name{d}")).unwrap();
+        for i in 1..=10 {
+            let p = format!("/name{d}/{i}.img");
+            fs.create(&p).unwrap();
+            fs.write_file(&p, 0, &vec![(d * 10 + i) as u8; 4096]).unwrap();
+        }
+    }
+    fs.sync().unwrap();
+    fs.device_mut().take_log();
+
+    // Table II: the tenant's file operations.
+    println!("Table II — file operations issued in the tenant VM:");
+    println!("  1  write /mnt/box/name1/1.img 32768");
+    println!("  2  read  /mnt/box/name9/7.img 4096");
+    println!();
+    fs.write_file("/name1/1.img", 0, &vec![0xEE; 32768]).unwrap();
+    fs.sync().unwrap();
+    let write_ops = fs.device_mut().take_log();
+    let _ = fs.read_file_to_end("/name9/7.img").unwrap();
+    let read_ops = fs.device_mut().take_log();
+    let groups = vec![
+        OpGroup { class: OpClass::Append, label: "write name1/1.img".into(), accesses: write_ops },
+        OpGroup { class: OpClass::Read, label: "read name9/7.img".into(), accesses: read_ops },
+    ];
+    let mut image = fs.into_device().expect("unmount").into_inner();
+
+    // Deploy the monitor middle-box and replay over the wire.
+    let mut cloud = build_cloud(testbed.seed);
+    let platform = StormPlatform::default();
+    let vol = cloud.create_volume(256 << 20, 0);
+    install_image(&mut image, &mut vol.shared.clone());
+    let recon = Reconstructor::from_device(&mut vol.shared.clone(), "/mnt/box").unwrap();
+    let monitor = MonitorService::new(
+        MonitorConfig { watch: vec!["/mnt/box/name9".into()], per_byte_cost: SimDuration::ZERO },
+        recon,
+    );
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor)])],
+    );
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:tenant",
+        &vol,
+        Box::new(TraceWorkload::new(groups)),
+        testbed.seed,
+        false,
+    );
+    cloud.net.run_until(SimTime::from_nanos(30_000_000_000));
+    let client = cloud.client_mut(0, app);
+    assert_eq!(client.stats.errors, 0);
+
+    let relay = cloud
+        .net
+        .app_mut(deployment.mb_nodes[0].node, deployment.mb_apps[0].unwrap())
+        .unwrap()
+        .downcast_mut::<ActiveRelayMb>()
+        .unwrap();
+    let monitor = relay.service(0).unwrap().downcast_ref::<MonitorService>().unwrap();
+    println!("Table I — access log reconstructed inside the monitoring middle-box:");
+    println!("{:>4}  {:<8} {:<44} {:>8}", "ID", "op", "file", "size");
+    for entry in monitor.analysis() {
+        println!(
+            "{:>4}  {:<8} {:<44} {:>8}",
+            entry.id,
+            entry.row.op.to_string(),
+            entry.row.target.to_string(),
+            entry.row.bytes
+        );
+    }
+    println!();
+    println!("alerts (watched directory /mnt/box/name9):");
+    for (at, msg) in relay.alerts() {
+        println!("  [{at}] {msg}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Calibration sweep: prints the key paper ratios for parameter tuning.
+
+use storm_bench::{fio_point, PathMode, Testbed};
+use storm_sim::SimDuration;
+
+fn main() {
+    let testbed = Testbed { duration: SimDuration::from_secs(3), ..Testbed::default() };
+    println!("== Fig 4/7: LEGACY vs MB-FWD (1 thread) ==");
+    println!("size | legacy iops | fwd iops | iops ratio (paper .93/.86/.83/.82) | lat ratio (paper 1.08/1.22/1.25/1.30)");
+    for kb in [4, 16, 64, 256] {
+        let l = fio_point(PathMode::Legacy, kb * 1024, 1, &testbed);
+        let f = fio_point(PathMode::MbFwd, kb * 1024, 1, &testbed);
+        println!(
+            "{kb:>4}K | {:>8.0} | {:>8.0} | {:.3} | {:.3}",
+            l.iops,
+            f.iops,
+            f.iops / l.iops,
+            f.mean_latency_ms / l.mean_latency_ms
+        );
+    }
+    println!("== Fig 5/8: vs MB-FWD (1 thread) ==");
+    println!("size | fwd | passive | active | pas/fwd (paper .97->.87) | act/fwd (paper 1.01/1.00/1.06/1.14) | act lat ratio (paper .98/1.01/.94/.89)");
+    for kb in [4, 16, 64, 256] {
+        let f = fio_point(PathMode::MbFwd, kb * 1024, 1, &testbed);
+        let p = fio_point(PathMode::MbPassiveRelay, kb * 1024, 1, &testbed);
+        let a = fio_point(PathMode::MbActiveRelay, kb * 1024, 1, &testbed);
+        println!(
+            "{kb:>4}K | {:>7.0} | {:>7.0} | {:>7.0} | {:.3} | {:.3} | {:.3}",
+            f.iops,
+            p.iops,
+            a.iops,
+            p.iops / f.iops,
+            a.iops / f.iops,
+            a.mean_latency_ms / f.mean_latency_ms
+        );
+    }
+    println!("== Fig 6/9: 16K, threads (paper act/fwd: 1.06/1.10/1.27/1.39; lat .95/.91/.79/.70) ==");
+    for threads in [4, 8, 16, 32] {
+        let f = fio_point(PathMode::MbFwd, 16 * 1024, threads, &testbed);
+        let p = fio_point(PathMode::MbPassiveRelay, 16 * 1024, threads, &testbed);
+        let a = fio_point(PathMode::MbActiveRelay, 16 * 1024, threads, &testbed);
+        let l = fio_point(PathMode::Legacy, 16 * 1024, threads, &testbed);
+        println!(
+            "{threads:>3} thr | fwd {:>7.0} | pas {:>7.0} | act {:>7.0} | legacy {:>7.0} | act/fwd {:.3} | act lat/fwd {:.3} | act/legacy {:.3}",
+            f.iops, p.iops, a.iops, l.iops,
+            a.iops / f.iops,
+            a.mean_latency_ms / f.mean_latency_ms,
+            a.iops / l.iops
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared experiment runners behind the per-figure bench targets.
+//!
+//! Every `cargo bench` target in this crate regenerates one table or
+//! figure of the paper's evaluation (see DESIGN.md's experiment index).
+//! The runners here assemble the testbed exactly as §V describes: a
+//! cloud of compute hosts + one Cinder storage host, a 20 GB volume, the
+//! tenant VM on one host and — in the middle-box cases — the ingress
+//! gateway, middle-box VM and egress gateway spread across *different*
+//! physical hosts ("to measure the routing impact in the worst case").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use storm_cloud::{Cloud, CloudConfig, VolumeHandle};
+use storm_core::{MbSpec, RelayMode, StormPlatform};
+use storm_net::AppId;
+use storm_services::EncryptionService;
+use storm_sim::{SimDuration, SimTime};
+use storm_workloads::{FioJob, FioWorkload};
+
+/// Which data path the experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMode {
+    /// Direct VM → target (the baseline without StorM).
+    Legacy,
+    /// Steered through a middle-box doing pure IP forwarding.
+    MbFwd,
+    /// Steered through a passive-relay middle-box running the stream
+    /// cipher service.
+    MbPassiveRelay,
+    /// Steered through an active-relay middle-box running the stream
+    /// cipher service.
+    MbActiveRelay,
+}
+
+impl std::fmt::Display for PathMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathMode::Legacy => write!(f, "LEGACY"),
+            PathMode::MbFwd => write!(f, "MB-FWD"),
+            PathMode::MbPassiveRelay => write!(f, "MB-PASSIVE-RELAY"),
+            PathMode::MbActiveRelay => write!(f, "MB-ACTIVE-RELAY"),
+        }
+    }
+}
+
+/// Result of one Fio experiment point.
+#[derive(Debug, Clone, Copy)]
+pub struct FioPoint {
+    /// Completed operations.
+    pub ops: u64,
+    /// Operations per second over the measurement window.
+    pub iops: f64,
+    /// Mean I/O latency in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+/// The shared testbed parameters (one place to calibrate).
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Volume size in bytes (paper: 20 GB).
+    pub volume_bytes: u64,
+    /// Measurement duration per point.
+    pub duration: SimDuration,
+    /// Seed.
+    pub seed: u64,
+    /// Stream-cipher per-byte processing cost inside the middle-box.
+    pub cipher_cost_per_byte: SimDuration,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed {
+            volume_bytes: 20 << 30,
+            duration: SimDuration::from_secs(5),
+            seed: 20160628,
+            // A byte-wise software stream cipher (~250 MB/s single core).
+            cipher_cost_per_byte: SimDuration::from_nanos(4),
+        }
+    }
+}
+
+/// Builds the standard cloud: tenant VM on compute0, gateways on 1 and 2,
+/// middle-box on compute3 (all different physical machines), one storage
+/// host.
+pub fn build_cloud(seed: u64) -> Cloud {
+    let mut cfg = CloudConfig {
+        seed,
+        backing_bytes: 64 << 30, // room for the 20 GB test volume + replicas
+        ..CloudConfig::default()
+    };
+    // Steady-state page cache, as after the paper's repeated runs.
+    cfg.target.disk.prewarmed = true;
+    Cloud::build(cfg)
+}
+
+/// Attaches `volume` on compute0 over the requested path and returns the
+/// client app.
+pub fn attach_over_path(
+    cloud: &mut Cloud,
+    mode: PathMode,
+    volume: &VolumeHandle,
+    workload: Box<dyn storm_cloud::Workload>,
+    testbed: &Testbed,
+    timeline: bool,
+) -> AppId {
+    match mode {
+        PathMode::Legacy => {
+            let app = cloud.attach_volume(0, "vm:tenant", volume, workload, testbed.seed, timeline);
+            // Drive the login to completion like the platform does.
+            let deadline = cloud.net.now() + SimDuration::from_secs(5);
+            while cloud.net.now() < deadline {
+                cloud.net.run_for(SimDuration::from_millis(1));
+                if cloud.client_mut(0, app).is_ready() {
+                    break;
+                }
+            }
+            app
+        }
+        PathMode::MbFwd | PathMode::MbPassiveRelay | PathMode::MbActiveRelay => {
+            let platform = StormPlatform::default();
+            let spec = match mode {
+                PathMode::MbFwd => MbSpec::bare(3, RelayMode::Forward),
+                PathMode::MbPassiveRelay => {
+                    let mut enc = EncryptionService::stream_cipher(&[9u8; 32], &[4u8; 12]);
+                    enc.set_per_byte_cost(testbed.cipher_cost_per_byte);
+                    MbSpec::with_services(3, RelayMode::Passive, vec![Box::new(enc)])
+                }
+                PathMode::MbActiveRelay => {
+                    let mut enc = EncryptionService::stream_cipher(&[9u8; 32], &[4u8; 12]);
+                    enc.set_per_byte_cost(testbed.cipher_cost_per_byte);
+                    MbSpec::with_services(3, RelayMode::Active, vec![Box::new(enc)])
+                }
+                PathMode::Legacy => unreachable!(),
+            };
+            let deployment = platform.deploy_chain(cloud, volume, (1, 2), vec![spec]);
+            platform.attach_volume_steered(
+                cloud,
+                &deployment,
+                0,
+                "vm:tenant",
+                volume,
+                workload,
+                testbed.seed,
+                timeline,
+            )
+        }
+    }
+}
+
+/// Runs one Fio point: `block_bytes` requests, `threads` outstanding,
+/// 50/50 random mix, over the given path.
+pub fn fio_point(mode: PathMode, block_bytes: usize, threads: usize, testbed: &Testbed) -> FioPoint {
+    let mut cloud = build_cloud(testbed.seed);
+    let vol = cloud.create_volume(testbed.volume_bytes, 0);
+    let job = FioJob::randrw(block_bytes, testbed.duration, vol.sectors).threads(threads);
+    let app = attach_over_path(
+        &mut cloud,
+        mode,
+        &vol,
+        Box::new(FioWorkload::new(job)),
+        testbed,
+        false,
+    );
+    let start = cloud.net.now();
+    let end = start + testbed.duration + SimDuration::from_secs(2);
+    cloud.net.run_until(SimTime::from_nanos(end.as_nanos()));
+    let client = cloud.client_mut(0, app);
+    assert!(client.is_ready(), "login failed in {mode}");
+    assert_eq!(client.stats.errors, 0, "I/O errors in {mode}");
+    let ops = client.stats.ops();
+    let iops = ops as f64 / testbed.duration.as_secs_f64();
+    let mean_latency_ms = client.stats.latency.mean().as_nanos() as f64 / 1e6;
+    FioPoint { ops, iops, mean_latency_ms }
+}
+
+/// Formats a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join("  | ")
+}
+
+/// Pretty-prints a normalized value the way the paper's bar charts label
+/// them.
+pub fn norm(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "-".into();
+    }
+    format!("{:.2}", value / baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_point_produces_iops() {
+        let testbed = Testbed {
+            duration: SimDuration::from_secs(1),
+            volume_bytes: 1 << 30,
+            ..Testbed::default()
+        };
+        let p = fio_point(PathMode::Legacy, 4096, 1, &testbed);
+        assert!(p.iops > 100.0, "{p:?}");
+        assert!(p.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn mb_fwd_point_is_slower_than_legacy() {
+        let testbed = Testbed {
+            duration: SimDuration::from_secs(1),
+            volume_bytes: 1 << 30,
+            ..Testbed::default()
+        };
+        let legacy = fio_point(PathMode::Legacy, 65536, 1, &testbed);
+        let fwd = fio_point(PathMode::MbFwd, 65536, 1, &testbed);
+        assert!(
+            fwd.iops < legacy.iops,
+            "redirection must cost something: {legacy:?} vs {fwd:?}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! A block device wrapper that records every access.
+//!
+//! The tenant VM's filesystem runs synchronously against a
+//! [`RecordingDevice`]; the recorded access stream is then replayed through
+//! the simulated fabric as iSCSI traffic. This preserves the exact order,
+//! addresses and contents of the block accesses the middle-box observes —
+//! which is what the semantics-reconstruction experiments (Tables I–III)
+//! analyse.
+
+use crate::device::{BlockDevice, BlockError, SECTOR_SIZE};
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data flowed from the device.
+    Read,
+    /// Data flowed to the device.
+    Write,
+}
+
+/// One recorded block access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Starting sector.
+    pub lba: u64,
+    /// Number of sectors.
+    pub sectors: u64,
+    /// Payload for writes (the bytes written); empty for reads.
+    pub data: Vec<u8>,
+}
+
+impl AccessRecord {
+    /// Length of the access in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.sectors as usize * SECTOR_SIZE
+    }
+}
+
+/// Wraps a [`BlockDevice`] and logs every read and write.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingDevice<D> {
+    inner: D,
+    log: Vec<AccessRecord>,
+    record_reads: bool,
+}
+
+impl<D: BlockDevice> RecordingDevice<D> {
+    /// Wraps `inner`, recording both reads and writes.
+    pub fn new(inner: D) -> Self {
+        RecordingDevice { inner, log: Vec::new(), record_reads: true }
+    }
+
+    /// Wraps `inner`, recording writes only.
+    pub fn writes_only(inner: D) -> Self {
+        RecordingDevice { inner, log: Vec::new(), record_reads: false }
+    }
+
+    /// The recorded access log, in issue order.
+    pub fn log(&self) -> &[AccessRecord] {
+        &self.log
+    }
+
+    /// Takes the access log, leaving an empty one behind.
+    pub fn take_log(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// A shared view of the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// A mutable view of the wrapped device (accesses made through it are
+    /// not recorded).
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps into the inner device, discarding the log.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for RecordingDevice<D> {
+    fn num_sectors(&self) -> u64 {
+        self.inner.num_sectors()
+    }
+
+    fn read(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+        self.inner.read(lba, buf)?;
+        if self.record_reads {
+            self.log.push(AccessRecord {
+                kind: AccessKind::Read,
+                lba,
+                sectors: (buf.len() / SECTOR_SIZE) as u64,
+                data: Vec::new(),
+            });
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, lba: u64, data: &[u8]) -> Result<(), BlockError> {
+        self.inner.write(lba, data)?;
+        self.log.push(AccessRecord {
+            kind: AccessKind::Write,
+            lba,
+            sectors: (data.len() / SECTOR_SIZE) as u64,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), BlockError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    #[test]
+    fn records_reads_and_writes_in_order() {
+        let mut d = RecordingDevice::new(MemDisk::new(64));
+        d.write(3, &[9u8; SECTOR_SIZE]).unwrap();
+        let mut buf = [0u8; SECTOR_SIZE];
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+        let log = d.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].kind, AccessKind::Write);
+        assert_eq!(log[0].lba, 3);
+        assert_eq!(log[0].data[0], 9);
+        assert_eq!(log[0].len_bytes(), SECTOR_SIZE);
+        assert_eq!(log[1].kind, AccessKind::Read);
+        assert!(log[1].data.is_empty());
+    }
+
+    #[test]
+    fn failed_accesses_are_not_recorded() {
+        let mut d = RecordingDevice::new(MemDisk::new(4));
+        assert!(d.write(100, &[0u8; SECTOR_SIZE]).is_err());
+        assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn writes_only_mode_skips_reads() {
+        let mut d = RecordingDevice::writes_only(MemDisk::new(4));
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        let mut buf = [0u8; SECTOR_SIZE];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(d.log().len(), 1);
+    }
+
+    #[test]
+    fn take_log_resets() {
+        let mut d = RecordingDevice::new(MemDisk::new(4));
+        d.write(0, &[1u8; SECTOR_SIZE]).unwrap();
+        let log = d.take_log();
+        assert_eq!(log.len(), 1);
+        assert!(d.log().is_empty());
+        let _ = d.into_inner();
+    }
+}

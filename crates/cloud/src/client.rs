@@ -1,0 +1,459 @@
+//! The tenant VM's block I/O path: virtio-blk → host initiator → iSCSI.
+//!
+//! A [`VolumeClient`] is the compute-host application that owns one iSCSI
+//! session for one attached volume and drives it with a pluggable
+//! [`Workload`] (Fio-like generators, PostMark, OLTP clients — see
+//! `storm-workloads`). CPU spent issuing and completing I/O is charged to
+//! the VM's label, which is how the Figure-10 utilization breakdown gets
+//! its per-VM numbers.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use storm_iscsi::{Initiator, InitiatorConfig, InitiatorEvent, IoTag, ScsiStatus};
+use storm_net::{App, CloseReason, Cx, SendQueue, SockAddr, SockId};
+use storm_sim::metrics::{LatencyStats, Meter, Timeline};
+use storm_sim::{SimDuration, SimRng, SimTime};
+
+/// A workload-chosen request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data from the volume.
+    Read,
+    /// Data to the volume.
+    Write,
+    /// Cache flush.
+    Flush,
+}
+
+/// Completion of an I/O request.
+#[derive(Debug, Clone)]
+pub struct IoResult {
+    /// Whether the SCSI status was GOOD.
+    pub ok: bool,
+    /// Read payload (empty for writes/flushes/errors).
+    pub data: Bytes,
+    /// Issue-to-completion latency.
+    pub latency: SimDuration,
+}
+
+/// The interface a [`Workload`] uses to drive I/O.
+///
+/// Commands are queued during the callback and executed when it returns,
+/// so workloads are plain state machines with no borrow gymnastics.
+#[derive(Debug)]
+pub struct IoCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Number of requests currently in flight (before this callback's
+    /// commands).
+    pub in_flight: usize,
+    rng: &'a mut SimRng,
+    next_req: &'a mut u64,
+    cmds: Vec<IoCmd>,
+}
+
+#[derive(Debug)]
+enum IoCmd {
+    Read { req: ReqId, lba: u64, sectors: u32 },
+    Write { req: ReqId, lba: u64, data: Bytes },
+    Flush { req: ReqId },
+    Timer { delay: SimDuration, token: u64 },
+    Charge { cost: SimDuration },
+    Stop,
+}
+
+impl<'a> IoCtx<'a> {
+    /// The workload's deterministic random source.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn req(&mut self) -> ReqId {
+        let r = ReqId(*self.next_req);
+        *self.next_req += 1;
+        r
+    }
+
+    /// Queues a read of `sectors` sectors at `lba`.
+    pub fn read(&mut self, lba: u64, sectors: u32) -> ReqId {
+        let req = self.req();
+        self.cmds.push(IoCmd::Read { req, lba, sectors });
+        req
+    }
+
+    /// Queues a write of `data` at `lba`.
+    pub fn write(&mut self, lba: u64, data: Bytes) -> ReqId {
+        let req = self.req();
+        self.cmds.push(IoCmd::Write { req, lba, data });
+        req
+    }
+
+    /// Queues a flush.
+    pub fn flush(&mut self) -> ReqId {
+        let req = self.req();
+        self.cmds.push(IoCmd::Flush { req });
+        req
+    }
+
+    /// Schedules a workload timer.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.cmds.push(IoCmd::Timer { delay, token });
+    }
+
+    /// Charges guest CPU time (e.g. in-VM encryption) to the VM's label.
+    pub fn charge_vm_cpu(&mut self, cost: SimDuration) {
+        self.cmds.push(IoCmd::Charge { cost });
+    }
+
+    /// Declares the workload finished; no further I/O is issued.
+    pub fn stop(&mut self) {
+        self.cmds.push(IoCmd::Stop);
+    }
+}
+
+/// A block workload run inside a tenant VM.
+///
+/// `Workload: Any` so harnesses can downcast a client's workload (via
+/// [`VolumeClient::workload_ref`]) to read results after a run.
+#[allow(unused_variables)]
+pub trait Workload: std::any::Any {
+    /// Called once when the volume becomes ready (login complete).
+    fn start(&mut self, io: &mut IoCtx<'_>);
+    /// Called when a request completes.
+    fn completed(&mut self, io: &mut IoCtx<'_>, req: ReqId, kind: IoKind, result: IoResult);
+    /// Called for timers set via [`IoCtx::set_timer`].
+    fn timer(&mut self, io: &mut IoCtx<'_>, token: u64) {}
+    /// Called if the session drops.
+    fn disconnected(&mut self, io: &mut IoCtx<'_>) {}
+}
+
+impl dyn Workload {
+    /// Downcasts to a concrete workload type.
+    pub fn downcast_ref<T: Workload>(&self) -> Option<&T> {
+        let any: &dyn std::any::Any = self;
+        any.downcast_ref()
+    }
+
+    /// Downcasts to a concrete workload type (mutable).
+    pub fn downcast_mut<T: Workload>(&mut self) -> Option<&mut T> {
+        let any: &mut dyn std::any::Any = self;
+        any.downcast_mut()
+    }
+}
+
+/// Per-client measurement results.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Completed reads.
+    pub reads: Meter,
+    /// Completed writes.
+    pub writes: Meter,
+    /// Read latencies.
+    pub read_latency: LatencyStats,
+    /// Write latencies.
+    pub write_latency: LatencyStats,
+    /// All-request latencies.
+    pub latency: LatencyStats,
+    /// Completions per second (Figure-13 style timeline).
+    pub timeline: Option<Timeline>,
+    /// I/O errors observed.
+    pub errors: u64,
+}
+
+impl ClientStats {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.reads.count() + self.writes.count()
+    }
+
+    /// Operations per second over `window`.
+    pub fn iops(&self, window: SimDuration) -> f64 {
+        if window.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.ops() as f64 / window.as_secs_f64()
+    }
+}
+
+/// Configuration for a [`VolumeClient`].
+#[derive(Debug, Clone)]
+pub struct VolumeClientConfig {
+    /// The target portal (always the *real* storage address — StorM's
+    /// splicing redirects transparently underneath).
+    pub target: SockAddr,
+    /// iSCSI initiator identity and parameters.
+    pub initiator: InitiatorConfig,
+    /// CPU label for this VM (e.g. `"vm:mysql"`).
+    pub vm_label: String,
+    /// Per-request virtio-blk + guest block-layer CPU cost.
+    pub per_io_cpu: SimDuration,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Record a per-second completion timeline.
+    pub timeline: bool,
+}
+
+impl VolumeClientConfig {
+    /// Sensible defaults for `target` and a label.
+    pub fn new(target: SockAddr, initiator: InitiatorConfig, vm_label: impl Into<String>) -> Self {
+        VolumeClientConfig {
+            target,
+            initiator,
+            vm_label: vm_label.into(),
+            per_io_cpu: SimDuration::from_micros(40),
+            seed: 1,
+            timeline: false,
+        }
+    }
+}
+
+/// The compute-host app owning one volume session + workload.
+pub struct VolumeClient {
+    cfg: VolumeClientConfig,
+    ini: Initiator,
+    sock: Option<SockId>,
+    sendq: SendQueue,
+    workload: Option<Box<dyn Workload>>,
+    pending: HashMap<IoTag, (ReqId, IoKind, SimTime, usize)>,
+    next_req: u64,
+    rng: SimRng,
+    /// Measurements (public for harnesses to read after a run).
+    pub stats: ClientStats,
+    stopped: bool,
+    ready: bool,
+    tuple: Option<storm_net::FourTuple>,
+}
+
+impl VolumeClient {
+    /// Creates a client that will run `workload` once attached.
+    pub fn new(cfg: VolumeClientConfig, workload: Box<dyn Workload>) -> Self {
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let ini = Initiator::new(cfg.initiator.clone());
+        let timeline = cfg
+            .timeline
+            .then(|| Timeline::new(SimDuration::from_secs(1)));
+        VolumeClient {
+            cfg,
+            ini,
+            sock: None,
+            sendq: SendQueue::new(),
+            workload: Some(workload),
+            pending: HashMap::new(),
+            next_req: 0,
+            rng,
+            stats: ClientStats { timeline, ..ClientStats::default() },
+            stopped: false,
+            ready: false,
+            tuple: None,
+        }
+    }
+
+    /// Whether the session reached full-feature phase.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// The session's 4-tuple once connected — the initiator half of
+    /// connection attribution (IQN ↔ source port, paper §III-A).
+    pub fn tuple(&self) -> Option<storm_net::FourTuple> {
+        self.tuple
+    }
+
+    /// Downcast-friendly access to the workload.
+    pub fn workload_ref(&self) -> Option<&dyn Workload> {
+        self.workload.as_deref()
+    }
+
+    fn flush_out(&mut self, cx: &mut Cx<'_>) {
+        if let Some(sock) = self.sock {
+            let out = self.ini.take_output();
+            if !out.is_empty() {
+                self.sendq.send(cx, sock, &out);
+            } else {
+                self.sendq.pump(cx, sock);
+            }
+        }
+    }
+
+    fn drive<F>(&mut self, cx: &mut Cx<'_>, f: F)
+    where
+        F: FnOnce(&mut dyn Workload, &mut IoCtx<'_>),
+    {
+        let Some(mut w) = self.workload.take() else {
+            return;
+        };
+        let mut io = IoCtx {
+            now: cx.now(),
+            in_flight: self.pending.len(),
+            rng: &mut self.rng,
+            next_req: &mut self.next_req,
+            cmds: Vec::new(),
+        };
+        f(w.as_mut(), &mut io);
+        let cmds = io.cmds;
+        self.workload = Some(w);
+        for cmd in cmds {
+            self.exec(cx, cmd);
+        }
+        self.flush_out(cx);
+    }
+
+    fn exec(&mut self, cx: &mut Cx<'_>, cmd: IoCmd) {
+        if self.stopped {
+            return;
+        }
+        match cmd {
+            IoCmd::Read { req, lba, sectors } => {
+                if !self.ready {
+                    return;
+                }
+                let _ = cx.charge(self.cfg.per_io_cpu, &self.cfg.vm_label);
+                let tag = self.ini.read(lba, sectors);
+                self.pending
+                    .insert(tag, (req, IoKind::Read, cx.now(), sectors as usize * 512));
+            }
+            IoCmd::Write { req, lba, data } => {
+                if !self.ready {
+                    return;
+                }
+                let _ = cx.charge(self.cfg.per_io_cpu, &self.cfg.vm_label);
+                let bytes = data.len();
+                let tag = self.ini.write(lba, data);
+                self.pending.insert(tag, (req, IoKind::Write, cx.now(), bytes));
+            }
+            IoCmd::Flush { req } => {
+                if !self.ready {
+                    return;
+                }
+                let tag = self.ini.flush();
+                self.pending.insert(tag, (req, IoKind::Flush, cx.now(), 0));
+            }
+            IoCmd::Timer { delay, token } => cx.set_timer(delay, token),
+            IoCmd::Charge { cost } => {
+                let _ = cx.charge(cost, &self.cfg.vm_label);
+            }
+            IoCmd::Stop => self.stopped = true,
+        }
+    }
+
+    fn record(&mut self, cx: &Cx<'_>, kind: IoKind, bytes: usize, issued: SimTime, ok: bool) {
+        let lat = cx.now().since(issued);
+        if !ok {
+            self.stats.errors += 1;
+        }
+        match kind {
+            IoKind::Read => {
+                self.stats.reads.record(bytes as u64);
+                self.stats.read_latency.record(lat);
+            }
+            IoKind::Write => {
+                self.stats.writes.record(bytes as u64);
+                self.stats.write_latency.record(lat);
+            }
+            IoKind::Flush => {}
+        }
+        if kind != IoKind::Flush {
+            self.stats.latency.record(lat);
+            if let Some(t) = &mut self.stats.timeline {
+                t.record(cx.now());
+            }
+        }
+    }
+}
+
+impl App for VolumeClient {
+    fn on_start(&mut self, cx: &mut Cx<'_>) {
+        self.sock = Some(cx.connect(self.cfg.target));
+    }
+
+    fn on_connected(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        self.tuple = cx.tuple_of(sock);
+        self.ini.start_login();
+        self.flush_out(cx);
+    }
+
+    fn on_connect_failed(&mut self, cx: &mut Cx<'_>, _sock: SockId) {
+        self.drive(cx, |w, io| w.disconnected(io));
+    }
+
+    fn on_data(&mut self, cx: &mut Cx<'_>, _sock: SockId, data: Bytes) {
+        let events = self.ini.feed(&data);
+        for ev in events {
+            match ev {
+                InitiatorEvent::LoginComplete => {
+                    self.ready = true;
+                    self.drive(cx, |w, io| w.start(io));
+                }
+                InitiatorEvent::LoginFailed { .. } => {
+                    self.drive(cx, |w, io| w.disconnected(io));
+                }
+                InitiatorEvent::ReadComplete { tag, status, data } => {
+                    if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
+                        let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
+                        let ok = status == ScsiStatus::Good;
+                        self.record(cx, kind, bytes, issued, ok);
+                        let latency = cx.now().since(issued);
+                        self.drive(cx, move |w, io| {
+                            w.completed(io, req, kind, IoResult { ok, data, latency })
+                        });
+                    }
+                }
+                InitiatorEvent::WriteComplete { tag, status }
+                | InitiatorEvent::FlushComplete { tag, status } => {
+                    if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
+                        let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
+                        let ok = status == ScsiStatus::Good;
+                        self.record(cx, kind, bytes, issued, ok);
+                        let latency = cx.now().since(issued);
+                        self.drive(cx, move |w, io| {
+                            w.completed(
+                                io,
+                                req,
+                                kind,
+                                IoResult { ok, data: Bytes::new(), latency },
+                            )
+                        });
+                    }
+                }
+                InitiatorEvent::LoggedOut => {
+                    self.ready = false;
+                }
+                InitiatorEvent::ProtocolError(_) => {
+                    if let Some(sock) = self.sock {
+                        cx.abort(sock);
+                    }
+                }
+            }
+        }
+        self.flush_out(cx);
+    }
+
+    fn on_writable(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        self.sendq.pump(cx, sock);
+    }
+
+    fn on_timer(&mut self, cx: &mut Cx<'_>, token: u64) {
+        self.drive(cx, |w, io| w.timer(io, token));
+    }
+
+    fn on_closed(&mut self, cx: &mut Cx<'_>, _sock: SockId, _reason: CloseReason) {
+        self.ready = false;
+        self.drive(cx, |w, io| w.disconnected(io));
+    }
+}
+
+impl std::fmt::Debug for VolumeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VolumeClient")
+            .field("vm", &self.cfg.vm_label)
+            .field("ready", &self.ready)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,349 @@
+//! The storage host application: iSCSI targets over the disk model.
+//!
+//! One `TargetHostApp` per storage host listens on port 3260 and serves
+//! every volume exported from that host (sessions select their volume by
+//! `TargetName` at login). Reads and writes pass through the shared
+//! [`DiskModel`] so concurrent sessions contend for the spindle, as on the
+//! paper's Cinder node.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use storm_block::{BlockDevice, SharedVolume};
+use storm_iscsi::{
+    Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, ISCSI_PORT,
+};
+use storm_net::{App, CloseReason, Cx, FourTuple, SendQueue, SockId};
+use storm_sim::SimDuration;
+
+use crate::disk::{DiskModel, DiskSpec};
+
+/// Configuration of a storage host's target service.
+#[derive(Debug, Clone)]
+pub struct TargetHostConfig {
+    /// Disk performance parameters.
+    pub disk: DiskSpec,
+    /// Session parameters offered to initiators.
+    pub params: SessionParams,
+    /// Per-I/O target CPU cost (request parsing, SCSI dispatch).
+    pub per_io_cpu: SimDuration,
+    /// Per-byte target CPU cost (TCP + page-cache copies).
+    pub per_byte_cpu: SimDuration,
+}
+
+impl Default for TargetHostConfig {
+    fn default() -> Self {
+        TargetHostConfig {
+            disk: DiskSpec::default(),
+            params: SessionParams::default(),
+            per_io_cpu: SimDuration::from_micros(20),
+            per_byte_cpu: SimDuration::from_nanos(4),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Session {
+    conn: TargetConn,
+    volume: Option<SharedVolume>,
+    sendq: SendQueue,
+    /// The initiator name seen at login (connection attribution).
+    initiator: Option<Iqn>,
+    tuple: Option<FourTuple>,
+}
+
+#[derive(Debug)]
+enum PendingDisk {
+    Read { sock: SockId, itt: u32, lba: u64, sectors: u32 },
+    Write { sock: SockId, itt: u32 },
+    Flush { sock: SockId, itt: u32 },
+}
+
+/// The target application; add one per storage host with
+/// [`storm_net::Network::add_app`] and register volumes via
+/// [`TargetHostApp::register_volume`].
+pub struct TargetHostApp {
+    cfg: TargetHostConfig,
+    volumes: HashMap<String, SharedVolume>,
+    sessions: HashMap<SockId, Session>,
+    disk: DiskModel,
+    pending: HashMap<u64, PendingDisk>,
+    next_token: u64,
+    /// Completed (initiator IQN, 4-tuple) pairs for attribution queries.
+    logins: Vec<(Iqn, FourTuple)>,
+}
+
+impl TargetHostApp {
+    /// Creates the app.
+    pub fn new(cfg: TargetHostConfig) -> Self {
+        let disk = DiskModel::new(cfg.disk);
+        TargetHostApp {
+            cfg,
+            volumes: HashMap::new(),
+            sessions: HashMap::new(),
+            disk,
+            pending: HashMap::new(),
+            next_token: 1,
+            logins: Vec::new(),
+        }
+    }
+
+    /// Exports `volume` under `iqn`.
+    pub fn register_volume(&mut self, iqn: Iqn, volume: SharedVolume) {
+        self.volumes.insert(iqn.to_string(), volume);
+    }
+
+    /// Stops exporting `iqn`; established sessions keep their handle.
+    pub fn unregister_volume(&mut self, iqn: &Iqn) {
+        self.volumes.remove(iqn.as_str());
+    }
+
+    /// Login records observed so far: `(initiator IQN, on-wire tuple)` —
+    /// the target half of connection attribution.
+    pub fn logins(&self) -> &[(Iqn, FourTuple)] {
+        &self.logins
+    }
+
+    /// The disk model (for utilization queries after a run).
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Active session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn handle_events(&mut self, cx: &mut Cx<'_>, sock: SockId, events: Vec<TargetEvent>) {
+        for ev in events {
+            match ev {
+                TargetEvent::LoggedIn { initiator_name } => {
+                    let sess = self.sessions.get_mut(&sock).expect("session exists");
+                    // The login carried the TargetName; our TargetConn
+                    // negotiated already. Resolve the volume by the target
+                    // IQN this connection was configured with.
+                    sess.tuple = cx.tuple_of(sock);
+                    if let Ok(iqn) = Iqn::parse(initiator_name.clone()) {
+                        sess.initiator = Some(iqn.clone());
+                        if let Some(t) = sess.tuple {
+                            // Record in initiator -> target orientation.
+                            self.logins.push((iqn, t.reversed()));
+                        }
+                    }
+                }
+                TargetEvent::ReadReady { itt, lba, sectors } => {
+                    let now = cx.now();
+                    let _ = cx.charge(
+                        self.cfg.per_io_cpu + self.cfg.per_byte_cpu * (sectors as u64 * 512),
+                        "target",
+                    );
+                    let done = self.disk.serve_read(now, lba, sectors as usize * 512);
+                    let token = self.token();
+                    self.pending.insert(token, PendingDisk::Read { sock, itt, lba, sectors });
+                    cx.set_timer(done - now, token);
+                }
+                TargetEvent::WriteReady { itt, lba, data } => {
+                    let now = cx.now();
+                    let _ = cx.charge(
+                        self.cfg.per_io_cpu + self.cfg.per_byte_cpu * data.len() as u64,
+                        "target",
+                    );
+                    // Functional write happens immediately; the response
+                    // waits for the disk model.
+                    let status = {
+                        let sess = self.sessions.get_mut(&sock).expect("session exists");
+                        match &mut sess.volume {
+                            Some(vol) => match vol.write(lba, &data) {
+                                Ok(()) => ScsiStatus::Good,
+                                Err(_) => ScsiStatus::CheckCondition,
+                            },
+                            None => ScsiStatus::CheckCondition,
+                        }
+                    };
+                    if status == ScsiStatus::Good {
+                        let done = self.disk.serve_write(now, lba, data.len());
+                        let token = self.token();
+                        self.pending.insert(token, PendingDisk::Write { sock, itt });
+                        cx.set_timer(done - now, token);
+                    } else if let Some(sess) = self.sessions.get_mut(&sock) {
+                        sess.conn.complete_write(itt, status);
+                        let out = sess.conn.take_output();
+                        sess.sendq.send(cx, sock, &out);
+                    }
+                }
+                TargetEvent::FlushReady { itt } => {
+                    let now = cx.now();
+                    let done = self.disk.serve_flush(now);
+                    let token = self.token();
+                    self.pending.insert(token, PendingDisk::Flush { sock, itt });
+                    cx.set_timer(done - now, token);
+                }
+                TargetEvent::LoggedOut => {
+                    // Keep the session until the TCP close arrives.
+                }
+                TargetEvent::ProtocolError(e) => {
+                    // Real targets drop offending connections.
+                    let _ = e;
+                    cx.abort(sock);
+                    self.sessions.remove(&sock);
+                }
+            }
+        }
+        if let Some(sess) = self.sessions.get_mut(&sock) {
+            let out = sess.conn.take_output();
+            if !out.is_empty() {
+                sess.sendq.send(cx, sock, &out);
+            } else {
+                sess.sendq.pump(cx, sock);
+            }
+        }
+    }
+}
+
+impl App for TargetHostApp {
+    fn on_start(&mut self, cx: &mut Cx<'_>) {
+        cx.listen(ISCSI_PORT);
+    }
+
+    fn on_accepted(&mut self, _cx: &mut Cx<'_>, _port: u16, sock: SockId) {
+        // The volume is bound after login (TargetName key); export the
+        // largest registered capacity so READ CAPACITY during early login
+        // phases is sane; per-session capacity is fixed at bind time.
+        let conn = TargetConn::new(TargetConfig {
+            target_iqn: Iqn::for_volume(0),
+            params: self.cfg.params.clone(),
+            num_sectors: 0,
+            tsih: 1,
+        });
+        self.sessions.insert(sock, Session {
+            conn,
+            volume: None,
+            sendq: SendQueue::new(),
+            initiator: None,
+            tuple: None,
+        });
+    }
+
+    fn on_data(&mut self, cx: &mut Cx<'_>, sock: SockId, data: Bytes) {
+        // Bind the volume on the first bytes if not yet bound: peek the
+        // login's TargetName. TargetConn handles parsing; we pre-scan for
+        // the key (cheap linear scan over the login text).
+        if let Some(sess) = self.sessions.get_mut(&sock) {
+            if sess.volume.is_none() {
+                if let Some(name) = scan_target_name(&data) {
+                    if let Some(vol) = self.volumes.get(&name) {
+                        let volume = vol.clone();
+                        let sectors = volume.num_sectors();
+                        sess.volume = Some(volume);
+                        sess.conn = TargetConn::new(TargetConfig {
+                            target_iqn: Iqn::parse(name).unwrap_or_else(|_| Iqn::for_volume(0)),
+                            params: self.cfg.params.clone(),
+                            num_sectors: sectors,
+                            tsih: 1,
+                        });
+                    }
+                }
+            }
+        }
+        let events = match self.sessions.get_mut(&sock) {
+            Some(sess) => sess.conn.feed(&data),
+            None => return,
+        };
+        self.handle_events(cx, sock, events);
+    }
+
+    fn on_writable(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        if let Some(sess) = self.sessions.get_mut(&sock) {
+            sess.sendq.pump(cx, sock);
+        }
+    }
+
+    fn on_timer(&mut self, cx: &mut Cx<'_>, token: u64) {
+        let Some(pending) = self.pending.remove(&token) else {
+            return;
+        };
+        match pending {
+            PendingDisk::Read { sock, itt, lba, sectors } => {
+                if let Some(sess) = self.sessions.get_mut(&sock) {
+                    let mut buf = vec![0u8; sectors as usize * 512];
+                    let status = match &mut sess.volume {
+                        Some(vol) => match vol.read(lba, &mut buf) {
+                            Ok(()) => ScsiStatus::Good,
+                            Err(_) => ScsiStatus::CheckCondition,
+                        },
+                        None => ScsiStatus::CheckCondition,
+                    };
+                    sess.conn.complete_read(itt, Bytes::from(buf), status);
+                    let out = sess.conn.take_output();
+                    sess.sendq.send(cx, sock, &out);
+                }
+            }
+            PendingDisk::Write { sock, itt } => {
+                if let Some(sess) = self.sessions.get_mut(&sock) {
+                    sess.conn.complete_write(itt, ScsiStatus::Good);
+                    let out = sess.conn.take_output();
+                    sess.sendq.send(cx, sock, &out);
+                }
+            }
+            PendingDisk::Flush { sock, itt } => {
+                if let Some(sess) = self.sessions.get_mut(&sock) {
+                    let status = match &mut sess.volume {
+                        Some(vol) => match vol.flush() {
+                            Ok(()) => ScsiStatus::Good,
+                            Err(_) => ScsiStatus::CheckCondition,
+                        },
+                        None => ScsiStatus::CheckCondition,
+                    };
+                    sess.conn.complete_flush(itt, status);
+                    let out = sess.conn.take_output();
+                    sess.sendq.send(cx, sock, &out);
+                }
+            }
+        }
+    }
+
+    fn on_closed(&mut self, _cx: &mut Cx<'_>, sock: SockId, _reason: CloseReason) {
+        self.sessions.remove(&sock);
+    }
+}
+
+impl std::fmt::Debug for TargetHostApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetHostApp")
+            .field("volumes", &self.volumes.len())
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scans raw login bytes for `TargetName=...` (NUL-terminated).
+fn scan_target_name(data: &[u8]) -> Option<String> {
+    let needle = b"TargetName=";
+    let pos = data.windows(needle.len()).position(|w| w == needle)?;
+    let rest = &data[pos + needle.len()..];
+    let end = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+    Some(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_target_name_finds_key() {
+        let mut login = b"InitiatorName=iqn.2016-04.org.storm:host-a\0".to_vec();
+        login.extend_from_slice(b"TargetName=iqn.2016-04.org.storm:volume-7\0");
+        assert_eq!(
+            scan_target_name(&login).as_deref(),
+            Some("iqn.2016-04.org.storm:volume-7")
+        );
+        assert_eq!(scan_target_name(b"NoKeyHere\0"), None);
+    }
+}

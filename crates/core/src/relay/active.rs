@@ -1,0 +1,589 @@
+//! The active relay: split-TCP store-and-forward middle-box engine.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use storm_iscsi::{Initiator, InitiatorConfig, InitiatorEvent, Iqn, IoTag, Pdu, PduStream,
+    ScsiStatus, SessionParams};
+use storm_net::{App, CloseReason, Cx, SendQueue, SockAddr, SockId};
+use storm_sim::{SerialResource, SimDuration, SimTime};
+
+use crate::service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};
+
+/// A replica volume the middle-box attaches for side I/O (the replication
+/// service's backup volumes).
+#[derive(Debug, Clone)]
+pub struct ReplicaTarget {
+    /// The replica's iSCSI portal.
+    pub portal: SockAddr,
+    /// The replica volume's IQN.
+    pub iqn: Iqn,
+}
+
+/// Active relay configuration.
+#[derive(Debug, Clone)]
+pub struct ActiveRelayConfig {
+    /// Local port the pseudo-server listens on (flows are DNAT-redirected
+    /// here).
+    pub listen_port: u16,
+    /// Where the pseudo-client connects onward (the egress gateway).
+    pub upstream: SockAddr,
+    /// Persistence buffer capacity in bytes; beyond it the pseudo-server
+    /// stops reading and the source stalls (paper §III-B consistency
+    /// copy).
+    pub buffer_cap: usize,
+    /// Per-PDU API overhead (decapsulation/encapsulation).
+    pub per_pdu_cost: SimDuration,
+    /// CPU accounting label (e.g. `"mb"`).
+    pub label: String,
+    /// Replica volumes to attach.
+    pub replicas: Vec<ReplicaTarget>,
+    /// Initiator identity for replica sessions.
+    pub initiator_iqn: Iqn,
+}
+
+impl ActiveRelayConfig {
+    /// Defaults: listen on 13260, 8 MiB buffer, 4 µs per PDU.
+    pub fn new(upstream: SockAddr) -> Self {
+        ActiveRelayConfig {
+            listen_port: 13260,
+            upstream,
+            buffer_cap: 8 << 20,
+            per_pdu_cost: SimDuration::from_micros(4),
+            label: "mb".into(),
+            replicas: Vec::new(),
+            initiator_iqn: Iqn::for_host("middlebox"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Server,
+    Client,
+}
+
+struct FlowPair {
+    server: SockId,
+    client: SockId,
+    s_stream: PduStream,
+    c_stream: PduStream,
+    s_out: SendQueue,
+    c_out: SendQueue,
+    /// Bytes received from the server side, not yet released upstream.
+    buffered_in: usize,
+    paused: bool,
+    proc: SerialResource,
+    closed: bool,
+}
+
+struct ReplicaSession {
+    ini: Initiator,
+    sock: Option<SockId>,
+    sendq: SendQueue,
+    pending: HashMap<IoTag, (usize, u64)>,
+    deferred: Vec<(usize, ReplicaIo, u64)>,
+    up: bool,
+    failed: bool,
+}
+
+enum Deferred {
+    Release {
+        pair: usize,
+        forwards: Vec<Pdu>,
+        replies: Vec<Pdu>,
+        dir: Dir,
+        replica_ops: Vec<(usize, usize, ReplicaIo, u64)>,
+        input_bytes: usize,
+    },
+}
+
+/// The active-relay middle-box application.
+pub struct ActiveRelayMb {
+    cfg: ActiveRelayConfig,
+    services: Vec<Box<dyn StorageService>>,
+    pairs: Vec<FlowPair>,
+    by_sock: HashMap<SockId, (usize, Side)>,
+    replicas: Vec<ReplicaSession>,
+    replica_socks: HashMap<SockId, usize>,
+    deferred: HashMap<u64, Deferred>,
+    svc_timers: HashMap<u64, (usize, u64)>,
+    next_token: u64,
+    alerts: Vec<(SimTime, String)>,
+    pdus_forwarded: u64,
+}
+
+impl ActiveRelayMb {
+    /// Creates the relay with a service chain (may be empty = pure
+    /// store-and-forward, the paper's MB-ACTIVE-RELAY baseline).
+    pub fn new(cfg: ActiveRelayConfig, services: Vec<Box<dyn StorageService>>) -> Self {
+        ActiveRelayMb {
+            cfg,
+            services,
+            pairs: Vec::new(),
+            by_sock: HashMap::new(),
+            replicas: Vec::new(),
+            replica_socks: HashMap::new(),
+            deferred: HashMap::new(),
+            svc_timers: HashMap::new(),
+            next_token: 1,
+            alerts: Vec::new(),
+            pdus_forwarded: 0,
+        }
+    }
+
+    /// Alerts raised by services, with timestamps.
+    pub fn alerts(&self) -> &[(SimTime, String)] {
+        &self.alerts
+    }
+
+    /// PDUs forwarded through the chain.
+    pub fn pdus_forwarded(&self) -> u64 {
+        self.pdus_forwarded
+    }
+
+    /// Access a service by index (use
+    /// [`StorageService::downcast_ref`](crate::service::StorageService)
+    /// to read concrete state).
+    pub fn service(&self, idx: usize) -> Option<&dyn StorageService> {
+        self.services.get(idx).map(|s| s.as_ref())
+    }
+
+    /// Mutable access to a service by index.
+    pub fn service_mut(&mut self, idx: usize) -> Option<&mut (dyn StorageService + 'static)> {
+        self.services.get_mut(idx).map(|s| s.as_mut())
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Runs a PDU through the chain, collecting outputs and costs.
+    #[allow(clippy::type_complexity)]
+    fn run_chain(
+        &mut self,
+        now: SimTime,
+        dir: Dir,
+        pdu: Pdu,
+    ) -> (Vec<Pdu>, Vec<Pdu>, Vec<(usize, usize, ReplicaIo, u64)>, SimDuration, Vec<(usize, SimDuration, u64)>)
+    {
+        let order: Vec<usize> = match dir {
+            Dir::ToTarget => (0..self.services.len()).collect(),
+            Dir::ToInitiator => (0..self.services.len()).rev().collect(),
+        };
+        let mut frontier = vec![pdu];
+        let mut replies = Vec::new();
+        let mut replica_ops = Vec::new();
+        let mut cost = self.cfg.per_pdu_cost;
+        let mut timers = Vec::new();
+        for idx in order {
+            let mut next = Vec::new();
+            for p in frontier {
+                let mut cx = SvcCtx::new(now);
+                self.services[idx].on_pdu(&mut cx, dir, p);
+                for action in cx.take_actions() {
+                    match action {
+                        SvcAction::Forward(p) => next.push(p),
+                        SvcAction::Reply(p) => replies.push(p),
+                        SvcAction::Replica { replica, io, ctx } => {
+                            replica_ops.push((idx, replica, io, ctx))
+                        }
+                        SvcAction::Alert(msg) => self.alerts.push((now, msg)),
+                        SvcAction::Charge(c) => cost += c,
+                        SvcAction::Timer { delay, token } => timers.push((idx, delay, token)),
+                    }
+                }
+            }
+            frontier = next;
+        }
+        (frontier, replies, replica_ops, cost, timers)
+    }
+
+    /// Executes the actions a service emitted outside the data path
+    /// (replica completions, timers).
+    fn run_side_actions(&mut self, cx: &mut Cx<'_>, svc_idx: usize, mut scx: SvcCtx) {
+        let actions = scx.take_actions();
+        let now = cx.now();
+        for action in actions {
+            match action {
+                SvcAction::Reply(p) => {
+                    // Side-context replies flow back towards the initiator
+                    // (e.g. replication serving a read from a replica).
+                    if let Some(pair) = self.pairs.iter_mut().find(|p| !p.closed) {
+                        pair.s_out.push(&p.encode());
+                        let server = pair.server;
+                        pair.s_out.pump(cx, server);
+                        self.pdus_forwarded += 1;
+                    }
+                }
+                SvcAction::Forward(p) => {
+                    // Side-context forwards continue upstream (e.g. a
+                    // failed replica read re-dispatched to the primary).
+                    if let Some(pair) = self.pairs.iter_mut().find(|p| !p.closed) {
+                        pair.c_out.push(&p.encode());
+                        let client = pair.client;
+                        pair.c_out.pump(cx, client);
+                        self.pdus_forwarded += 1;
+                    }
+                }
+                SvcAction::Replica { replica, io, ctx } => {
+                    self.issue_replica(cx, svc_idx, replica, io, ctx);
+                }
+                SvcAction::Alert(msg) => self.alerts.push((now, msg)),
+                SvcAction::Charge(c) => {
+                    let _ = cx.charge(c, &self.cfg.label.clone());
+                }
+                SvcAction::Timer { delay, token } => {
+                    let t = self.token();
+                    self.svc_timers.insert(t, (svc_idx, token));
+                    cx.set_timer(delay, t);
+                }
+            }
+        }
+    }
+
+    fn issue_replica(
+        &mut self,
+        cx: &mut Cx<'_>,
+        svc_idx: usize,
+        replica: usize,
+        io: ReplicaIo,
+        ctx: u64,
+    ) {
+        let Some(sess) = self.replicas.get_mut(replica) else {
+            return;
+        };
+        if sess.failed {
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc_idx].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
+            self.run_side_actions(cx, svc_idx, scx);
+            return;
+        }
+        if !sess.up {
+            sess.deferred.push((svc_idx, io, ctx));
+            return;
+        }
+        let tag = match io {
+            ReplicaIo::Write { lba, data } => sess.ini.write(lba, data),
+            ReplicaIo::Read { lba, sectors } => sess.ini.read(lba, sectors),
+        };
+        sess.pending.insert(tag, (svc_idx, ctx));
+        if let Some(sock) = sess.sock {
+            let out = sess.ini.take_output();
+            sess.sendq.send(cx, sock, &out);
+        }
+    }
+
+    fn flush_replica(&mut self, cx: &mut Cx<'_>, idx: usize) {
+        if let Some(sess) = self.replicas.get_mut(idx) {
+            if let Some(sock) = sess.sock {
+                let out = sess.ini.take_output();
+                if !out.is_empty() {
+                    sess.sendq.send(cx, sock, &out);
+                } else {
+                    sess.sendq.pump(cx, sock);
+                }
+            }
+        }
+    }
+
+    fn handle_pair_data(&mut self, cx: &mut Cx<'_>, pair_idx: usize, side: Side, data: Bytes) {
+        let now = cx.now();
+        let dir = match side {
+            Side::Server => Dir::ToTarget,
+            Side::Client => Dir::ToInitiator,
+        };
+        let pdus = {
+            let pair = &mut self.pairs[pair_idx];
+            if side == Side::Server {
+                pair.buffered_in += data.len();
+            }
+            let stream = match side {
+                Side::Server => &mut pair.s_stream,
+                Side::Client => &mut pair.c_stream,
+            };
+            match stream.feed(&data) {
+                Ok(p) => p,
+                Err(_) => {
+                    let (s, c) = (pair.server, pair.client);
+                    pair.closed = true;
+                    cx.abort(s);
+                    cx.abort(c);
+                    return;
+                }
+            }
+        };
+        // Backpressure: the persistence buffer is full.
+        {
+            let pair = &mut self.pairs[pair_idx];
+            if side == Side::Server && !pair.paused && pair.buffered_in > self.cfg.buffer_cap {
+                pair.paused = true;
+                let s = pair.server;
+                cx.pause(s);
+            }
+        }
+        for pdu in pdus {
+            let input_bytes = pdu.wire_len();
+            let (forwards, replies, replica_ops, cost, timers) = self.run_chain(now, dir, pdu);
+            for (svc_idx, delay, token) in timers {
+                let t = self.token();
+                self.svc_timers.insert(t, (svc_idx, token));
+                cx.set_timer(delay, t);
+            }
+            // Account CPU and serialize processing per flow.
+            let _ = cx.charge(cost, &self.cfg.label.clone());
+            let done = self.pairs[pair_idx].proc.serve(now, cost);
+            let token = self.token();
+            self.deferred.insert(token, Deferred::Release {
+                pair: pair_idx,
+                forwards,
+                replies,
+                dir,
+                replica_ops,
+                input_bytes: if side == Side::Server { input_bytes } else { 0 },
+            });
+            cx.set_timer(done - now, token);
+        }
+    }
+
+    fn release(&mut self, cx: &mut Cx<'_>, d: Deferred) {
+        let Deferred::Release { pair, forwards, replies, dir, replica_ops, input_bytes } = d;
+        if pair >= self.pairs.len() || self.pairs[pair].closed {
+            return;
+        }
+        for (svc_idx, replica, io, ctx) in replica_ops {
+            self.issue_replica(cx, svc_idx, replica, io, ctx);
+        }
+        let p = &mut self.pairs[pair];
+        for f in forwards {
+            self.pdus_forwarded += 1;
+            match dir {
+                Dir::ToTarget => p.c_out.push(&f.encode()),
+                Dir::ToInitiator => p.s_out.push(&f.encode()),
+            }
+        }
+        for r in replies {
+            self.pdus_forwarded += 1;
+            match dir {
+                Dir::ToTarget => p.s_out.push(&r.encode()),
+                Dir::ToInitiator => p.c_out.push(&r.encode()),
+            }
+        }
+        let (server, client) = (p.server, p.client);
+        p.buffered_in = p.buffered_in.saturating_sub(input_bytes);
+        let resume = p.paused && p.buffered_in < self.cfg.buffer_cap / 2;
+        if resume {
+            p.paused = false;
+        }
+        let pr = &mut self.pairs[pair];
+        pr.c_out.pump(cx, client);
+        pr.s_out.pump(cx, server);
+        if resume {
+            cx.resume(server);
+        }
+    }
+
+    fn handle_replica_events(&mut self, cx: &mut Cx<'_>, idx: usize, events: Vec<InitiatorEvent>) {
+        for ev in events {
+            match ev {
+                InitiatorEvent::LoginComplete => {
+                    let deferred = {
+                        let sess = &mut self.replicas[idx];
+                        sess.up = true;
+                        std::mem::take(&mut sess.deferred)
+                    };
+                    for (svc_idx, io, ctx) in deferred {
+                        self.issue_replica(cx, svc_idx, idx, io, ctx);
+                    }
+                }
+                InitiatorEvent::LoginFailed { .. } => self.fail_replica(cx, idx),
+                InitiatorEvent::WriteComplete { tag, status }
+                | InitiatorEvent::FlushComplete { tag, status } => {
+                    if let Some((svc_idx, ctx)) = self.replicas[idx].pending.remove(&tag) {
+                        let ok = status == ScsiStatus::Good;
+                        let mut scx = SvcCtx::new(cx.now());
+                        self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, ok, Bytes::new());
+                        self.run_side_actions(cx, svc_idx, scx);
+                    }
+                }
+                InitiatorEvent::ReadComplete { tag, status, data } => {
+                    if let Some((svc_idx, ctx)) = self.replicas[idx].pending.remove(&tag) {
+                        let ok = status == ScsiStatus::Good;
+                        let mut scx = SvcCtx::new(cx.now());
+                        self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, ok, data);
+                        self.run_side_actions(cx, svc_idx, scx);
+                    }
+                }
+                InitiatorEvent::LoggedOut => self.fail_replica(cx, idx),
+                InitiatorEvent::ProtocolError(_) => self.fail_replica(cx, idx),
+            }
+        }
+        self.flush_replica(cx, idx);
+    }
+
+    fn fail_replica(&mut self, cx: &mut Cx<'_>, idx: usize) {
+        let outstanding: Vec<(usize, u64)> = {
+            let sess = &mut self.replicas[idx];
+            if sess.failed {
+                return;
+            }
+            sess.failed = true;
+            sess.up = false;
+            sess.pending.drain().map(|(_, v)| v).collect()
+        };
+        // Fail outstanding I/O back to the owning services, then tell
+        // every service the replica is gone.
+        for (svc_idx, ctx) in outstanding {
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, false, Bytes::new());
+            self.run_side_actions(cx, svc_idx, scx);
+        }
+        for svc_idx in 0..self.services.len() {
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc_idx].on_replica_failed(&mut scx, idx);
+            self.run_side_actions(cx, svc_idx, scx);
+        }
+    }
+}
+
+impl App for ActiveRelayMb {
+    fn on_start(&mut self, cx: &mut Cx<'_>) {
+        cx.listen(self.cfg.listen_port);
+        for target in self.cfg.replicas.clone() {
+            let sock = cx.connect(target.portal);
+            let mut ini = Initiator::new(InitiatorConfig {
+                initiator_iqn: self.cfg.initiator_iqn.clone(),
+                target_iqn: target.iqn.clone(),
+                params: SessionParams::default(),
+                isid: [0x80, 0, 0, 0x10, 0, self.replicas.len() as u8],
+            });
+            // Login is queued once connected.
+            let idx = self.replicas.len();
+            let _ = &mut ini;
+            self.replicas.push(ReplicaSession {
+                ini,
+                sock: Some(sock),
+                sendq: SendQueue::new(),
+                pending: HashMap::new(),
+                deferred: Vec::new(),
+                up: false,
+                failed: false,
+            });
+            self.replica_socks.insert(sock, idx);
+        }
+    }
+
+    fn on_connected(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        if let Some(&idx) = self.replica_socks.get(&sock) {
+            self.replicas[idx].ini.start_login();
+            self.flush_replica(cx, idx);
+        }
+        // Pseudo-client connections need no handshake hook: queued bytes
+        // flush automatically.
+    }
+
+    fn on_connect_failed(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        if let Some(&idx) = self.replica_socks.get(&sock) {
+            self.fail_replica(cx, idx);
+        } else if let Some(&(pair, _)) = self.by_sock.get(&sock) {
+            let server = self.pairs[pair].server;
+            self.pairs[pair].closed = true;
+            cx.abort(server);
+        }
+    }
+
+    fn on_accepted(&mut self, cx: &mut Cx<'_>, _port: u16, sock: SockId) {
+        // New steered flow: open the upstream leg, binding the flow's
+        // original source port so port-matched chain rules keep working.
+        let src_port = cx.tuple_of(sock).map(|t| t.dst.port);
+        let client = cx.connect_from(self.cfg.upstream, src_port);
+        let pair_idx = self.pairs.len();
+        self.pairs.push(FlowPair {
+            server: sock,
+            client,
+            s_stream: PduStream::new(),
+            c_stream: PduStream::new(),
+            s_out: SendQueue::new(),
+            c_out: SendQueue::new(),
+            buffered_in: 0,
+            paused: false,
+            proc: SerialResource::new(),
+            closed: false,
+        });
+        self.by_sock.insert(sock, (pair_idx, Side::Server));
+        self.by_sock.insert(client, (pair_idx, Side::Client));
+    }
+
+    fn on_data(&mut self, cx: &mut Cx<'_>, sock: SockId, data: Bytes) {
+        if let Some(&idx) = self.replica_socks.get(&sock) {
+            let events = self.replicas[idx].ini.feed(&data);
+            self.handle_replica_events(cx, idx, events);
+            return;
+        }
+        if let Some(&(pair, side)) = self.by_sock.get(&sock) {
+            self.handle_pair_data(cx, pair, side, data);
+        }
+    }
+
+    fn on_writable(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        if let Some(&idx) = self.replica_socks.get(&sock) {
+            self.flush_replica(cx, idx);
+            return;
+        }
+        if let Some(&(pair, side)) = self.by_sock.get(&sock) {
+            let p = &mut self.pairs[pair];
+            match side {
+                Side::Server => {
+                    let s = p.server;
+                    p.s_out.pump(cx, s);
+                }
+                Side::Client => {
+                    let c = p.client;
+                    p.c_out.pump(cx, c);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, cx: &mut Cx<'_>, token: u64) {
+        if let Some(d) = self.deferred.remove(&token) {
+            self.release(cx, d);
+        } else if let Some((svc_idx, user_token)) = self.svc_timers.remove(&token) {
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc_idx].on_timer(&mut scx, user_token);
+            self.run_side_actions(cx, svc_idx, scx);
+        }
+    }
+
+    fn on_closed(&mut self, cx: &mut Cx<'_>, sock: SockId, _reason: CloseReason) {
+        if let Some(&idx) = self.replica_socks.get(&sock) {
+            self.fail_replica(cx, idx);
+            return;
+        }
+        if let Some(&(pair, side)) = self.by_sock.get(&sock) {
+            let p = &mut self.pairs[pair];
+            if !p.closed {
+                p.closed = true;
+                // Propagate the close to the other leg.
+                let other = match side {
+                    Side::Server => p.client,
+                    Side::Client => p.server,
+                };
+                cx.close(other);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ActiveRelayMb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveRelayMb")
+            .field("pairs", &self.pairs.len())
+            .field("services", &self.services.len())
+            .field("replicas", &self.replicas.len())
+            .finish_non_exhaustive()
+    }
+}

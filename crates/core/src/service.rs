@@ -1,0 +1,278 @@
+//! The tenant-facing storage service API.
+//!
+//! A [`StorageService`] is the tenant's middle-box logic. StorM's relays
+//! feed it parsed iSCSI PDUs (active path) or in-flight data-segment bytes
+//! (passive path) and execute the actions it emits: forwarding, replying,
+//! issuing side I/O to replica volumes, raising alerts. Services are pure
+//! state machines — all timing flows through the relay — so the same
+//! implementation runs in the simulator and in a threaded pipeline.
+
+use bytes::Bytes;
+
+use storm_iscsi::Pdu;
+use storm_sim::{SimDuration, SimTime};
+
+/// Direction of travel through the middle-box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From the tenant VM towards the storage server.
+    ToTarget,
+    /// From the storage server back to the tenant VM.
+    ToInitiator,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::ToTarget => Dir::ToInitiator,
+            Dir::ToInitiator => Dir::ToTarget,
+        }
+    }
+}
+
+/// Side I/O issued by a service against a replica volume attached to the
+/// middle-box.
+#[derive(Debug, Clone)]
+pub enum ReplicaIo {
+    /// Write `data` at sector `lba`.
+    Write {
+        /// First sector.
+        lba: u64,
+        /// Payload (whole sectors).
+        data: Bytes,
+    },
+    /// Read `sectors` sectors at `lba`.
+    Read {
+        /// First sector.
+        lba: u64,
+        /// Sector count.
+        sectors: u32,
+    },
+}
+
+/// An action emitted by a service.
+#[derive(Debug)]
+pub enum SvcAction {
+    /// Pass a PDU onward in its direction of travel.
+    Forward(Pdu),
+    /// Send a PDU back towards where the triggering PDU came from.
+    Reply(Pdu),
+    /// Issue I/O on replica session `replica`; completion arrives via
+    /// [`StorageService::on_replica_done`] carrying `ctx`.
+    Replica {
+        /// Index of the replica session (deployment order).
+        replica: usize,
+        /// The operation.
+        io: ReplicaIo,
+        /// Opaque completion context.
+        ctx: u64,
+    },
+    /// Raise a tenant-visible alert.
+    Alert(String),
+    /// Charge middle-box CPU time (service processing cost).
+    Charge(SimDuration),
+    /// Request a timer callback.
+    Timer {
+        /// Delay until the callback.
+        delay: SimDuration,
+        /// Token passed back.
+        token: u64,
+    },
+}
+
+/// Action collector handed to service callbacks.
+#[derive(Debug)]
+pub struct SvcCtx {
+    /// Current simulation time.
+    pub now: SimTime,
+    actions: Vec<SvcAction>,
+}
+
+impl SvcCtx {
+    /// Creates a collector at `now`.
+    pub fn new(now: SimTime) -> Self {
+        SvcCtx { now, actions: Vec::new() }
+    }
+
+    /// Takes the accumulated actions.
+    pub fn take_actions(&mut self) -> Vec<SvcAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Forwards a PDU onward.
+    pub fn forward(&mut self, pdu: Pdu) {
+        self.actions.push(SvcAction::Forward(pdu));
+    }
+
+    /// Replies back towards the source.
+    pub fn reply(&mut self, pdu: Pdu) {
+        self.actions.push(SvcAction::Reply(pdu));
+    }
+
+    /// Issues a replica write.
+    pub fn replica_write(&mut self, replica: usize, lba: u64, data: Bytes, ctx: u64) {
+        self.actions
+            .push(SvcAction::Replica { replica, io: ReplicaIo::Write { lba, data }, ctx });
+    }
+
+    /// Issues a replica read.
+    pub fn replica_read(&mut self, replica: usize, lba: u64, sectors: u32, ctx: u64) {
+        self.actions
+            .push(SvcAction::Replica { replica, io: ReplicaIo::Read { lba, sectors }, ctx });
+    }
+
+    /// Raises an alert.
+    pub fn alert(&mut self, msg: impl Into<String>) {
+        self.actions.push(SvcAction::Alert(msg.into()));
+    }
+
+    /// Charges processing CPU time.
+    pub fn charge(&mut self, cost: SimDuration) {
+        self.actions.push(SvcAction::Charge(cost));
+    }
+
+    /// Requests a timer.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(SvcAction::Timer { delay, token });
+    }
+}
+
+/// A tenant-defined storage middle-box service.
+///
+/// Implementations must forward PDUs they do not consume — a service that
+/// swallows PDUs breaks the session (intentionally possible: that is what
+/// an IPS-style service would do).
+///
+/// `StorageService: Any` so harnesses can downcast deployed services (via
+/// [`downcast_ref`]) to read logs and counters after a run.
+///
+/// [`downcast_ref`]: trait@StorageService#method.downcast_ref
+#[allow(unused_variables)]
+pub trait StorageService: std::any::Any {
+    /// Service name (logging, policy matching).
+    fn name(&self) -> &str;
+
+    /// Active path: a whole PDU travelling in `dir`.
+    fn on_pdu(&mut self, cx: &mut SvcCtx, dir: Dir, pdu: Pdu);
+
+    /// Completion of a [`SvcCtx::replica_write`] / [`SvcCtx::replica_read`].
+    fn on_replica_done(&mut self, cx: &mut SvcCtx, replica: usize, ctx: u64, ok: bool, data: Bytes) {
+    }
+
+    /// A replica session failed (connection reset/refused).
+    fn on_replica_failed(&mut self, cx: &mut SvcCtx, replica: usize) {}
+
+    /// A timer requested via [`SvcCtx::set_timer`] fired.
+    fn on_timer(&mut self, cx: &mut SvcCtx, token: u64) {}
+
+    /// Passive path: the per-byte processing cost this service adds to
+    /// forwarded packets.
+    fn per_byte_cost(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// Passive path: transform in-flight data-segment bytes in place.
+    /// `vol_offset` is the absolute byte offset on the volume, so
+    /// position-keyed stream ciphers work across arbitrary packetization.
+    fn transform(&mut self, dir: Dir, vol_offset: u64, data: &mut [u8]) {}
+}
+
+impl dyn StorageService {
+    /// Downcasts to a concrete service type.
+    pub fn downcast_ref<T: StorageService>(&self) -> Option<&T> {
+        let any: &dyn std::any::Any = self;
+        any.downcast_ref()
+    }
+
+    /// Downcasts to a concrete service type (mutable).
+    pub fn downcast_mut<T: StorageService>(&mut self) -> Option<&mut T> {
+        let any: &mut dyn std::any::Any = self;
+        any.downcast_mut()
+    }
+}
+
+/// A service that forwards everything untouched; useful as a chain
+/// placeholder and in tests.
+#[derive(Debug, Default)]
+pub struct PassthroughService {
+    pdus: u64,
+}
+
+impl PassthroughService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PDUs seen.
+    pub fn pdus(&self) -> u64 {
+        self.pdus
+    }
+}
+
+impl StorageService for PassthroughService {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn on_pdu(&mut self, cx: &mut SvcCtx, _dir: Dir, pdu: Pdu) {
+        self.pdus += 1;
+        cx.forward(pdu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_iscsi::NopOut;
+
+    fn nop() -> Pdu {
+        Pdu::NopOut(NopOut {
+            itt: 1,
+            ttt: 0xFFFF_FFFF,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            data: Bytes::new(),
+        })
+    }
+
+    #[test]
+    fn dir_flips() {
+        assert_eq!(Dir::ToTarget.flip(), Dir::ToInitiator);
+        assert_eq!(Dir::ToInitiator.flip(), Dir::ToTarget);
+    }
+
+    #[test]
+    fn ctx_collects_actions_in_order() {
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        cx.charge(SimDuration::from_micros(5));
+        cx.forward(nop());
+        cx.alert("suspicious");
+        cx.replica_write(1, 100, Bytes::from_static(&[0u8; 512]), 7);
+        cx.set_timer(SimDuration::from_millis(1), 9);
+        let actions = cx.take_actions();
+        assert_eq!(actions.len(), 5);
+        assert!(matches!(actions[0], SvcAction::Charge(_)));
+        assert!(matches!(actions[1], SvcAction::Forward(_)));
+        assert!(matches!(actions[2], SvcAction::Alert(ref m) if m == "suspicious"));
+        assert!(matches!(
+            actions[3],
+            SvcAction::Replica { replica: 1, ctx: 7, io: ReplicaIo::Write { lba: 100, .. } }
+        ));
+        assert!(matches!(actions[4], SvcAction::Timer { token: 9, .. }));
+        assert!(cx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn passthrough_forwards() {
+        let mut svc = PassthroughService::new();
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_pdu(&mut cx, Dir::ToTarget, nop());
+        assert_eq!(svc.pdus(), 1);
+        let actions = cx.take_actions();
+        assert!(matches!(&actions[..], [SvcAction::Forward(_)]));
+        assert_eq!(svc.per_byte_cost(), SimDuration::ZERO);
+        assert_eq!(svc.name(), "passthrough");
+    }
+}

@@ -1,0 +1,164 @@
+//! Network splicing: storage gateways, NAT and steering.
+//!
+//! The storage and instance networks are isolated by design; StorM splices
+//! them with a pair of storage gateways per steered volume: the *ingress*
+//! gateway selectively lifts storage flows into the tenant's instance
+//! network (where the SDN chain threads them through middle-boxes) and the
+//! *egress* gateway drops them back onto the storage network towards the
+//! target. IP masquerading at both gateways keeps storage-network
+//! addresses invisible inside the instance network (paper §III-A).
+
+use std::net::Ipv4Addr;
+
+use storm_cloud::{Cloud, GuestVm};
+use storm_iscsi::ISCSI_PORT;
+use storm_net::{DnatRule, SnatRule, SockAddr, SteerRule};
+use storm_sim::SimDuration;
+
+/// An ingress/egress storage-gateway pair inside one tenant's network.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayPair {
+    /// The ingress gateway (storage → instance network).
+    pub ingress: GuestVm,
+    /// The egress gateway (instance → storage network).
+    pub egress: GuestVm,
+    /// Owning tenant.
+    pub tenant: u32,
+}
+
+impl GatewayPair {
+    /// The ingress gateway's storage-network address (the steering
+    /// next-hop for compute hosts).
+    pub fn ingress_storage_ip(&self) -> Ipv4Addr {
+        self.ingress.storage_ip.expect("ingress gateway has a storage leg")
+    }
+
+    /// The egress gateway's instance-network endpoint for iSCSI, as the
+    /// middle-boxes see it.
+    pub fn egress_instance_portal(&self) -> SockAddr {
+        SockAddr::new(self.egress.instance_ip, ISCSI_PORT)
+    }
+}
+
+/// Creates a gateway pair on the given compute hosts and enables IP
+/// forwarding on both. Gateways are namespaces (veth-attached), not VMs.
+pub fn create_gateway_pair(
+    cloud: &mut Cloud,
+    tenant: u32,
+    ingress_host: usize,
+    egress_host: usize,
+    forward_cost: SimDuration,
+) -> GatewayPair {
+    let ingress = cloud.spawn_guest(
+        &format!("gw-in-t{tenant}"),
+        ingress_host,
+        tenant,
+        true,
+        true,
+    );
+    let egress = cloud.spawn_guest(
+        &format!("gw-out-t{tenant}"),
+        egress_host,
+        tenant,
+        true,
+        true,
+    );
+    cloud.net.enable_forwarding(ingress.node, forward_cost);
+    cloud.net.enable_forwarding(egress.node, forward_cost);
+    GatewayPair { ingress, egress, tenant }
+}
+
+/// Installs the per-volume NAT rules of the paper's Figure 3 on both
+/// gateways:
+///
+/// * ingress: `DNAT dst -> egress_instance:3260`, `SNAT src ->
+///   ingress_instance` (masquerade),
+/// * egress: `DNAT dst -> target:3260`, `SNAT src -> egress_storage`.
+pub fn install_gateway_nat(cloud: &mut Cloud, pair: &GatewayPair, target: SockAddr) {
+    let egress_portal = pair.egress_instance_portal();
+    // Ingress gateway.
+    cloud.net.add_dnat(pair.ingress.node, DnatRule {
+        match_dst_ip: target.ip,
+        match_dst_port: Some(target.port),
+        match_src_ip: None,
+        to: egress_portal,
+    });
+    cloud.net.add_snat(pair.ingress.node, SnatRule {
+        match_dst_ip: Some(egress_portal.ip),
+        match_dst_port: Some(egress_portal.port),
+        to_ip: pair.ingress.instance_ip,
+        to_port: None,
+    });
+    // Egress gateway.
+    cloud.net.add_dnat(pair.egress.node, DnatRule {
+        match_dst_ip: egress_portal.ip,
+        match_dst_port: Some(egress_portal.port),
+        match_src_ip: None,
+        to: target,
+    });
+    cloud.net.add_snat(pair.egress.node, SnatRule {
+        match_dst_ip: Some(target.ip),
+        match_dst_port: Some(target.port),
+        to_ip: pair.egress.storage_ip.expect("egress gateway has a storage leg"),
+        to_port: None,
+    });
+}
+
+/// Builds the compute-host steering rule that diverts a target portal's
+/// flows to the ingress gateway. Installed only for the duration of the
+/// paper's atomic volume attachment; per-flow pinning keeps established
+/// sessions steered after removal.
+pub fn steering_rule_for(
+    cloud: &Cloud,
+    compute_idx: usize,
+    pair: &GatewayPair,
+    target: SockAddr,
+) -> SteerRule {
+    SteerRule {
+        match_dst_ip: target.ip,
+        match_dst_port: Some(target.port),
+        match_src_port: None,
+        via: pair.ingress_storage_ip(),
+        iface: cloud.computes[compute_idx].storage_iface,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_cloud::CloudConfig;
+
+    #[test]
+    fn gateway_pair_has_both_legs_and_forwards() {
+        let mut cloud = Cloud::build(CloudConfig::default());
+        let pair = create_gateway_pair(&mut cloud, 1, 1, 2, SimDuration::from_micros(1));
+        assert!(pair.ingress.storage_ip.is_some());
+        assert!(pair.egress.storage_ip.is_some());
+        assert!(cloud.net.host(pair.ingress.node).ip_forward);
+        assert!(cloud.net.host(pair.egress.node).ip_forward);
+        assert_eq!(pair.egress_instance_portal().port, ISCSI_PORT);
+        assert_ne!(pair.ingress_storage_ip(), pair.egress.storage_ip.unwrap());
+    }
+
+    #[test]
+    fn nat_rules_land_on_the_right_gateways() {
+        let mut cloud = Cloud::build(CloudConfig::default());
+        let pair = create_gateway_pair(&mut cloud, 1, 1, 2, SimDuration::from_micros(1));
+        let target = SockAddr::new(cloud.storages[0].storage_ip, ISCSI_PORT);
+        install_gateway_nat(&mut cloud, &pair, target);
+        assert_eq!(cloud.net.host(pair.ingress.node).nat.rule_counts(), (1, 1));
+        assert_eq!(cloud.net.host(pair.egress.node).nat.rule_counts(), (1, 1));
+    }
+
+    #[test]
+    fn steering_rule_points_at_ingress_gateway() {
+        let mut cloud = Cloud::build(CloudConfig::default());
+        let pair = create_gateway_pair(&mut cloud, 1, 1, 2, SimDuration::from_micros(1));
+        let target = SockAddr::new(cloud.storages[0].storage_ip, ISCSI_PORT);
+        let rule = steering_rule_for(&cloud, 0, &pair, target);
+        assert_eq!(rule.via, pair.ingress_storage_ip());
+        assert_eq!(rule.match_dst_ip, target.ip);
+        assert_eq!(rule.match_dst_port, Some(ISCSI_PORT));
+        assert_eq!(rule.match_src_port, None);
+    }
+}

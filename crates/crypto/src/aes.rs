@@ -1,0 +1,333 @@
+//! The AES block cipher (FIPS-197), 128- and 256-bit keys.
+//!
+//! The S-box is derived at first use from its definition (multiplicative
+//! inverse in GF(2^8) followed by the affine transform) rather than
+//! transcribed, eliminating a whole class of copy errors.
+
+use std::sync::OnceLock;
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for (i, slot) in sbox.iter_mut().enumerate() {
+            let inv = gf_inv(i as u8);
+            // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+            let s = inv
+                ^ inv.rotate_left(1)
+                ^ inv.rotate_left(2)
+                ^ inv.rotate_left(3)
+                ^ inv.rotate_left(4)
+                ^ 0x63;
+            *slot = s;
+            inv_sbox[s as usize] = i as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// Round constants for key expansion.
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D, 0x9A,
+];
+
+/// An expanded AES key schedule, generic over key length.
+#[derive(Clone)]
+struct KeySchedule {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl KeySchedule {
+    fn expand(key: &[u8]) -> Self {
+        let nk = key.len() / 4; // words in key: 4, 6 or 8
+        let rounds = nk + 6;
+        let total_words = 4 * (rounds + 1);
+        let t = tables();
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = t.sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        KeySchedule { round_keys }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+fn encrypt_block(ks: &KeySchedule, block: &mut [u8; 16]) {
+    let t = tables();
+    let rounds = ks.round_keys.len() - 1;
+    add_round_key(block, &ks.round_keys[0]);
+    for r in 1..rounds {
+        sub_bytes(block, &t.sbox);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, &ks.round_keys[r]);
+    }
+    sub_bytes(block, &t.sbox);
+    shift_rows(block);
+    add_round_key(block, &ks.round_keys[rounds]);
+}
+
+fn decrypt_block(ks: &KeySchedule, block: &mut [u8; 16]) {
+    let t = tables();
+    let rounds = ks.round_keys.len() - 1;
+    add_round_key(block, &ks.round_keys[rounds]);
+    for r in (1..rounds).rev() {
+        inv_shift_rows(block);
+        sub_bytes(block, &t.inv_sbox);
+        add_round_key(block, &ks.round_keys[r]);
+        inv_mix_columns(block);
+    }
+    inv_shift_rows(block);
+    sub_bytes(block, &t.inv_sbox);
+    add_round_key(block, &ks.round_keys[0]);
+}
+
+macro_rules! aes_variant {
+    ($name:ident, $key_len:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            ks: KeySchedule,
+        }
+
+        impl $name {
+            /// Expands `key` into a key schedule.
+            pub fn new(key: &[u8; $key_len]) -> Self {
+                $name { ks: KeySchedule::expand(key) }
+            }
+
+            /// Encrypts one 16-byte block in place.
+            pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+                encrypt_block(&self.ks, block);
+            }
+
+            /// Decrypts one 16-byte block in place.
+            pub fn decrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+                decrypt_block(&self.ks, block);
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Never expose key material.
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+aes_variant!(Aes128, 16, "AES with a 128-bit key (10 rounds).");
+aes_variant!(Aes256, 32, "AES with a 256-bit key (14 rounds), as used by dm-crypt in the paper.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        // Canonical spot values from FIPS-197.
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7C);
+        assert_eq!(t.sbox[0x53], 0xED);
+        assert_eq!(t.sbox[0xFF], 0x16);
+        for i in 0..256 {
+            assert_eq!(t.inv_sbox[t.sbox[i] as usize], i as u8);
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix C.1.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+            0xEE, 0xFF,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expect);
+        aes.decrypt_block(&mut block);
+        let plain: [u8; 16] = core::array::from_fn(|i| ((i as u8) << 4) | i as u8);
+        assert_eq!(block, plain);
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = core::array::from_fn(|i| ((i as u8) << 4) | i as u8);
+        let expect: [u8; 16] = [
+            0x8E, 0xA2, 0xB7, 0xCA, 0x51, 0x67, 0x45, 0xBF, 0xEA, 0xFC, 0x49, 0x90, 0x4B, 0x49,
+            0x60, 0x89,
+        ];
+        let aes = Aes256::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_random() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let mut key = [0u8; 32];
+            rng.fill(&mut key[..]);
+            let aes = Aes256::new(&key);
+            let mut block = [0u8; 16];
+            rng.fill(&mut block[..]);
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_keys() {
+        let aes = Aes128::new(&[0xAA; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("aa") && !s.contains("AA") && !s.contains("170"));
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        // x * x = x^2; 0x80 * 2 wraps with the field polynomial.
+        assert_eq!(gf_mul(0x02, 0x02), 0x04);
+        assert_eq!(gf_mul(0x80, 0x02), 0x1B);
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 example 4.2
+    }
+}

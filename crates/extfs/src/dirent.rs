@@ -1,0 +1,166 @@
+//! Directory entries (variable-length ext2 dirents).
+
+/// File type byte stored in directory entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// ext2 `file_type` encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+            FileType::Symlink => 7,
+        }
+    }
+
+    /// Decodes the ext2 `file_type` byte.
+    pub fn from_byte(b: u8) -> Option<FileType> {
+        match b {
+            1 => Some(FileType::Regular),
+            2 => Some(FileType::Directory),
+            7 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Inode number (0 = deleted placeholder).
+    pub inode: u32,
+    /// Entry type.
+    pub file_type: FileType,
+    /// File name.
+    pub name: String,
+}
+
+/// Longest permitted file name.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// On-disk size of an entry with an `n`-byte name (4-byte aligned).
+pub fn rec_len_for(name_len: usize) -> usize {
+    (8 + name_len).div_ceil(4) * 4
+}
+
+/// Serializes one dirent into `buf` with the given record length.
+///
+/// # Panics
+///
+/// Panics if `rec_len` cannot hold the name or exceeds `buf`.
+pub fn write_dirent(buf: &mut [u8], inode: u32, file_type: FileType, name: &str, rec_len: usize) {
+    assert!(rec_len >= rec_len_for(name.len()), "rec_len too small");
+    assert!(rec_len <= buf.len(), "rec_len beyond buffer");
+    assert!(name.len() <= MAX_NAME_LEN, "name too long");
+    buf[..rec_len].fill(0);
+    buf[0..4].copy_from_slice(&inode.to_le_bytes());
+    buf[4..6].copy_from_slice(&(rec_len as u16).to_le_bytes());
+    buf[6] = name.len() as u8;
+    buf[7] = file_type.to_byte();
+    buf[8..8 + name.len()].copy_from_slice(name.as_bytes());
+}
+
+/// Parses every live dirent in a directory data block.
+///
+/// Tolerant of garbage (stops at malformed records), because the
+/// semantics-reconstruction engine parses blocks sniffed off the wire.
+pub fn parse_dirents(block: &[u8]) -> Vec<DirEntry> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= block.len() {
+        let inode = u32::from_le_bytes(block[off..off + 4].try_into().expect("4 bytes"));
+        let rec_len =
+            u16::from_le_bytes(block[off + 4..off + 6].try_into().expect("2 bytes")) as usize;
+        let name_len = block[off + 6] as usize;
+        if rec_len < 8 || off + rec_len > block.len() || 8 + name_len > rec_len {
+            break;
+        }
+        if inode != 0 && name_len > 0 {
+            if let (Some(ft), Ok(name)) = (
+                FileType::from_byte(block[off + 7]),
+                std::str::from_utf8(&block[off + 8..off + 8 + name_len]),
+            ) {
+                out.push(DirEntry { inode, file_type: ft, name: name.to_owned() });
+            }
+        }
+        off += rec_len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::BLOCK_SIZE;
+
+    #[test]
+    fn single_entry_fills_block() {
+        let mut block = vec![0u8; BLOCK_SIZE];
+        write_dirent(&mut block, 2, FileType::Directory, ".", BLOCK_SIZE);
+        let got = parse_dirents(&block);
+        assert_eq!(got, vec![DirEntry {
+            inode: 2,
+            file_type: FileType::Directory,
+            name: ".".into()
+        }]);
+    }
+
+    #[test]
+    fn packed_entries_parse_in_order() {
+        let mut block = vec![0u8; BLOCK_SIZE];
+        let r1 = rec_len_for(1);
+        let r2 = rec_len_for(2);
+        write_dirent(&mut block, 2, FileType::Directory, ".", r1);
+        write_dirent(&mut block[r1..], 5, FileType::Directory, "..", r2);
+        let rest = BLOCK_SIZE - r1 - r2;
+        write_dirent(&mut block[r1 + r2..], 12, FileType::Regular, "1.img", rest);
+        let names: Vec<String> = parse_dirents(&block).into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec![".", "..", "1.img"]);
+    }
+
+    #[test]
+    fn deleted_entries_are_skipped() {
+        let mut block = vec![0u8; BLOCK_SIZE];
+        let r1 = rec_len_for(5);
+        write_dirent(&mut block, 0, FileType::Regular, "gone!", r1); // inode 0
+        write_dirent(&mut block[r1..], 9, FileType::Regular, "live", BLOCK_SIZE - r1);
+        let got = parse_dirents(&block);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "live");
+    }
+
+    #[test]
+    fn malformed_records_stop_parsing_safely() {
+        let mut block = vec![0u8; 64];
+        block[0..4].copy_from_slice(&7u32.to_le_bytes());
+        block[4..6].copy_from_slice(&4u16.to_le_bytes()); // rec_len < 8
+        assert!(parse_dirents(&block).is_empty());
+        // rec_len points past the end.
+        block[4..6].copy_from_slice(&1000u16.to_le_bytes());
+        assert!(parse_dirents(&block).is_empty());
+    }
+
+    #[test]
+    fn rec_len_alignment() {
+        assert_eq!(rec_len_for(1), 12);
+        assert_eq!(rec_len_for(4), 12);
+        assert_eq!(rec_len_for(5), 16);
+        assert_eq!(rec_len_for(0), 8);
+    }
+
+    #[test]
+    fn file_type_round_trip() {
+        for ft in [FileType::Regular, FileType::Directory, FileType::Symlink] {
+            assert_eq!(FileType::from_byte(ft.to_byte()), Some(ft));
+        }
+        assert_eq!(FileType::from_byte(0), None);
+    }
+}

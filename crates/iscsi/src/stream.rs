@@ -1,0 +1,138 @@
+//! Incremental PDU framing over a TCP byte stream.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::pdu::{data_segment_length, padded, Pdu, PduError, BHS_LEN};
+
+/// Reassembles PDUs from arbitrarily fragmented stream bytes.
+///
+/// This is the parsing core of StorM's middle-box API: pseudo-server and
+/// pseudo-client processes feed received TCP bytes in and get whole PDUs
+/// out, regardless of how the network segmented them.
+#[derive(Debug, Default)]
+pub struct PduStream {
+    buf: BytesMut,
+    pdus_out: u64,
+}
+
+impl PduStream {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends stream bytes and returns every PDU completed by them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PduError`] for undecodable headers; the stream is
+    /// unusable afterwards (callers drop the connection, as a real
+    /// initiator/target would).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Pdu>, PduError> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < BHS_LEN {
+                break;
+            }
+            let dsl = data_segment_length(&self.buf[..BHS_LEN]);
+            let total = BHS_LEN + padded(dsl);
+            if self.buf.len() < total {
+                break;
+            }
+            let whole = self.buf.split_to(total).freeze();
+            let data: Bytes = whole.slice(BHS_LEN..BHS_LEN + dsl);
+            out.push(Pdu::decode(&whole[..BHS_LEN], data)?);
+            self.pdus_out += 1;
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting a complete PDU.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total PDUs produced.
+    pub fn pdus_out(&self) -> u64 {
+        self.pdus_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdu::{NopOut, TextRequest};
+
+    fn nop(data: &'static [u8]) -> Pdu {
+        Pdu::NopOut(NopOut {
+            itt: 1,
+            ttt: 0xFFFF_FFFF,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            data: Bytes::from_static(data),
+        })
+    }
+
+    #[test]
+    fn whole_pdus_parse() {
+        let mut s = PduStream::new();
+        let wire = nop(b"hello").encode();
+        let got = s.feed(&wire).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], nop(b"hello"));
+        assert_eq!(s.pending_bytes(), 0);
+        assert_eq!(s.pdus_out(), 1);
+    }
+
+    #[test]
+    fn byte_at_a_time_parse() {
+        let mut s = PduStream::new();
+        let wire = nop(b"fragmented!").encode();
+        let mut got = Vec::new();
+        for b in &wire {
+            got.extend(s.feed(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got, vec![nop(b"fragmented!")]);
+    }
+
+    #[test]
+    fn multiple_pdus_in_one_chunk() {
+        let mut s = PduStream::new();
+        let mut wire = nop(b"one").encode();
+        wire.extend(nop(b"two").encode());
+        wire.extend(
+            Pdu::TextRequest(TextRequest {
+                final_pdu: true,
+                itt: 2,
+                ttt: 0xFFFF_FFFF,
+                cmd_sn: 2,
+                exp_stat_sn: 1,
+                data: Bytes::from_static(b"k=v\0"),
+            })
+            .encode(),
+        );
+        let got = s.feed(&wire).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[2], Pdu::TextRequest(_)));
+    }
+
+    #[test]
+    fn partial_then_rest() {
+        let mut s = PduStream::new();
+        let wire = nop(b"partial-data-segment").encode();
+        let (a, b) = wire.split_at(BHS_LEN + 3);
+        assert!(s.feed(a).unwrap().is_empty());
+        assert_eq!(s.pending_bytes(), a.len());
+        let got = s.feed(b).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn garbage_header_errors() {
+        let mut s = PduStream::new();
+        let mut junk = [0u8; BHS_LEN];
+        junk[0] = 0x3F;
+        assert!(s.feed(&junk).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! OpenFlow-style match/action flow tables.
+//!
+//! StorM's SDN controller steers storage flows through middle-box chains by
+//! installing rules like the ones in the paper's Figure 3:
+//!
+//! ```text
+//! Matching rules: src: ovs1_mac:vm1_port, dst: ovs2_mac:3260
+//! Actions:        mod_dst_mac: ovs2_mac -> mb1_mac
+//! ```
+//!
+//! [`FlowMatch`] expresses the (wildcard-able) match fields, [`FlowAction`]
+//! the rewrite/output actions, and [`FlowTable`] performs priority-ordered
+//! lookup.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+use crate::frame::Frame;
+use crate::switch::PortNo;
+
+/// Match fields; `None` wildcards a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<PortNo>,
+    /// Source MAC.
+    pub src_mac: Option<MacAddr>,
+    /// Destination MAC.
+    pub dst_mac: Option<MacAddr>,
+    /// Source IPv4.
+    pub src_ip: Option<Ipv4Addr>,
+    /// Destination IPv4.
+    pub dst_ip: Option<Ipv4Addr>,
+    /// TCP source port.
+    pub src_port: Option<u16>,
+    /// TCP destination port.
+    pub dst_port: Option<u16>,
+}
+
+impl FlowMatch {
+    /// A match with every field wildcarded (matches everything).
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Restricts to an ingress port.
+    pub fn in_port(mut self, p: PortNo) -> Self {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Restricts the source MAC.
+    pub fn src_mac(mut self, m: MacAddr) -> Self {
+        self.src_mac = Some(m);
+        self
+    }
+
+    /// Restricts the destination MAC.
+    pub fn dst_mac(mut self, m: MacAddr) -> Self {
+        self.dst_mac = Some(m);
+        self
+    }
+
+    /// Restricts the source IP.
+    pub fn src_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.src_ip = Some(ip);
+        self
+    }
+
+    /// Restricts the destination IP.
+    pub fn dst_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.dst_ip = Some(ip);
+        self
+    }
+
+    /// Restricts the TCP source port.
+    pub fn src_port(mut self, p: u16) -> Self {
+        self.src_port = Some(p);
+        self
+    }
+
+    /// Restricts the TCP destination port.
+    pub fn dst_port(mut self, p: u16) -> Self {
+        self.dst_port = Some(p);
+        self
+    }
+
+    /// Whether `frame` arriving on `port` satisfies this match.
+    pub fn matches(&self, frame: &Frame, port: PortNo) -> bool {
+        self.in_port.is_none_or(|p| p == port)
+            && self.src_mac.is_none_or(|m| m == frame.src_mac)
+            && self.dst_mac.is_none_or(|m| m == frame.dst_mac)
+            && self.src_ip.is_none_or(|ip| ip == frame.src_ip)
+            && self.dst_ip.is_none_or(|ip| ip == frame.dst_ip)
+            && self.src_port.is_none_or(|p| p == frame.tcp.src_port)
+            && self.dst_port.is_none_or(|p| p == frame.tcp.dst_port)
+    }
+}
+
+/// An action applied to a matched frame, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowAction {
+    /// Rewrite the destination MAC (`mod_dst_mac`), the paper's steering
+    /// primitive.
+    SetDstMac(MacAddr),
+    /// Rewrite the source MAC.
+    SetSrcMac(MacAddr),
+    /// Emit on a specific port.
+    Output(PortNo),
+    /// Fall back to normal L2 forwarding (MAC learning table).
+    Normal,
+    /// Drop the frame.
+    Drop,
+}
+
+/// A prioritized flow rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRule {
+    /// Higher priorities are evaluated first.
+    pub priority: u16,
+    /// Match fields.
+    pub matching: FlowMatch,
+    /// Actions applied on match.
+    pub actions: Vec<FlowAction>,
+}
+
+/// A priority-ordered flow table with per-rule hit counters.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    rules: Vec<(FlowRule, u64)>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule; rules of equal priority keep insertion order.
+    pub fn install(&mut self, rule: FlowRule) {
+        let pos = self
+            .rules
+            .partition_point(|(r, _)| r.priority >= rule.priority);
+        self.rules.insert(pos, (rule, 0));
+    }
+
+    /// Removes all rules whose match equals `matching` exactly. Returns the
+    /// number removed.
+    pub fn remove(&mut self, matching: &FlowMatch) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|(r, _)| r.matching != *matching);
+        before - self.rules.len()
+    }
+
+    /// Finds the highest-priority rule matching `frame` on `port`,
+    /// incrementing its hit counter.
+    pub fn lookup(&mut self, frame: &Frame, port: PortNo) -> Option<&FlowRule> {
+        for (rule, hits) in &mut self.rules {
+            if rule.matching.matches(frame, port) {
+                *hits += 1;
+                return Some(rule);
+            }
+        }
+        None
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over rules with their hit counts (priority order).
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowRule, u64)> {
+        self.rules.iter().map(|(r, h)| (r, *h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{TcpFlags, TcpSegment};
+    use bytes::Bytes;
+
+    fn frame(dst_port: u16) -> Frame {
+        Frame {
+            src_mac: MacAddr::nth(1),
+            dst_mac: MacAddr::nth(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            tcp: TcpSegment {
+                src_port: 5555,
+                dst_port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                wnd: 0,
+                payload: Bytes::new(),
+            },
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn wildcard_match_matches_everything() {
+        assert!(FlowMatch::any().matches(&frame(80), PortNo(3)));
+    }
+
+    #[test]
+    fn field_mismatch_fails() {
+        let m = FlowMatch::any().dst_port(3260).src_mac(MacAddr::nth(1));
+        assert!(m.matches(&frame(3260), PortNo(0)));
+        assert!(!m.matches(&frame(80), PortNo(0)));
+        let m2 = m.in_port(PortNo(7));
+        assert!(!m2.matches(&frame(3260), PortNo(0)));
+        assert!(m2.matches(&frame(3260), PortNo(7)));
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.install(FlowRule {
+            priority: 1,
+            matching: FlowMatch::any(),
+            actions: vec![FlowAction::Normal],
+        });
+        t.install(FlowRule {
+            priority: 10,
+            matching: FlowMatch::any().dst_port(3260),
+            actions: vec![FlowAction::SetDstMac(MacAddr::nth(9)), FlowAction::Normal],
+        });
+        let hit = t.lookup(&frame(3260), PortNo(0)).unwrap();
+        assert_eq!(hit.priority, 10);
+        let miss = t.lookup(&frame(80), PortNo(0)).unwrap();
+        assert_eq!(miss.priority, 1);
+        let hits: Vec<u64> = t.iter().map(|(_, h)| h).collect();
+        assert_eq!(hits, vec![1, 1]);
+    }
+
+    #[test]
+    fn remove_by_match() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().dst_port(3260);
+        t.install(FlowRule { priority: 5, matching: m, actions: vec![FlowAction::Drop] });
+        t.install(FlowRule {
+            priority: 0,
+            matching: FlowMatch::any(),
+            actions: vec![FlowAction::Normal],
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(&m), 1);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let mut t = FlowTable::new();
+        assert!(t.lookup(&frame(80), PortNo(0)).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Small helpers shared by applications.
+
+use std::collections::VecDeque;
+
+use crate::engine::Cx;
+use crate::tcp::SockId;
+
+/// An application-side send queue.
+///
+/// TCP send buffers are finite; protocol engines (iSCSI targets pushing
+/// multi-megabyte Data-In trains, relays) queue their output here and
+/// drain it as the socket accepts bytes (continuing from
+/// [`crate::App::on_writable`]).
+#[derive(Debug, Default)]
+pub struct SendQueue {
+    buf: VecDeque<u8>,
+    sent: u64,
+}
+
+impl SendQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes to the queue (does not transmit).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Sends as much queued data as the socket accepts; returns the number
+    /// of bytes handed to TCP.
+    pub fn pump(&mut self, cx: &mut Cx<'_>, sock: SockId) -> usize {
+        let mut total = 0;
+        while !self.buf.is_empty() {
+            let chunk: Vec<u8> = {
+                let (a, _) = self.buf.as_slices();
+                let n = a.len().min(64 * 1024);
+                a[..n].to_vec()
+            };
+            let n = cx.send(sock, &chunk);
+            total += n;
+            self.buf.drain(..n);
+            if n < chunk.len() {
+                break;
+            }
+        }
+        self.sent += total as u64;
+        total
+    }
+
+    /// Pushes then pumps in one call.
+    pub fn send(&mut self, cx: &mut Cx<'_>, sock: SockId, bytes: &[u8]) -> usize {
+        self.push(bytes);
+        self.pump(cx, sock)
+    }
+
+    /// Bytes still queued (not yet accepted by TCP).
+    pub fn backlog(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether everything has been handed to TCP.
+    pub fn is_drained(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total bytes successfully handed to TCP.
+    pub fn total_sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_tracks_pushes() {
+        let mut q = SendQueue::new();
+        assert!(q.is_drained());
+        q.push(&[1, 2, 3]);
+        q.push(&[4]);
+        assert_eq!(q.backlog(), 4);
+        assert!(!q.is_drained());
+        assert_eq!(q.total_sent(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for NAT, flow tables and the TCP stack.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use storm_net::tcp::{TcpConfig, TcpStack};
+use storm_net::{AppId, DnatRule, FlowMatch, FourTuple, Nat, SnatRule, SockAddr};
+
+fn sockaddr() -> impl Strategy<Value = SockAddr> {
+    (any::<u8>(), any::<u8>(), 1u16..u16::MAX)
+        .prop_map(|(a, b, p)| SockAddr::new(Ipv4Addr::new(10, a, b, 1), p))
+}
+
+proptest! {
+    /// NAT: for any translated flow, the reply direction applies the exact
+    /// inverse (conntrack correctness) — the property StorM's masquerading
+    /// chain depends on end-to-end.
+    #[test]
+    fn nat_reply_is_inverse(src in sockaddr(), dst in sockaddr(),
+                            to in sockaddr(), masq in sockaddr()) {
+        prop_assume!(src != dst && dst != to);
+        let mut nat = Nat::new();
+        nat.add_dnat(DnatRule {
+            match_dst_ip: dst.ip,
+            match_dst_port: Some(dst.port),
+            match_src_ip: None,
+            to,
+        });
+        nat.add_snat(SnatRule {
+            match_dst_ip: Some(to.ip),
+            match_dst_port: Some(to.port),
+            to_ip: masq.ip,
+            to_port: None,
+        });
+        let orig = FourTuple::new(src, dst);
+        let fwd = nat.translate(orig, true);
+        // Forward direction consistently repeats.
+        prop_assert_eq!(nat.translate(orig, false), fwd);
+        // Reply direction inverts exactly.
+        let reply = nat.translate(fwd.reversed(), false);
+        prop_assert_eq!(reply, orig.reversed());
+        // And the reply's reply is the forward translation again.
+        prop_assert_eq!(nat.translate(reply.reversed(), false), fwd);
+    }
+
+    /// FourTuple reversal is an involution.
+    #[test]
+    fn tuple_reversal_involution(a in sockaddr(), b in sockaddr()) {
+        let t = FourTuple::new(a, b);
+        prop_assert_eq!(t.reversed().reversed(), t);
+    }
+
+    /// Wildcarded flow matches are monotonic: adding a constraint never
+    /// matches more frames.
+    #[test]
+    fn flow_match_monotonic(port in 1u16..u16::MAX, other in 1u16..u16::MAX) {
+        use storm_net::{Frame, MacAddr, TcpFlags, TcpSegment};
+        let frame = Frame {
+            src_mac: MacAddr::nth(1),
+            dst_mac: MacAddr::nth(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            tcp: TcpSegment {
+                src_port: port,
+                dst_port: 3260,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                wnd: 0,
+                payload: Bytes::new(),
+            },
+            hops: 0,
+        };
+        let base = FlowMatch::any().dst_port(3260);
+        let constrained = base.src_port(other);
+        let p = storm_net::PortNo(0);
+        if constrained.matches(&frame, p) {
+            prop_assert!(base.matches(&frame, p));
+        }
+        prop_assert_eq!(constrained.matches(&frame, p), other == port);
+    }
+
+    /// TCP: any sequence of sends from A arrives at B intact and in order,
+    /// under any interleaving of the shuttle (windows force multiple
+    /// exchange rounds).
+    #[test]
+    fn tcp_stream_integrity(chunks in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..5000), 1..8)) {
+        let config = TcpConfig { mss: 1448, rcv_wnd: 16 * 1024, snd_buf: 64 * 1024 };
+        let mut a = TcpStack::new(config);
+        let mut b = TcpStack::new(config);
+        b.listen(AppId(0), 3260);
+        let (sock, syn) = a.connect(AppId(0), Ipv4Addr::new(10, 0, 0, 1),
+            SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 3260));
+        // Complete the handshake.
+        let mut from_a = vec![syn];
+        let mut from_b: Vec<storm_net::tcp::OutSeg> = Vec::new();
+        let mut received: Vec<u8> = Vec::new();
+        let mut to_send: Vec<u8> = chunks.concat();
+        let total = to_send.len();
+        let mut offered = 0usize;
+        for _round in 0..10_000 {
+            // Offer more data whenever the buffer has room.
+            if offered < total {
+                let (n, segs) = a.send(sock, &to_send[..]);
+                offered += n;
+                to_send.drain(..n);
+                from_a.extend(segs);
+            }
+            if from_a.is_empty() && from_b.is_empty() && offered >= total
+                && received.len() >= total {
+                break;
+            }
+            let mut next_a = Vec::new();
+            let mut next_b = Vec::new();
+            for s in from_a.drain(..) {
+                let (out, evs) = b.input(s.tuple, s.seg);
+                next_b.extend(out);
+                for (_, e) in evs {
+                    if let storm_net::tcp::TcpEvent::Data { data, .. } = e {
+                        received.extend_from_slice(&data);
+                    }
+                }
+            }
+            for s in from_b.drain(..) {
+                let (out, _evs) = a.input(s.tuple, s.seg);
+                next_a.extend(out);
+            }
+            from_a = next_a;
+            from_b = next_b;
+        }
+        let expect: Vec<u8> = chunks.concat();
+        prop_assert_eq!(received.len(), expect.len());
+        prop_assert_eq!(received, expect);
+        prop_assert_eq!(a.unacked(sock), 0);
+    }
+}

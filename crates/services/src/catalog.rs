@@ -1,0 +1,213 @@
+//! The provider's service catalogue: tenant policy → concrete services.
+//!
+//! Paper §III-D: "StorM provides an interface for tenants to submit these
+//! policies to the cloud provider, and the StorM platform, accordingly,
+//! parses the policies and deploys the middle-box services." This module
+//! is the parsing half: it instantiates the bundled service
+//! implementations from a validated [`ServiceSpec`].
+
+use storm_core::policy::{RelayModeSpec, ServiceSpec};
+use storm_core::service::PassthroughService;
+use storm_core::{RelayMode, Reconstructor, StorageService};
+use storm_sim::SimDuration;
+
+use crate::{EncryptionService, MonitorConfig, MonitorService, ReplicationService};
+
+/// Errors instantiating a service from a policy entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The kind is not in the catalogue.
+    UnknownKind(String),
+    /// A required parameter is missing or malformed.
+    BadParam {
+        /// Parameter name.
+        param: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The monitor needs a bootstrapped reconstructor.
+    MissingReconstructor,
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownKind(k) => write!(f, "unknown service kind {k}"),
+            CatalogError::BadParam { param, reason } => write!(f, "parameter {param}: {reason}"),
+            CatalogError::MissingReconstructor => {
+                write!(f, "monitor requires the volume's filesystem view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Maps the policy's relay mode to the platform's.
+pub fn relay_mode(spec: RelayModeSpec) -> RelayMode {
+    match spec {
+        RelayModeSpec::Active => RelayMode::Active,
+        RelayModeSpec::Passive => RelayMode::Passive,
+        RelayModeSpec::Forward => RelayMode::Forward,
+    }
+}
+
+/// Derives a 64-byte XTS master key from a policy-supplied passphrase.
+///
+/// Key material handling is out of the paper's scope; this is a simple
+/// expansion, not a KDF.
+fn expand_key(passphrase: &str) -> [u8; 64] {
+    let mut key = [0u8; 64];
+    let bytes = passphrase.as_bytes();
+    for (i, k) in key.iter_mut().enumerate() {
+        *k = bytes[i % bytes.len().max(1)]
+            .wrapping_mul(167)
+            .wrapping_add(i as u8);
+    }
+    key
+}
+
+/// Instantiates a bundled service from a validated [`ServiceSpec`].
+///
+/// `recon` supplies the volume's bootstrapped filesystem view for
+/// monitor services (built by the platform at attach time).
+///
+/// # Errors
+///
+/// See [`CatalogError`].
+pub fn build_service(
+    spec: &ServiceSpec,
+    recon: Option<Reconstructor>,
+) -> Result<Box<dyn StorageService>, CatalogError> {
+    match spec.kind.as_str() {
+        "monitor" => {
+            let recon = recon.ok_or(CatalogError::MissingReconstructor)?;
+            let watch = spec
+                .params
+                .get("watch")
+                .map(|w| w.split(',').map(|s| s.trim().to_owned()).collect())
+                .unwrap_or_default();
+            Ok(Box::new(MonitorService::new(
+                MonitorConfig { watch, per_byte_cost: SimDuration::from_nanos(1) },
+                recon,
+            )))
+        }
+        "encryption" => {
+            let passphrase = spec.params.get("key").map(String::as_str).unwrap_or("default");
+            let cipher = spec.params.get("cipher").map(String::as_str).unwrap_or("aes-256-xts");
+            match cipher {
+                "aes-256-xts" => Ok(Box::new(EncryptionService::aes_xts(&expand_key(passphrase)))),
+                "chacha20" | "stream" => {
+                    let key64 = expand_key(passphrase);
+                    let mut key = [0u8; 32];
+                    key.copy_from_slice(&key64[..32]);
+                    let mut nonce = [0u8; 12];
+                    nonce.copy_from_slice(&key64[32..44]);
+                    Ok(Box::new(EncryptionService::stream_cipher(&key, &nonce)))
+                }
+                other => Err(CatalogError::BadParam {
+                    param: "cipher",
+                    reason: format!("unsupported cipher {other}"),
+                }),
+            }
+        }
+        "replication" => {
+            let replicas: usize = spec
+                .params
+                .get("replicas")
+                .map(|v| {
+                    v.parse().map_err(|_| CatalogError::BadParam {
+                        param: "replicas",
+                        reason: format!("not a number: {v}"),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(2);
+            if replicas == 0 {
+                return Err(CatalogError::BadParam {
+                    param: "replicas",
+                    reason: "at least one replica required".into(),
+                });
+            }
+            let stripe = spec
+                .params
+                .get("stripe_reads")
+                .map(|v| v.eq_ignore_ascii_case("true") || v == "1")
+                .unwrap_or(true);
+            Ok(Box::new(ReplicationService::new(replicas, stripe)))
+        }
+        "passthrough" => Ok(Box::new(PassthroughService::new())),
+        other => Err(CatalogError::UnknownKind(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_block::MemDisk;
+    use storm_extfs::ExtFs;
+
+    fn recon() -> Reconstructor {
+        let fs = ExtFs::mkfs(MemDisk::with_capacity_bytes(48 << 20)).unwrap();
+        let mut dev = fs.into_device().unwrap();
+        Reconstructor::from_device(&mut dev, "/mnt").unwrap()
+    }
+
+    #[test]
+    fn builds_every_known_kind() {
+        let enc = build_service(&ServiceSpec::new("encryption"), None).unwrap();
+        assert_eq!(enc.name(), "encryption");
+        let rep = build_service(&ServiceSpec::new("replication").param("replicas", "3"), None)
+            .unwrap();
+        assert_eq!(rep.name(), "replication");
+        let mon = build_service(
+            &ServiceSpec::new("monitor").param("watch", "/mnt/a, /mnt/b"),
+            Some(recon()),
+        )
+        .unwrap();
+        assert_eq!(mon.name(), "monitor");
+        let pt = build_service(&ServiceSpec::new("passthrough"), None).unwrap();
+        assert_eq!(pt.name(), "passthrough");
+    }
+
+    #[test]
+    fn monitor_without_view_is_rejected() {
+        assert_eq!(
+            build_service(&ServiceSpec::new("monitor"), None).err(),
+            Some(CatalogError::MissingReconstructor)
+        );
+    }
+
+    #[test]
+    fn bad_params_are_rejected() {
+        assert!(matches!(
+            build_service(&ServiceSpec::new("encryption").param("cipher", "rot13"), None),
+            Err(CatalogError::BadParam { param: "cipher", .. })
+        ));
+        assert!(matches!(
+            build_service(&ServiceSpec::new("replication").param("replicas", "many"), None),
+            Err(CatalogError::BadParam { param: "replicas", .. })
+        ));
+        assert!(matches!(
+            build_service(&ServiceSpec::new("replication").param("replicas", "0"), None),
+            Err(CatalogError::BadParam { param: "replicas", .. })
+        ));
+        assert!(matches!(
+            build_service(&ServiceSpec::new("dedupe"), None),
+            Err(CatalogError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn relay_modes_map() {
+        assert_eq!(relay_mode(RelayModeSpec::Active), RelayMode::Active);
+        assert_eq!(relay_mode(RelayModeSpec::Passive), RelayMode::Passive);
+        assert_eq!(relay_mode(RelayModeSpec::Forward), RelayMode::Forward);
+    }
+
+    #[test]
+    fn key_expansion_is_deterministic_and_distinct() {
+        assert_eq!(expand_key("alpha"), expand_key("alpha"));
+        assert_ne!(expand_key("alpha"), expand_key("beta"));
+    }
+}

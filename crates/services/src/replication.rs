@@ -1,0 +1,513 @@
+//! Case 3: tenant-defined replica dispatch.
+//!
+//! "For write I/O operations, in addition to forwarding the data to the
+//! original volume, our replication service copies exactly the same I/O
+//! data in advance to other backup volumes ... for read I/O operations,
+//! the replication service alternatively chooses one of the available
+//! replicas ... Once a replica is not responsive ... it will be eliminated
+//! from future operations. The unfinished reads of that failed replica are
+//! served from one of the other active replicas."
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use storm_core::{Dir, StorageService, SvcCtx};
+use storm_iscsi::{Cdb, DataIn, Pdu, ScsiCommand, ScsiStatus};
+use storm_sim::SimDuration;
+
+/// Counters for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Writes fanned out to replicas.
+    pub replica_writes: u64,
+    /// Reads served from a replica instead of the primary.
+    pub striped_reads: u64,
+    /// Reads forwarded to the primary volume.
+    pub primary_reads: u64,
+    /// Reads retried after a replica failure.
+    pub retried_reads: u64,
+    /// Replica write failures observed.
+    pub write_failures: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    cmd: ScsiCommand,
+    replica: usize,
+}
+
+/// The replica-dispatch middle-box service.
+///
+/// The middle-box it runs in must be deployed with the matching
+/// [`storm_core::relay::ReplicaTarget`] list; `replica_count` here is the
+/// number of *backup* volumes (the primary is the normal forward path).
+pub struct ReplicationService {
+    replica_count: usize,
+    alive: Vec<bool>,
+    stripe_reads: bool,
+    rr: usize,
+    next_ctx: u64,
+    pending_reads: HashMap<u64, PendingRead>,
+    /// Measurements.
+    pub stats: ReplicationStats,
+    per_byte: SimDuration,
+    write_bufs: HashMap<u32, (u64, bytes::BytesMut, usize, usize)>,
+    /// Consecutive I/O failures per replica; at `fail_threshold` the
+    /// replica is declared unresponsive and removed (the paper's
+    /// "eliminated from future operations").
+    consecutive_failures: Vec<usize>,
+    fail_threshold: usize,
+}
+
+impl ReplicationService {
+    /// Creates a dispatcher over `replica_count` backup volumes.
+    pub fn new(replica_count: usize, stripe_reads: bool) -> Self {
+        ReplicationService {
+            replica_count,
+            alive: vec![true; replica_count],
+            stripe_reads,
+            rr: 0,
+            next_ctx: 1,
+            pending_reads: HashMap::new(),
+            stats: ReplicationStats::default(),
+            per_byte: SimDuration::from_nanos(0),
+            write_bufs: HashMap::new(),
+            consecutive_failures: vec![0; replica_count],
+            fail_threshold: 3,
+        }
+    }
+
+    /// Live replicas.
+    pub fn alive_replicas(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    fn ctx(&mut self) -> u64 {
+        let c = self.next_ctx;
+        self.next_ctx += 1;
+        c
+    }
+
+    /// Picks the next read source: `None` = primary, `Some(i)` = replica i.
+    fn pick_read_source(&mut self) -> Option<usize> {
+        if !self.stripe_reads {
+            return None;
+        }
+        let lanes = 1 + self.alive_replicas();
+        let lane = self.rr % lanes;
+        self.rr += 1;
+        if lane == 0 {
+            return None;
+        }
+        // The lane-th alive replica.
+        let mut seen = 0;
+        for (i, alive) in self.alive.iter().enumerate() {
+            if *alive {
+                seen += 1;
+                if seen == lane {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn mirror_write(&mut self, cx: &mut SvcCtx, lba: u64, data: &Bytes) {
+        for i in 0..self.replica_count {
+            if self.alive[i] {
+                let c = self.ctx();
+                cx.replica_write(i, lba, data.clone(), c);
+                self.stats.replica_writes += 1;
+            }
+        }
+    }
+
+    /// Synthesizes the Data-In + status train for a replica-served read.
+    fn synth_read_reply(cx: &mut SvcCtx, itt: u32, data: Bytes) {
+        let total = data.len();
+        let chunk = 64 * 1024;
+        let mut off = 0;
+        let mut data_sn = 0;
+        loop {
+            let end = (off + chunk).min(total);
+            let last = end == total;
+            cx.reply(Pdu::DataIn(DataIn {
+                final_pdu: last,
+                status_present: last,
+                status: ScsiStatus::Good,
+                lun: 0,
+                itt,
+                ttt: 0xFFFF_FFFF,
+                stat_sn: 0,
+                exp_cmd_sn: 0,
+                max_cmd_sn: 0,
+                data_sn,
+                buffer_offset: off as u32,
+                residual: 0,
+                data: data.slice(off..end),
+            }));
+            if last {
+                break;
+            }
+            data_sn += 1;
+            off = end;
+        }
+    }
+}
+
+impl StorageService for ReplicationService {
+    fn name(&self) -> &str {
+        "replication"
+    }
+
+    fn on_pdu(&mut self, cx: &mut SvcCtx, dir: Dir, pdu: Pdu) {
+        if dir == Dir::ToInitiator {
+            cx.forward(pdu);
+            return;
+        }
+        match pdu {
+            Pdu::ScsiCommand(c) => {
+                match Cdb::parse(&c.cdb) {
+                    Ok(Cdb::Write { lba, .. }) => {
+                        let expected = c.edtl as usize;
+                        // Mirror immediate data now; stage the rest.
+                        if c.data.len() >= expected {
+                            self.mirror_write(cx, lba, &c.data);
+                        } else {
+                            let mut buf = bytes::BytesMut::zeroed(expected);
+                            let imm = c.data.len();
+                            buf[..imm].copy_from_slice(&c.data);
+                            self.write_bufs.insert(c.itt, (lba, buf, imm, expected));
+                        }
+                        cx.forward(Pdu::ScsiCommand(c));
+                    }
+                    Ok(Cdb::Read { lba, sectors }) => {
+                        match self.pick_read_source() {
+                            None => {
+                                self.stats.primary_reads += 1;
+                                cx.forward(Pdu::ScsiCommand(c));
+                            }
+                            Some(replica) => {
+                                self.stats.striped_reads += 1;
+                                let ctx_id = self.ctx();
+                                self.pending_reads
+                                    .insert(ctx_id, PendingRead { cmd: c, replica });
+                                cx.replica_read(replica, lba, sectors, ctx_id);
+                            }
+                        }
+                    }
+                    _ => cx.forward(Pdu::ScsiCommand(c)),
+                }
+            }
+            Pdu::DataOut(d) => {
+                let complete = if let Some((_, buf, recv, expected)) =
+                    self.write_bufs.get_mut(&d.itt)
+                {
+                    let off = d.buffer_offset as usize;
+                    let end = (off + d.data.len()).min(*expected);
+                    if off < end {
+                        buf[off..end].copy_from_slice(&d.data[..end - off]);
+                        *recv += end - off;
+                    }
+                    *recv >= *expected
+                } else {
+                    false
+                };
+                if complete {
+                    if let Some((lba, buf, _, _)) = self.write_bufs.remove(&d.itt) {
+                        let data = buf.freeze();
+                        self.mirror_write(cx, lba, &data);
+                    }
+                }
+                cx.forward(Pdu::DataOut(d));
+            }
+            other => cx.forward(other),
+        }
+    }
+
+    fn on_replica_done(&mut self, cx: &mut SvcCtx, replica: usize, ctx: u64, ok: bool, data: Bytes) {
+        // Unresponsiveness detection: repeated failures remove the replica.
+        if replica < self.consecutive_failures.len() {
+            if ok {
+                self.consecutive_failures[replica] = 0;
+            } else {
+                self.consecutive_failures[replica] += 1;
+                if self.consecutive_failures[replica] >= self.fail_threshold {
+                    self.on_replica_failed(cx, replica);
+                }
+            }
+        }
+        if let Some(pending) = self.pending_reads.remove(&ctx) {
+            if ok {
+                Self::synth_read_reply(cx, pending.cmd.itt, data);
+            } else {
+                // Retry: another replica, else fall back to the primary.
+                self.stats.retried_reads += 1;
+                match self.pick_read_source() {
+                    Some(replica) if replica != pending.replica || self.alive[replica] => {
+                        if let Ok(Cdb::Read { lba, sectors }) = Cdb::parse(&pending.cmd.cdb) {
+                            let ctx_id = self.ctx();
+                            self.pending_reads
+                                .insert(ctx_id, PendingRead { cmd: pending.cmd, replica });
+                            cx.replica_read(replica, lba, sectors, ctx_id);
+                        }
+                    }
+                    _ => {
+                        self.stats.primary_reads += 1;
+                        cx.forward(Pdu::ScsiCommand(pending.cmd));
+                    }
+                }
+            }
+        } else if !ok {
+            self.stats.write_failures += 1;
+        }
+    }
+
+    fn on_replica_failed(&mut self, cx: &mut SvcCtx, replica: usize) {
+        if replica < self.alive.len() && self.alive[replica] {
+            self.alive[replica] = false;
+            cx.alert(format!(
+                "replica {replica} failed; {} of {} remain in service",
+                self.alive_replicas(),
+                self.replica_count
+            ));
+            // Unfinished reads on that replica are re-dispatched.
+            let stranded: Vec<u64> = self
+                .pending_reads
+                .iter()
+                .filter(|(_, p)| p.replica == replica)
+                .map(|(c, _)| *c)
+                .collect();
+            for ctx_id in stranded {
+                if let Some(pending) = self.pending_reads.remove(&ctx_id) {
+                    self.stats.retried_reads += 1;
+                    match self.pick_read_source() {
+                        Some(r) => {
+                            if let Ok(Cdb::Read { lba, sectors }) = Cdb::parse(&pending.cmd.cdb) {
+                                let new_ctx = self.ctx();
+                                self.pending_reads
+                                    .insert(new_ctx, PendingRead { cmd: pending.cmd, replica: r });
+                                cx.replica_read(r, lba, sectors, new_ctx);
+                            }
+                        }
+                        None => {
+                            self.stats.primary_reads += 1;
+                            cx.forward(Pdu::ScsiCommand(pending.cmd));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn per_byte_cost(&self) -> SimDuration {
+        self.per_byte
+    }
+}
+
+impl std::fmt::Debug for ReplicationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationService")
+            .field("replicas", &self.replica_count)
+            .field("alive", &self.alive_replicas())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_core::service::{ReplicaIo, SvcAction};
+    use storm_sim::SimTime;
+
+    fn write_cmd(itt: u32, lba: u64, data: Bytes) -> Pdu {
+        let sectors = (data.len() / 512) as u32;
+        Pdu::ScsiCommand(ScsiCommand {
+            immediate: false,
+            final_pdu: true,
+            read: false,
+            write: true,
+            lun: 0,
+            itt,
+            edtl: data.len() as u32,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            cdb: Cdb::Write { lba, sectors }.to_bytes(),
+            data,
+        })
+    }
+
+    fn read_cmd(itt: u32, lba: u64, sectors: u32) -> Pdu {
+        Pdu::ScsiCommand(ScsiCommand {
+            immediate: false,
+            final_pdu: true,
+            read: true,
+            write: false,
+            lun: 0,
+            itt,
+            edtl: sectors * 512,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            cdb: Cdb::Read { lba, sectors }.to_bytes(),
+            data: Bytes::new(),
+        })
+    }
+
+    fn actions(svc: &mut ReplicationService, dir: Dir, pdu: Pdu) -> Vec<SvcAction> {
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_pdu(&mut cx, dir, pdu);
+        cx.take_actions()
+    }
+
+    #[test]
+    fn writes_fan_out_to_all_replicas_and_forward() {
+        let mut svc = ReplicationService::new(2, true);
+        let data = Bytes::from(vec![9u8; 1024]);
+        let acts = actions(&mut svc, Dir::ToTarget, write_cmd(1, 10, data));
+        let writes: Vec<_> = acts
+            .iter()
+            .filter(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Write { .. }, .. }))
+            .collect();
+        assert_eq!(writes.len(), 2);
+        assert!(acts.iter().any(|a| matches!(a, SvcAction::Forward(_))));
+        assert_eq!(svc.stats.replica_writes, 2);
+    }
+
+    #[test]
+    fn staged_writes_mirror_after_data_out() {
+        let mut svc = ReplicationService::new(1, false);
+        // Command with half the data immediate.
+        let mut full = vec![0u8; 2048];
+        full[0] = 0xAA;
+        let cmd = Pdu::ScsiCommand(ScsiCommand {
+            immediate: false,
+            final_pdu: true,
+            read: false,
+            write: true,
+            lun: 0,
+            itt: 4,
+            edtl: 2048,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            cdb: Cdb::Write { lba: 0, sectors: 4 }.to_bytes(),
+            data: Bytes::from(full[..1024].to_vec()),
+        });
+        let acts = actions(&mut svc, Dir::ToTarget, cmd);
+        assert!(!acts.iter().any(|a| matches!(a, SvcAction::Replica { .. })));
+        // The trailing Data-Out completes the buffer and triggers mirror.
+        let dout = Pdu::DataOut(storm_iscsi::DataOut {
+            final_pdu: true,
+            lun: 0,
+            itt: 4,
+            ttt: 1,
+            exp_stat_sn: 1,
+            data_sn: 0,
+            buffer_offset: 1024,
+            data: Bytes::from(full[1024..].to_vec()),
+        });
+        let acts = actions(&mut svc, Dir::ToTarget, dout);
+        let mirrored = acts.iter().any(
+            |a| matches!(a, SvcAction::Replica { io: ReplicaIo::Write { lba: 0, data }, .. } if data.len() == 2048),
+        );
+        assert!(mirrored, "actions: {acts:?}");
+    }
+
+    #[test]
+    fn reads_stripe_round_robin_across_primary_and_replicas() {
+        let mut svc = ReplicationService::new(2, true);
+        let mut forwarded = 0;
+        let mut striped = 0;
+        for i in 0..6 {
+            let acts = actions(&mut svc, Dir::ToTarget, read_cmd(i, 0, 8));
+            if acts.iter().any(|a| matches!(a, SvcAction::Forward(_))) {
+                forwarded += 1;
+            }
+            if acts
+                .iter()
+                .any(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Read { .. }, .. }))
+            {
+                striped += 1;
+            }
+        }
+        // 3 lanes (primary + 2 replicas), 6 reads: 2 each.
+        assert_eq!(forwarded, 2);
+        assert_eq!(striped, 4);
+        assert_eq!(svc.stats.primary_reads, 2);
+        assert_eq!(svc.stats.striped_reads, 4);
+    }
+
+    #[test]
+    fn replica_read_completion_synthesizes_data_in() {
+        let mut svc = ReplicationService::new(1, true);
+        // Force the read onto the replica (lane 1 of 2).
+        svc.rr = 1;
+        let acts = actions(&mut svc, Dir::ToTarget, read_cmd(9, 100, 8));
+        let ctx = acts
+            .iter()
+            .find_map(|a| match a {
+                SvcAction::Replica { ctx, .. } => Some(*ctx),
+                _ => None,
+            })
+            .expect("read dispatched to replica");
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_replica_done(&mut cx, 0, ctx, true, Bytes::from(vec![5u8; 4096]));
+        let replies: Vec<SvcAction> = cx.take_actions();
+        match &replies[..] {
+            [SvcAction::Reply(Pdu::DataIn(d))] => {
+                assert_eq!(d.itt, 9);
+                assert!(d.final_pdu && d.status_present);
+                assert_eq!(d.data.len(), 4096);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_replica_is_removed_and_reads_redirect() {
+        let mut svc = ReplicationService::new(2, true);
+        svc.rr = 1; // next read goes to replica 0
+        let acts = actions(&mut svc, Dir::ToTarget, read_cmd(1, 0, 8));
+        assert!(acts.iter().any(|a| matches!(a, SvcAction::Replica { replica: 0, .. })));
+        // Replica 0 dies with the read outstanding.
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_replica_failed(&mut cx, 0);
+        let acts = cx.take_actions();
+        assert!(acts.iter().any(|a| matches!(a, SvcAction::Alert(_))));
+        // The stranded read is re-dispatched (to replica 1 or the primary).
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                SvcAction::Replica { replica: 1, io: ReplicaIo::Read { .. }, .. }
+            ) || matches!(a, SvcAction::Forward(_))),
+            "actions: {acts:?}"
+        );
+        assert_eq!(svc.alive_replicas(), 1);
+        assert_eq!(svc.stats.retried_reads, 1);
+        // Future writes only mirror to the survivor.
+        let acts = actions(&mut svc, Dir::ToTarget, write_cmd(2, 0, Bytes::from(vec![0u8; 512])));
+        let mirrors = acts
+            .iter()
+            .filter(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Write { .. }, .. }))
+            .count();
+        assert_eq!(mirrors, 1);
+    }
+
+    #[test]
+    fn responses_pass_through_untouched() {
+        let mut svc = ReplicationService::new(2, true);
+        let resp = Pdu::ScsiResponse(storm_iscsi::ScsiResponse {
+            itt: 3,
+            response: 0,
+            status: ScsiStatus::Good,
+            stat_sn: 1,
+            exp_cmd_sn: 2,
+            max_cmd_sn: 66,
+            residual: 0,
+            data: Bytes::new(),
+        });
+        let acts = actions(&mut svc, Dir::ToInitiator, resp.clone());
+        assert!(matches!(&acts[..], [SvcAction::Forward(p)] if *p == resp));
+    }
+}

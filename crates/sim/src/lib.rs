@@ -1,0 +1,36 @@
+//! Discrete-event simulation toolkit underpinning the StorM reproduction.
+//!
+//! The paper evaluates StorM on a 10-machine OpenStack testbed. This crate
+//! replaces that hardware with a deterministic discrete-event engine: virtual
+//! time ([`SimTime`]), an ordered event queue ([`EventQueue`]), contended
+//! resources ([`CpuModel`], [`SerialResource`]) and measurement primitives
+//! ([`metrics`]). Higher layers (`storm-net`, `storm-cloud`, `storm-core`)
+//! build the network fabric, hosts and middle-boxes on top of these
+//! primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use storm_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_millis(5), "second");
+//! q.push(SimTime::ZERO + SimDuration::from_millis(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t.as_micros(), 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod event;
+pub mod metrics;
+mod rng;
+mod time;
+
+pub use cpu::{CpuModel, SerialResource};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,66 @@
+//! Property-based tests for the simulation toolkit.
+
+use proptest::prelude::*;
+use storm_sim::{CpuModel, EventQueue, SerialResource, SimDuration, SimTime};
+
+proptest! {
+    /// The event queue always pops in non-decreasing time order, and ties
+    /// preserve insertion order (determinism).
+    #[test]
+    fn queue_orders_any_schedule(times in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((prev_at, prev_i)) = last {
+                prop_assert!(at >= prev_at);
+                if at == prev_at {
+                    prop_assert!(i > prev_i, "FIFO tie-break violated");
+                }
+            }
+            last = Some((at, i));
+        }
+        prop_assert_eq!(q.delivered(), times.len() as u64);
+    }
+
+    /// A serial resource never overlaps jobs and conserves busy time.
+    #[test]
+    fn serial_resource_conserves_time(jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)) {
+        let mut r = SerialResource::new();
+        let mut prev_done = SimTime::ZERO;
+        let mut total = SimDuration::ZERO;
+        for &(arrive, service) in &jobs {
+            let arrive = SimTime::from_nanos(arrive);
+            let service = SimDuration::from_nanos(service);
+            let done = r.serve(arrive, service);
+            // Starts no earlier than both the arrival and the previous job.
+            prop_assert!(done >= arrive + service);
+            prop_assert!(done >= prev_done + service);
+            prev_done = done;
+            total += service;
+        }
+        prop_assert_eq!(r.busy_total(), total);
+        prop_assert_eq!(r.jobs(), jobs.len() as u64);
+    }
+
+    /// An n-core CPU is never busier than n× wall-clock and completion
+    /// times respect submission order per label accounting.
+    #[test]
+    fn cpu_capacity_bound(cores in 1usize..8, jobs in prop::collection::vec(1u64..200, 1..100)) {
+        let mut cpu = CpuModel::new(cores);
+        let mut latest = SimTime::ZERO;
+        for &cost in &jobs {
+            let done = cpu.run(SimTime::ZERO, SimDuration::from_micros(cost), "w");
+            latest = latest.max(done);
+        }
+        let total: u64 = jobs.iter().sum::<u64>() * 1000;
+        prop_assert_eq!(cpu.total_busy().as_nanos(), total);
+        // Makespan is at least total/cores (can't beat perfect packing).
+        prop_assert!(latest.as_nanos() * cores as u64 >= total);
+        // And utilization never exceeds 1.
+        prop_assert!(cpu.utilization(latest) <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Case study 1: the storage access monitor catching a malware install.
+//!
+//! Replays the `HEUR:Backdoor.Linux.Ganiw.a` installation (Table III of
+//! the paper) against a monitored volume and prints what the middle-box
+//! reconstructed — all from raw block traffic, with zero software inside
+//! the tenant VM.
+//!
+//! ```text
+//! cargo run --release --example access_monitor
+//! ```
+
+use storm::cloud::{Cloud, CloudConfig};
+use storm::core::relay::ActiveRelayMb;
+use storm::core::semantics::FsEvent;
+use storm::core::{MbSpec, Reconstructor, RelayMode, StormPlatform};
+use storm::services::{MonitorConfig, MonitorService};
+use storm::workloads::malware;
+use storm::workloads::postmark::install_image;
+use storm::workloads::TraceWorkload;
+use storm_sim::{SimDuration, SimTime};
+
+fn main() {
+    // A realistic pre-infection system image, and the scripted install.
+    let mut image = malware::build_system_image();
+    let (trace, steps) = malware::ganiw_trace(image.clone());
+    println!("replaying {} installation steps through the monitor...", steps.len());
+
+    let mut cloud = Cloud::build(CloudConfig { backing_bytes: 2 << 30, ..CloudConfig::default() });
+    let platform = StormPlatform::default();
+    let volume = cloud.create_volume(256 << 20, 0);
+    install_image(&mut image, &mut volume.shared.clone());
+
+    // The tenant marks sensitive paths; the platform bootstraps the
+    // monitor's system view from the volume at attach time (dumpe2fs).
+    let recon = Reconstructor::from_device(&mut volume.shared.clone(), "").unwrap();
+    let monitor = MonitorService::new(
+        MonitorConfig {
+            watch: vec!["/etc/init.d".into(), "/bin".into()],
+            per_byte_cost: SimDuration::ZERO,
+        },
+        recon,
+    );
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &volume,
+        (1, 2),
+        vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor)])],
+    );
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:victim",
+        &volume,
+        Box::new(TraceWorkload::new(trace)),
+        7,
+        false,
+    );
+    cloud.net.run_until(SimTime::from_nanos(60_000_000_000));
+    assert_eq!(cloud.client_mut(0, app).stats.errors, 0);
+
+    let relay = cloud
+        .net
+        .app_mut(deployment.mb_nodes[0].node, deployment.mb_apps[0].unwrap())
+        .unwrap()
+        .downcast_mut::<ActiveRelayMb>()
+        .unwrap();
+    println!("\nalerts raised while the malware installed itself:");
+    for (at, msg) in relay.alerts() {
+        println!("  [{at}] {msg}");
+    }
+    let monitor = relay
+        .service_mut(0)
+        .unwrap()
+        .downcast_mut::<MonitorService>()
+        .unwrap();
+    println!("\nfile creations inferred from metadata writes:");
+    for ev in monitor.events() {
+        if let FsEvent::Created { path, .. } = ev {
+            println!("  {path}");
+        }
+    }
+    println!("\nfirst 12 reconstructed accesses:");
+    for entry in monitor.analysis().into_iter().take(12) {
+        println!("  {entry}");
+    }
+}

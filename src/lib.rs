@@ -1,0 +1,17 @@
+//! StorM: tenant-defined cloud storage middle-box services.
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual
+//! crates for details; [`storm_core`] holds the paper's contribution.
+
+#![forbid(unsafe_code)]
+
+pub use storm_block as block;
+pub use storm_cloud as cloud;
+pub use storm_core as core;
+pub use storm_crypto as crypto;
+pub use storm_extfs as extfs;
+pub use storm_iscsi as iscsi;
+pub use storm_net as net;
+pub use storm_services as services;
+pub use storm_sim as sim;
+pub use storm_workloads as workloads;
