@@ -36,22 +36,40 @@ fn pct(busy: SimDuration, elapsed: SimDuration) -> f64 {
 fn run_tenant_side(testbed: &Testbed) -> Outcome {
     let mut cloud = build_cloud(testbed.seed);
     let vol = cloud.create_volume(testbed.volume_bytes, 0);
-    let ftp = FtpWorkload::new(FtpDirection::Upload, TRANSFER)
-        .with_vm_cipher(VM_CIPHER_PER_BYTE);
-    let app = attach_over_path(&mut cloud, PathMode::Legacy, &vol, Box::new(ftp), testbed, false);
+    let ftp = FtpWorkload::new(FtpDirection::Upload, TRANSFER).with_vm_cipher(VM_CIPHER_PER_BYTE);
+    let app = attach_over_path(
+        &mut cloud,
+        PathMode::Legacy,
+        &vol,
+        Box::new(ftp),
+        testbed,
+        false,
+    );
     let start = cloud.net.now();
     cloud.net.run_until(SimTime::from_nanos(60_000_000_000));
     let elapsed;
     let mbps;
     {
         let client = cloud.client_mut(0, app);
-        let w = client.workload_ref().unwrap().downcast_ref::<FtpWorkload>().unwrap();
+        let w = client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<FtpWorkload>()
+            .unwrap();
         elapsed = w.elapsed().expect("transfer finished");
         mbps = w.throughput_mbps().unwrap();
         let _ = start;
     }
-    let vm_busy = cloud.net.host(cloud.computes[0].host).cpu.busy_for("vm:tenant");
-    let target_busy = cloud.net.host(cloud.storages[0].host).cpu.busy_for("target");
+    let vm_busy = cloud
+        .net
+        .host(cloud.computes[0].host)
+        .cpu
+        .busy_for("vm:tenant");
+    let target_busy = cloud
+        .net
+        .host(cloud.storages[0].host)
+        .cpu
+        .busy_for("target");
     Outcome {
         mbps,
         vm_pct: pct(vm_busy, elapsed),
@@ -70,7 +88,11 @@ fn run_middlebox(testbed: &Testbed) -> Outcome {
         &mut cloud,
         &vol,
         (1, 2),
-        vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(enc)])],
+        vec![MbSpec::with_services(
+            3,
+            RelayMode::Active,
+            vec![Box::new(enc)],
+        )],
     );
     let ftp = FtpWorkload::new(FtpDirection::Upload, TRANSFER);
     let app = platform.attach_volume_steered(
@@ -88,15 +110,27 @@ fn run_middlebox(testbed: &Testbed) -> Outcome {
     let mbps;
     {
         let client = cloud.client_mut(0, app);
-        let w = client.workload_ref().unwrap().downcast_ref::<FtpWorkload>().unwrap();
+        let w = client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<FtpWorkload>()
+            .unwrap();
         elapsed = w.elapsed().expect("transfer finished");
         mbps = w.throughput_mbps().unwrap();
     }
-    let vm_busy = cloud.net.host(cloud.computes[0].host).cpu.busy_for("vm:tenant");
+    let vm_busy = cloud
+        .net
+        .host(cloud.computes[0].host)
+        .cpu
+        .busy_for("vm:tenant");
     let mb_node = deployment.mb_nodes[0].node;
-    let mb_busy = cloud.net.host(mb_node).cpu.busy_for("mb")
-        + cloud.net.host(mb_node).cpu.busy_for("fwd");
-    let target_busy = cloud.net.host(cloud.storages[0].host).cpu.busy_for("target");
+    let mb_busy =
+        cloud.net.host(mb_node).cpu.busy_for("mb") + cloud.net.host(mb_node).cpu.busy_for("fwd");
+    let target_busy = cloud
+        .net
+        .host(cloud.storages[0].host)
+        .cpu
+        .busy_for("target");
     Outcome {
         mbps,
         vm_pct: pct(vm_busy, elapsed),
@@ -117,7 +151,10 @@ fn main() {
         "{:<24} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8}",
         "solution", "MB/s", "VM %", "MB-VM %", "target %", "total %"
     );
-    for (name, o) in [("performed by tenant VM", &tenant), ("performed by MB VM", &mb)] {
+    for (name, o) in [
+        ("performed by tenant VM", &tenant),
+        ("performed by MB VM", &mb),
+    ] {
         println!(
             "{:<24} | {:>9.1} | {:>8.1} | {:>8.1} | {:>8.1} | {:>8.1}",
             name,
@@ -128,8 +165,7 @@ fn main() {
             o.vm_pct + o.mb_pct + o.target_pct,
         );
     }
-    let saved = (tenant.vm_pct + tenant.target_pct)
-        - (mb.vm_pct + mb.mb_pct + mb.target_pct);
+    let saved = (tenant.vm_pct + tenant.target_pct) - (mb.vm_pct + mb.mb_pct + mb.target_pct);
     println!();
     println!(
         "total CPU saved by the middle-box solution: {saved:.1} points (paper: ~20% reduction)"

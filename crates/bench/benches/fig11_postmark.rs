@@ -28,14 +28,24 @@ struct Components {
 fn components(w: &TraceWorkload) -> Components {
     let secs = w.elapsed().expect("postmark finished").as_secs_f64();
     let rate = |c: OpClass| w.class_stats(c).ops.count() as f64 / secs;
-    let read_bytes: u64 = [OpClass::Read, OpClass::Append, OpClass::Create, OpClass::Delete]
-        .into_iter()
-        .map(|c| w.class_stats(c).bytes_read)
-        .sum();
-    let write_bytes: u64 = [OpClass::Read, OpClass::Append, OpClass::Create, OpClass::Delete]
-        .into_iter()
-        .map(|c| w.class_stats(c).bytes_written)
-        .sum();
+    let read_bytes: u64 = [
+        OpClass::Read,
+        OpClass::Append,
+        OpClass::Create,
+        OpClass::Delete,
+    ]
+    .into_iter()
+    .map(|c| w.class_stats(c).bytes_read)
+    .sum();
+    let write_bytes: u64 = [
+        OpClass::Read,
+        OpClass::Append,
+        OpClass::Create,
+        OpClass::Delete,
+    ]
+    .into_iter()
+    .map(|c| w.class_stats(c).bytes_written)
+    .sum();
     Components {
         read_ops: rate(OpClass::Read),
         append_ops: rate(OpClass::Append),
@@ -60,7 +70,11 @@ fn run(testbed: &Testbed, middlebox: bool) -> Components {
             &mut cloud,
             &vol,
             (1, 2),
-            vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(enc)])],
+            vec![MbSpec::with_services(
+                3,
+                RelayMode::Active,
+                vec![Box::new(enc)],
+            )],
         );
         platform.attach_volume_steered(
             &mut cloud,
@@ -73,14 +87,24 @@ fn run(testbed: &Testbed, middlebox: bool) -> Components {
             false,
         )
     } else {
-        let w = TraceWorkload::new(groups)
-            .with_vm_cipher(VM_CIPHER_PER_BYTE, VM_CIPHER_PER_ACCESS);
-        attach_over_path(&mut cloud, PathMode::Legacy, &vol, Box::new(w), testbed, false)
+        let w = TraceWorkload::new(groups).with_vm_cipher(VM_CIPHER_PER_BYTE, VM_CIPHER_PER_ACCESS);
+        attach_over_path(
+            &mut cloud,
+            PathMode::Legacy,
+            &vol,
+            Box::new(w),
+            testbed,
+            false,
+        )
     };
     cloud.net.run_until(SimTime::from_nanos(120_000_000_000));
     let client = cloud.client_mut(0, app);
     assert_eq!(client.stats.errors, 0);
-    let w = client.workload_ref().unwrap().downcast_ref::<TraceWorkload>().unwrap();
+    let w = client
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<TraceWorkload>()
+        .unwrap();
     assert!(w.is_finished(), "postmark must finish");
     components(w)
 }

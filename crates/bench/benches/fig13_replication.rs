@@ -49,15 +49,26 @@ fn build(replicated: bool) -> (Vec<u64>, f64, f64, usize) {
         let rep1 = cloud.create_volume(4 << 30, 1);
         let rep2 = cloud.create_volume(4 << 30, 2);
         let svc = ReplicationService::new(2, true);
-        let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), vec![MbSpec {
-            host_idx: 3,
-            mode: RelayMode::Active,
-            services: vec![Box::new(svc)],
-            replicas: vec![
-                ReplicaTarget { portal: rep1.portal, iqn: rep1.iqn.clone() },
-                ReplicaTarget { portal: rep2.portal, iqn: rep2.iqn.clone() },
-            ],
-        }]);
+        let deployment = platform.deploy_chain(
+            &mut cloud,
+            &vol,
+            (1, 2),
+            vec![MbSpec {
+                host_idx: 3,
+                mode: RelayMode::Active,
+                services: vec![Box::new(svc)],
+                replicas: vec![
+                    ReplicaTarget {
+                        portal: rep1.portal,
+                        iqn: rep1.iqn.clone(),
+                    },
+                    ReplicaTarget {
+                        portal: rep2.portal,
+                        iqn: rep2.iqn.clone(),
+                    },
+                ],
+            }],
+        );
         let app = platform.attach_volume_steered(
             &mut cloud,
             &deployment,
@@ -69,7 +80,9 @@ fn build(replicated: bool) -> (Vec<u64>, f64, f64, usize) {
             false,
         );
         // Fail replica 1's backing volume at the 60 s mark.
-        cloud.net.run_until(SimTime::from_nanos(FAIL_AT_SECS * 1_000_000_000));
+        cloud
+            .net
+            .run_until(SimTime::from_nanos(FAIL_AT_SECS * 1_000_000_000));
         rep1.shared.fail();
         (Some(deployment), app)
     } else {
@@ -84,10 +97,16 @@ fn build(replicated: bool) -> (Vec<u64>, f64, f64, usize) {
         );
         (None, app)
     };
-    cloud.net.run_until(SimTime::from_nanos((RUN_SECS + 10) * 1_000_000_000));
+    cloud
+        .net
+        .run_until(SimTime::from_nanos((RUN_SECS + 10) * 1_000_000_000));
     let client = cloud.client_mut(0, app);
     assert_eq!(client.stats.errors, 0, "MySQL must never see an I/O error");
-    let w = client.workload_ref().unwrap().downcast_ref::<OltpWorkload>().unwrap();
+    let w = client
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<OltpWorkload>()
+        .unwrap();
     let series = w.tps.series().to_vec();
     let before = w.mean_tps(10, FAIL_AT_SECS as usize);
     let after = w.mean_tps(FAIL_AT_SECS as usize + 5, RUN_SECS as usize);
@@ -121,7 +140,11 @@ fn main() {
     for t in (0..RUN_SECS as usize).step_by(5) {
         let tps3 = series3.get(t).copied().unwrap_or(0);
         let tps1 = series1.get(t).copied().unwrap_or(0);
-        let marker = if t == FAIL_AT_SECS as usize { "  <-- replica fails" } else { "" };
+        let marker = if t == FAIL_AT_SECS as usize {
+            "  <-- replica fails"
+        } else {
+            ""
+        };
         println!("{t:>4} | {tps3:>16} | {tps1:>15}{marker}");
     }
     println!();

@@ -142,8 +142,14 @@ fn bench_event_queue(c: &mut Criterion) {
 }
 
 fn bench_scsi_cdb(c: &mut Criterion) {
-    let cdb = Cdb::Write { lba: 123456, sectors: 128 }.to_bytes();
-    c.bench_function("cdb_parse", |b| b.iter(|| black_box(Cdb::parse(&cdb).unwrap())));
+    let cdb = Cdb::Write {
+        lba: 123456,
+        sectors: 128,
+    }
+    .to_bytes();
+    c.bench_function("cdb_parse", |b| {
+        b.iter(|| black_box(Cdb::parse(&cdb).unwrap()))
+    });
     let cmd = Pdu::ScsiCommand(ScsiCommand {
         immediate: false,
         final_pdu: true,
@@ -157,7 +163,9 @@ fn bench_scsi_cdb(c: &mut Criterion) {
         cdb,
         data: Bytes::new(),
     });
-    c.bench_function("scsi_command_encode", |b| b.iter(|| black_box(cmd.encode())));
+    c.bench_function("scsi_command_encode", |b| {
+        b.iter(|| black_box(cmd.encode()))
+    });
 }
 
 criterion_group!(

@@ -8,11 +8,11 @@
 //! (Table I).
 
 use storm_bench::{build_cloud, Testbed};
+use storm_block::{MemDisk, RecordingDevice};
 use storm_core::relay::ActiveRelayMb;
 use storm_core::{MbSpec, Reconstructor, RelayMode, StormPlatform};
-use storm_services::{MonitorConfig, MonitorService};
-use storm_block::{MemDisk, RecordingDevice};
 use storm_extfs::ExtFs;
+use storm_services::{MonitorConfig, MonitorService};
 use storm_sim::{SimDuration, SimTime};
 use storm_workloads::postmark::install_image;
 use storm_workloads::{OpClass, OpGroup, TraceWorkload};
@@ -30,7 +30,8 @@ fn main() {
         for i in 1..=10 {
             let p = format!("/name{d}/{i}.img");
             fs.create(&p).unwrap();
-            fs.write_file(&p, 0, &vec![(d * 10 + i) as u8; 4096]).unwrap();
+            fs.write_file(&p, 0, &vec![(d * 10 + i) as u8; 4096])
+                .unwrap();
         }
     }
     fs.sync().unwrap();
@@ -41,14 +42,23 @@ fn main() {
     println!("  1  write /mnt/box/name1/1.img 32768");
     println!("  2  read  /mnt/box/name9/7.img 4096");
     println!();
-    fs.write_file("/name1/1.img", 0, &vec![0xEE; 32768]).unwrap();
+    fs.write_file("/name1/1.img", 0, &vec![0xEE; 32768])
+        .unwrap();
     fs.sync().unwrap();
     let write_ops = fs.device_mut().take_log();
     let _ = fs.read_file_to_end("/name9/7.img").unwrap();
     let read_ops = fs.device_mut().take_log();
     let groups = vec![
-        OpGroup { class: OpClass::Append, label: "write name1/1.img".into(), accesses: write_ops },
-        OpGroup { class: OpClass::Read, label: "read name9/7.img".into(), accesses: read_ops },
+        OpGroup {
+            class: OpClass::Append,
+            label: "write name1/1.img".into(),
+            accesses: write_ops,
+        },
+        OpGroup {
+            class: OpClass::Read,
+            label: "read name9/7.img".into(),
+            accesses: read_ops,
+        },
     ];
     let mut image = fs.into_device().expect("unmount").into_inner();
 
@@ -59,14 +69,21 @@ fn main() {
     install_image(&mut image, &mut vol.shared.clone());
     let recon = Reconstructor::from_device(&mut vol.shared.clone(), "/mnt/box").unwrap();
     let monitor = MonitorService::new(
-        MonitorConfig { watch: vec!["/mnt/box/name9".into()], per_byte_cost: SimDuration::ZERO },
+        MonitorConfig {
+            watch: vec!["/mnt/box/name9".into()],
+            per_byte_cost: SimDuration::ZERO,
+        },
         recon,
     );
     let deployment = platform.deploy_chain(
         &mut cloud,
         &vol,
         (1, 2),
-        vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor)])],
+        vec![MbSpec::with_services(
+            3,
+            RelayMode::Active,
+            vec![Box::new(monitor)],
+        )],
     );
     let app = platform.attach_volume_steered(
         &mut cloud,
@@ -88,7 +105,11 @@ fn main() {
         .unwrap()
         .downcast_mut::<ActiveRelayMb>()
         .unwrap();
-    let monitor = relay.service(0).unwrap().downcast_ref::<MonitorService>().unwrap();
+    let monitor = relay
+        .service(0)
+        .unwrap()
+        .downcast_ref::<MonitorService>()
+        .unwrap();
     println!("Table I — access log reconstructed inside the monitoring middle-box:");
     println!("{:>4}  {:<8} {:<44} {:>8}", "ID", "op", "file", "size");
     for entry in monitor.analysis() {

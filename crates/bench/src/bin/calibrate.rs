@@ -4,7 +4,10 @@ use storm_bench::{fio_point, PathMode, Testbed};
 use storm_sim::SimDuration;
 
 fn main() {
-    let testbed = Testbed { duration: SimDuration::from_secs(3), ..Testbed::default() };
+    let testbed = Testbed {
+        duration: SimDuration::from_secs(3),
+        ..Testbed::default()
+    };
     println!("== Fig 4/7: LEGACY vs MB-FWD (1 thread) ==");
     println!("size | legacy iops | fwd iops | iops ratio (paper .93/.86/.83/.82) | lat ratio (paper 1.08/1.22/1.25/1.30)");
     for kb in [4, 16, 64, 256] {
@@ -34,7 +37,9 @@ fn main() {
             a.mean_latency_ms / f.mean_latency_ms
         );
     }
-    println!("== Fig 6/9: 16K, threads (paper act/fwd: 1.06/1.10/1.27/1.39; lat .95/.91/.79/.70) ==");
+    println!(
+        "== Fig 6/9: 16K, threads (paper act/fwd: 1.06/1.10/1.27/1.39; lat .95/.91/.79/.70) =="
+    );
     for threads in [4, 8, 16, 32] {
         let f = fio_point(PathMode::MbFwd, 16 * 1024, threads, &testbed);
         let p = fio_point(PathMode::MbPassiveRelay, 16 * 1024, threads, &testbed);

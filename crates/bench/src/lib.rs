@@ -150,7 +150,12 @@ pub fn attach_over_path(
 
 /// Runs one Fio point: `block_bytes` requests, `threads` outstanding,
 /// 50/50 random mix, over the given path.
-pub fn fio_point(mode: PathMode, block_bytes: usize, threads: usize, testbed: &Testbed) -> FioPoint {
+pub fn fio_point(
+    mode: PathMode,
+    block_bytes: usize,
+    threads: usize,
+    testbed: &Testbed,
+) -> FioPoint {
     let mut cloud = build_cloud(testbed.seed);
     let vol = cloud.create_volume(testbed.volume_bytes, 0);
     let job = FioJob::randrw(block_bytes, testbed.duration, vol.sectors).threads(threads);
@@ -171,7 +176,11 @@ pub fn fio_point(mode: PathMode, block_bytes: usize, threads: usize, testbed: &T
     let ops = client.stats.ops();
     let iops = ops as f64 / testbed.duration.as_secs_f64();
     let mean_latency_ms = client.stats.latency.mean().as_nanos() as f64 / 1e6;
-    FioPoint { ops, iops, mean_latency_ms }
+    FioPoint {
+        ops,
+        iops,
+        mean_latency_ms,
+    }
 }
 
 /// Formats a markdown-ish table row.

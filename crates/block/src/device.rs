@@ -25,12 +25,22 @@ pub enum BlockError {
     },
     /// The device has failed or been detached (fault injection).
     Unavailable,
+    /// A medium error at a specific sector (fault injection): the rest of
+    /// the device stays readable, like a real grown defect.
+    Medium {
+        /// First sector of the failed access.
+        lba: u64,
+    },
 }
 
 impl fmt::Display for BlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BlockError::OutOfRange { lba, sectors, capacity } => write!(
+            BlockError::OutOfRange {
+                lba,
+                sectors,
+                capacity,
+            } => write!(
                 f,
                 "access of {sectors} sectors at lba {lba} exceeds capacity {capacity}"
             ),
@@ -38,6 +48,7 @@ impl fmt::Display for BlockError {
                 write!(f, "buffer of {len} bytes is not sector aligned")
             }
             BlockError::Unavailable => write!(f, "device unavailable"),
+            BlockError::Medium { lba } => write!(f, "medium error at lba {lba}"),
         }
     }
 }
@@ -84,17 +95,17 @@ pub trait BlockDevice {
 }
 
 /// Validates an access and returns the sector count.
-pub(crate) fn check_access(
-    capacity: u64,
-    lba: u64,
-    len: usize,
-) -> Result<u64, BlockError> {
+pub(crate) fn check_access(capacity: u64, lba: u64, len: usize) -> Result<u64, BlockError> {
     if len == 0 || !len.is_multiple_of(SECTOR_SIZE) {
         return Err(BlockError::Misaligned { len });
     }
     let sectors = (len / SECTOR_SIZE) as u64;
     if lba.checked_add(sectors).is_none_or(|end| end > capacity) {
-        return Err(BlockError::OutOfRange { lba, sectors, capacity });
+        return Err(BlockError::OutOfRange {
+            lba,
+            sectors,
+            capacity,
+        });
     }
     Ok(sectors)
 }
@@ -141,15 +152,25 @@ mod tests {
 
     #[test]
     fn check_access_rejects_misaligned() {
-        assert_eq!(check_access(100, 0, 100), Err(BlockError::Misaligned { len: 100 }));
-        assert_eq!(check_access(100, 0, 0), Err(BlockError::Misaligned { len: 0 }));
+        assert_eq!(
+            check_access(100, 0, 100),
+            Err(BlockError::Misaligned { len: 100 })
+        );
+        assert_eq!(
+            check_access(100, 0, 0),
+            Err(BlockError::Misaligned { len: 0 })
+        );
     }
 
     #[test]
     fn check_access_rejects_out_of_range() {
         assert!(matches!(
             check_access(100, 93, 8 * 512),
-            Err(BlockError::OutOfRange { lba: 93, sectors: 8, capacity: 100 })
+            Err(BlockError::OutOfRange {
+                lba: 93,
+                sectors: 8,
+                capacity: 100
+            })
         ));
         // Overflow of lba + sectors must not wrap.
         assert!(matches!(
@@ -160,7 +181,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = BlockError::OutOfRange { lba: 5, sectors: 2, capacity: 6 };
+        let e = BlockError::OutOfRange {
+            lba: 5,
+            sectors: 2,
+            capacity: 6,
+        };
         assert!(e.to_string().contains("lba 5"));
         assert!(BlockError::Misaligned { len: 7 }.to_string().contains('7'));
         assert!(!BlockError::Unavailable.to_string().is_empty());

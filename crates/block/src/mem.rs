@@ -24,7 +24,11 @@ pub struct MemDisk {
 impl MemDisk {
     /// Creates a disk with the given capacity in sectors.
     pub fn new(num_sectors: u64) -> Self {
-        MemDisk { num_sectors, chunks: HashMap::new(), failed: false }
+        MemDisk {
+            num_sectors,
+            chunks: HashMap::new(),
+            failed: false,
+        }
     }
 
     /// Creates a disk with the given capacity in bytes (rounded down to a
@@ -67,7 +71,10 @@ impl MemDisk {
                 .chunks
                 .entry(chunk_idx)
                 .or_insert_with(|| vec![0u8; CHUNK_BYTES].into_boxed_slice());
-            f(&mut chunk[offset..offset + SECTOR_SIZE], i as usize * SECTOR_SIZE);
+            f(
+                &mut chunk[offset..offset + SECTOR_SIZE],
+                i as usize * SECTOR_SIZE,
+            );
         }
     }
 }
@@ -165,7 +172,10 @@ mod tests {
         d.write(0, &[7u8; SECTOR_SIZE]).unwrap();
         d.fail();
         assert!(d.is_failed());
-        assert_eq!(d.write(0, &[0u8; SECTOR_SIZE]), Err(BlockError::Unavailable));
+        assert_eq!(
+            d.write(0, &[0u8; SECTOR_SIZE]),
+            Err(BlockError::Unavailable)
+        );
         let mut buf = [0u8; SECTOR_SIZE];
         assert_eq!(d.read(0, &mut buf), Err(BlockError::Unavailable));
         assert_eq!(d.flush(), Err(BlockError::Unavailable));

@@ -49,12 +49,20 @@ pub struct RecordingDevice<D> {
 impl<D: BlockDevice> RecordingDevice<D> {
     /// Wraps `inner`, recording both reads and writes.
     pub fn new(inner: D) -> Self {
-        RecordingDevice { inner, log: Vec::new(), record_reads: true }
+        RecordingDevice {
+            inner,
+            log: Vec::new(),
+            record_reads: true,
+        }
     }
 
     /// Wraps `inner`, recording writes only.
     pub fn writes_only(inner: D) -> Self {
-        RecordingDevice { inner, log: Vec::new(), record_reads: false }
+        RecordingDevice {
+            inner,
+            log: Vec::new(),
+            record_reads: false,
+        }
     }
 
     /// The recorded access log, in issue order.

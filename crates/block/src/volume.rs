@@ -11,6 +11,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use storm_sim::{FaultAction, FaultHook, FaultSite, SimTime};
+
 use crate::device::{check_access, BlockDevice, BlockError, SECTOR_SIZE};
 use crate::MemDisk;
 
@@ -90,6 +92,7 @@ impl VolumeGroup {
             num_sectors: needed * EXTENT_SECTORS,
             backing: Arc::clone(&self.backing),
             failed: false,
+            fault: FaultHook::none(),
         })
     }
 
@@ -120,6 +123,7 @@ pub struct Volume {
     num_sectors: u64,
     backing: Arc<Mutex<MemDisk>>,
     failed: bool,
+    fault: FaultHook,
 }
 
 impl Volume {
@@ -137,6 +141,28 @@ impl Volume {
     /// Clears an injected failure.
     pub fn recover(&mut self) {
         self.failed = false;
+    }
+
+    /// Arms the volume's fault hook (site [`FaultSite::VolumeIo`]).
+    ///
+    /// The block layer has no simulation clock, so the hook is consulted
+    /// with [`SimTime::ZERO`]; only time-independent decisions (medium
+    /// errors) make sense here.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = hook;
+    }
+
+    fn check_fault(&self, lba: u64, write: bool) -> Result<(), BlockError> {
+        let site = FaultSite::VolumeIo {
+            volume: self.id.0,
+            lba,
+            write,
+        };
+        match self.fault.decide(SimTime::ZERO, site) {
+            FaultAction::Proceed | FaultAction::Delay(_) => Ok(()),
+            FaultAction::Fail => Err(BlockError::Medium { lba }),
+            FaultAction::Drop => Err(BlockError::Unavailable),
+        }
     }
 
     fn physical(&self, lba: u64) -> u64 {
@@ -169,6 +195,7 @@ impl BlockDevice for Volume {
         if self.failed {
             return Err(BlockError::Unavailable);
         }
+        self.check_fault(lba, false)?;
         let sectors = check_access(self.num_sectors, lba, buf.len())?;
         let mut disk = self.backing.lock();
         for (off, plba, run) in self.runs(lba, sectors) {
@@ -182,6 +209,7 @@ impl BlockDevice for Volume {
         if self.failed {
             return Err(BlockError::Unavailable);
         }
+        self.check_fault(lba, true)?;
         let sectors = check_access(self.num_sectors, lba, data.len())?;
         let mut disk = self.backing.lock();
         for (off, plba, run) in self.runs(lba, sectors) {
@@ -224,6 +252,11 @@ impl SharedVolume {
     pub fn recover(&self) {
         self.0.lock().recover();
     }
+
+    /// Arms the wrapped volume's fault hook.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        self.0.lock().set_fault_hook(hook);
+    }
 }
 
 impl BlockDevice for SharedVolume {
@@ -263,7 +296,9 @@ mod tests {
     #[test]
     fn io_across_extent_boundary() {
         let mut vg = VolumeGroup::new(64 << 20);
-        let mut v = vg.create_volume(2 * EXTENT_SECTORS * SECTOR_SIZE as u64).unwrap();
+        let mut v = vg
+            .create_volume(2 * EXTENT_SECTORS * SECTOR_SIZE as u64)
+            .unwrap();
         let data: Vec<u8> = (0..4 * SECTOR_SIZE).map(|i| (i % 13) as u8).collect();
         let lba = EXTENT_SECTORS - 2;
         v.write(lba, &data).unwrap();

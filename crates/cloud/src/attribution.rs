@@ -57,7 +57,12 @@ impl Cloud {
                     .app_mut(self.computes[r.host_idx].host, r.app)
                     .and_then(|a| a.downcast_ref::<crate::client::VolumeClient>())
                     .and_then(|c| c.tuple());
-                Attribution { vm_label: r.vm_label, volume: r.volume, iqn: r.iqn, tuple }
+                Attribution {
+                    vm_label: r.vm_label,
+                    volume: r.volume,
+                    iqn: r.iqn,
+                    tuple,
+                }
             })
             .collect()
     }

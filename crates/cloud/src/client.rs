@@ -247,7 +247,10 @@ impl VolumeClient {
             pending: HashMap::new(),
             next_req: 0,
             rng,
-            stats: ClientStats { timeline, ..ClientStats::default() },
+            stats: ClientStats {
+                timeline,
+                ..ClientStats::default()
+            },
             stopped: false,
             ready: false,
             tuple: None,
@@ -325,7 +328,8 @@ impl VolumeClient {
                 let _ = cx.charge(self.cfg.per_io_cpu, &self.cfg.vm_label);
                 let bytes = data.len();
                 let tag = self.ini.write(lba, data);
-                self.pending.insert(tag, (req, IoKind::Write, cx.now(), bytes));
+                self.pending
+                    .insert(tag, (req, IoKind::Write, cx.now(), bytes));
             }
             IoCmd::Flush { req } => {
                 if !self.ready {
@@ -416,7 +420,11 @@ impl App for VolumeClient {
                                 io,
                                 req,
                                 kind,
-                                IoResult { ok, data: Bytes::new(), latency },
+                                IoResult {
+                                    ok,
+                                    data: Bytes::new(),
+                                    latency,
+                                },
                             )
                         });
                     }

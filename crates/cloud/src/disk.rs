@@ -152,14 +152,22 @@ mod tests {
         let t1 = d.serve_read(at(0), 0, 4096);
         // Second read of the same block hits the cache.
         let t2 = d.serve_read(t1, 0, 4096);
-        assert!(t2 - t1 < t1 - at(0), "hit {:?} vs miss {:?}", t2 - t1, t1 - at(0));
+        assert!(
+            t2 - t1 < t1 - at(0),
+            "hit {:?} vs miss {:?}",
+            t2 - t1,
+            t1 - at(0)
+        );
         let (hits, misses) = d.cache_stats();
         assert_eq!((hits, misses), (1, 1));
     }
 
     #[test]
     fn requests_queue_fifo() {
-        let mut d = DiskModel::new(DiskSpec { cache_blocks: 0, ..DiskSpec::default() });
+        let mut d = DiskModel::new(DiskSpec {
+            cache_blocks: 0,
+            ..DiskSpec::default()
+        });
         let t1 = d.serve_read(at(0), 0, 4096);
         let t2 = d.serve_read(at(0), 1 << 20, 4096);
         assert!(t2 > t1);
@@ -168,8 +176,14 @@ mod tests {
 
     #[test]
     fn write_back_is_cheaper_than_write_through() {
-        let mut wb = DiskModel::new(DiskSpec { write_back: true, ..DiskSpec::default() });
-        let mut wt = DiskModel::new(DiskSpec { write_back: false, ..DiskSpec::default() });
+        let mut wb = DiskModel::new(DiskSpec {
+            write_back: true,
+            ..DiskSpec::default()
+        });
+        let mut wt = DiskModel::new(DiskSpec {
+            write_back: false,
+            ..DiskSpec::default()
+        });
         let t_wb = wb.serve_write(at(0), 0, 65536);
         let t_wt = wt.serve_write(at(0), 0, 65536);
         assert!(t_wb < t_wt);
@@ -177,7 +191,10 @@ mod tests {
 
     #[test]
     fn cache_evicts_at_capacity() {
-        let mut d = DiskModel::new(DiskSpec { cache_blocks: 4, ..DiskSpec::default() });
+        let mut d = DiskModel::new(DiskSpec {
+            cache_blocks: 4,
+            ..DiskSpec::default()
+        });
         for i in 0..8u64 {
             d.serve_read(at(i), i * 8, 4096);
         }

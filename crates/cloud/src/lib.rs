@@ -30,7 +30,9 @@ mod target;
 mod topology;
 
 pub use attribution::Attribution;
-pub use client::{ClientStats, IoCtx, IoKind, IoResult, ReqId, VolumeClient, VolumeClientConfig, Workload};
+pub use client::{
+    ClientStats, IoCtx, IoKind, IoResult, ReqId, VolumeClient, VolumeClientConfig, Workload,
+};
 pub use disk::{DiskModel, DiskSpec};
 pub use target::{TargetHostApp, TargetHostConfig};
 pub use topology::{Cloud, CloudConfig, ComputeHost, GuestVm, StorageHost, VolumeHandle};

@@ -110,7 +110,10 @@ pub fn install_reverse(net: &mut Network, chain: &ChainSpec) {
 
 fn install_rules(net: &mut Network, priority: u16, rules: Vec<(SwitchId, FlowMatch, MacAddr)>) {
     for (ovs, m, next) in rules {
-        net.fabric.switch_mut(ovs).flows_mut().install(steering_rule(priority, m, next));
+        net.fabric
+            .switch_mut(ovs)
+            .flows_mut()
+            .install(steering_rule(priority, m, next));
     }
 }
 
@@ -118,7 +121,11 @@ fn install_rules(net: &mut Network, priority: u16, rules: Vec<(SwitchId, FlowMat
 /// shorter path (dynamic middle-box removal).
 pub fn remove_chain(net: &mut Network, chain: &ChainSpec) -> usize {
     let mut removed = 0;
-    for (ovs, m, _) in chain.forward_rules().into_iter().chain(chain.reverse_rules()) {
+    for (ovs, m, _) in chain
+        .forward_rules()
+        .into_iter()
+        .chain(chain.reverse_rules())
+    {
         removed += net.fabric.switch_mut(ovs).flows_mut().remove(&m);
     }
     removed
@@ -142,7 +149,10 @@ mod tests {
             egress_mac: MacAddr::nth(2),
             egress_ovs,
             hops: (0..hops)
-                .map(|i| ChainHop { mac: MacAddr::nth(10 + i as u64), ovs: mb_ovs })
+                .map(|i| ChainHop {
+                    mac: MacAddr::nth(10 + i as u64),
+                    ovs: mb_ovs,
+                })
                 .collect(),
             priority: 100,
         };
@@ -174,7 +184,9 @@ mod tests {
         assert_eq!(rules[2].2, spec.hops[2].mac);
         // All match the VM's port and the egress MAC.
         assert!(rules.iter().all(|(_, m, _)| m.src_port == Some(5)));
-        assert!(rules.iter().all(|(_, m, _)| m.dst_mac == Some(spec.egress_mac)));
+        assert!(rules
+            .iter()
+            .all(|(_, m, _)| m.dst_mac == Some(spec.egress_mac)));
     }
 
     #[test]
@@ -182,7 +194,10 @@ mod tests {
         let (_net, spec) = chain(2, Some(7));
         let rules = spec.reverse_rules();
         assert_eq!(rules[0].1.src_mac, Some(spec.egress_mac));
-        assert_eq!(rules[0].2, spec.hops[1].mac, "reverse hits the last MB first");
+        assert_eq!(
+            rules[0].2, spec.hops[1].mac,
+            "reverse hits the last MB first"
+        );
         assert_eq!(rules[1].2, spec.hops[0].mac);
         assert!(rules.iter().all(|(_, m, _)| m.src_port == Some(3260)));
         assert!(rules.iter().all(|(_, m, _)| m.dst_port == Some(7)));

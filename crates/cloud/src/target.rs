@@ -15,7 +15,7 @@ use storm_iscsi::{
     Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, ISCSI_PORT,
 };
 use storm_net::{App, CloseReason, Cx, FourTuple, SendQueue, SockId};
-use storm_sim::SimDuration;
+use storm_sim::{FaultAction, FaultHook, FaultSite, SimDuration};
 
 use crate::disk::{DiskModel, DiskSpec};
 
@@ -55,9 +55,20 @@ struct Session {
 
 #[derive(Debug)]
 enum PendingDisk {
-    Read { sock: SockId, itt: u32, lba: u64, sectors: u32 },
-    Write { sock: SockId, itt: u32 },
-    Flush { sock: SockId, itt: u32 },
+    Read {
+        sock: SockId,
+        itt: u32,
+        lba: u64,
+        sectors: u32,
+    },
+    Write {
+        sock: SockId,
+        itt: u32,
+    },
+    Flush {
+        sock: SockId,
+        itt: u32,
+    },
 }
 
 /// The target application; add one per storage host with
@@ -72,6 +83,8 @@ pub struct TargetHostApp {
     next_token: u64,
     /// Completed (initiator IQN, 4-tuple) pairs for attribution queries.
     logins: Vec<(Iqn, FourTuple)>,
+    fault: FaultHook,
+    fault_host: u32,
 }
 
 impl TargetHostApp {
@@ -86,7 +99,16 @@ impl TargetHostApp {
             pending: HashMap::new(),
             next_token: 1,
             logins: Vec::new(),
+            fault: FaultHook::none(),
+            fault_host: 0,
         }
+    }
+
+    /// Arms this target's fault hook; `host` identifies this storage host
+    /// in [`FaultSite::DiskServe`] / [`FaultSite::TargetRespond`] sites.
+    pub fn set_fault_hook(&mut self, hook: FaultHook, host: u32) {
+        self.fault = hook;
+        self.fault_host = host;
     }
 
     /// Exports `volume` under `iqn`.
@@ -121,6 +143,17 @@ impl TargetHostApp {
         t
     }
 
+    /// Fault verdict for a disk access starting now.
+    fn disk_verdict(&self, now: storm_sim::SimTime, write: bool) -> FaultAction {
+        self.fault.decide(
+            now,
+            FaultSite::DiskServe {
+                host: self.fault_host,
+                write,
+            },
+        )
+    }
+
     fn handle_events(&mut self, cx: &mut Cx<'_>, sock: SockId, events: Vec<TargetEvent>) {
         for ev in events {
             match ev {
@@ -144,9 +177,33 @@ impl TargetHostApp {
                         self.cfg.per_io_cpu + self.cfg.per_byte_cpu * (sectors as u64 * 512),
                         "target",
                     );
-                    let done = self.disk.serve_read(now, lba, sectors as usize * 512);
+                    let extra = match self.disk_verdict(now, false) {
+                        FaultAction::Proceed => SimDuration::ZERO,
+                        FaultAction::Delay(d) => d,
+                        // The request vanishes: an unresponsive target.
+                        FaultAction::Drop => continue,
+                        FaultAction::Fail => {
+                            if let Some(sess) = self.sessions.get_mut(&sock) {
+                                sess.conn.complete_read(
+                                    itt,
+                                    Bytes::new(),
+                                    ScsiStatus::CheckCondition,
+                                );
+                            }
+                            continue;
+                        }
+                    };
+                    let done = self.disk.serve_read(now, lba, sectors as usize * 512) + extra;
                     let token = self.token();
-                    self.pending.insert(token, PendingDisk::Read { sock, itt, lba, sectors });
+                    self.pending.insert(
+                        token,
+                        PendingDisk::Read {
+                            sock,
+                            itt,
+                            lba,
+                            sectors,
+                        },
+                    );
                     cx.set_timer(done - now, token);
                 }
                 TargetEvent::WriteReady { itt, lba, data } => {
@@ -167,8 +224,18 @@ impl TargetHostApp {
                             None => ScsiStatus::CheckCondition,
                         }
                     };
+                    let mut extra = SimDuration::ZERO;
+                    let status = match self.disk_verdict(now, true) {
+                        FaultAction::Proceed => status,
+                        FaultAction::Delay(d) => {
+                            extra = d;
+                            status
+                        }
+                        FaultAction::Drop => continue,
+                        FaultAction::Fail => ScsiStatus::CheckCondition,
+                    };
                     if status == ScsiStatus::Good {
-                        let done = self.disk.serve_write(now, lba, data.len());
+                        let done = self.disk.serve_write(now, lba, data.len()) + extra;
                         let token = self.token();
                         self.pending.insert(token, PendingDisk::Write { sock, itt });
                         cx.set_timer(done - now, token);
@@ -180,7 +247,18 @@ impl TargetHostApp {
                 }
                 TargetEvent::FlushReady { itt } => {
                     let now = cx.now();
-                    let done = self.disk.serve_flush(now);
+                    let extra = match self.disk_verdict(now, true) {
+                        FaultAction::Proceed => SimDuration::ZERO,
+                        FaultAction::Delay(d) => d,
+                        FaultAction::Drop => continue,
+                        FaultAction::Fail => {
+                            if let Some(sess) = self.sessions.get_mut(&sock) {
+                                sess.conn.complete_flush(itt, ScsiStatus::CheckCondition);
+                            }
+                            continue;
+                        }
+                    };
+                    let done = self.disk.serve_flush(now) + extra;
                     let token = self.token();
                     self.pending.insert(token, PendingDisk::Flush { sock, itt });
                     cx.set_timer(done - now, token);
@@ -222,13 +300,16 @@ impl App for TargetHostApp {
             num_sectors: 0,
             tsih: 1,
         });
-        self.sessions.insert(sock, Session {
-            conn,
-            volume: None,
-            sendq: SendQueue::new(),
-            initiator: None,
-            tuple: None,
-        });
+        self.sessions.insert(
+            sock,
+            Session {
+                conn,
+                volume: None,
+                sendq: SendQueue::new(),
+                initiator: None,
+                tuple: None,
+            },
+        );
     }
 
     fn on_data(&mut self, cx: &mut Cx<'_>, sock: SockId, data: Bytes) {
@@ -269,16 +350,44 @@ impl App for TargetHostApp {
         let Some(pending) = self.pending.remove(&token) else {
             return;
         };
+        // Fault injection on the response path: a muted target swallows
+        // the completion (the initiator sees an unresponsive replica).
+        let mut force_error = false;
+        match self.fault.decide(
+            cx.now(),
+            FaultSite::TargetRespond {
+                host: self.fault_host,
+            },
+        ) {
+            FaultAction::Proceed => {}
+            FaultAction::Drop => return,
+            FaultAction::Delay(d) => {
+                let t = self.token();
+                self.pending.insert(t, pending);
+                cx.set_timer(d, t);
+                return;
+            }
+            FaultAction::Fail => force_error = true,
+        }
         match pending {
-            PendingDisk::Read { sock, itt, lba, sectors } => {
+            PendingDisk::Read {
+                sock,
+                itt,
+                lba,
+                sectors,
+            } => {
                 if let Some(sess) = self.sessions.get_mut(&sock) {
                     let mut buf = vec![0u8; sectors as usize * 512];
-                    let status = match &mut sess.volume {
-                        Some(vol) => match vol.read(lba, &mut buf) {
-                            Ok(()) => ScsiStatus::Good,
-                            Err(_) => ScsiStatus::CheckCondition,
-                        },
-                        None => ScsiStatus::CheckCondition,
+                    let status = if force_error {
+                        ScsiStatus::CheckCondition
+                    } else {
+                        match &mut sess.volume {
+                            Some(vol) => match vol.read(lba, &mut buf) {
+                                Ok(()) => ScsiStatus::Good,
+                                Err(_) => ScsiStatus::CheckCondition,
+                            },
+                            None => ScsiStatus::CheckCondition,
+                        }
                     };
                     sess.conn.complete_read(itt, Bytes::from(buf), status);
                     let out = sess.conn.take_output();
@@ -287,19 +396,28 @@ impl App for TargetHostApp {
             }
             PendingDisk::Write { sock, itt } => {
                 if let Some(sess) = self.sessions.get_mut(&sock) {
-                    sess.conn.complete_write(itt, ScsiStatus::Good);
+                    let status = if force_error {
+                        ScsiStatus::CheckCondition
+                    } else {
+                        ScsiStatus::Good
+                    };
+                    sess.conn.complete_write(itt, status);
                     let out = sess.conn.take_output();
                     sess.sendq.send(cx, sock, &out);
                 }
             }
             PendingDisk::Flush { sock, itt } => {
                 if let Some(sess) = self.sessions.get_mut(&sock) {
-                    let status = match &mut sess.volume {
-                        Some(vol) => match vol.flush() {
-                            Ok(()) => ScsiStatus::Good,
-                            Err(_) => ScsiStatus::CheckCondition,
-                        },
-                        None => ScsiStatus::CheckCondition,
+                    let status = if force_error {
+                        ScsiStatus::CheckCondition
+                    } else {
+                        match &mut sess.volume {
+                            Some(vol) => match vol.flush() {
+                                Ok(()) => ScsiStatus::Good,
+                                Err(_) => ScsiStatus::CheckCondition,
+                            },
+                            None => ScsiStatus::CheckCondition,
+                        }
                     };
                     sess.conn.complete_flush(itt, status);
                     let out = sess.conn.take_output();

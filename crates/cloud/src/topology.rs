@@ -4,9 +4,7 @@ use std::net::Ipv4Addr;
 
 use storm_block::{SharedVolume, VolumeGroup, VolumeId};
 use storm_iscsi::{InitiatorConfig, Iqn, SessionParams, ISCSI_PORT};
-use storm_net::{
-    AppId, HostId, IfaceId, LinkSpec, MacAddr, Network, PortNo, SockAddr, SwitchId,
-};
+use storm_net::{AppId, HostId, IfaceId, LinkSpec, MacAddr, Network, PortNo, SockAddr, SwitchId};
 use storm_sim::SimDuration;
 
 use crate::client::{VolumeClient, VolumeClientConfig, Workload};
@@ -187,7 +185,11 @@ impl Cloud {
             let iface = net.add_iface_with(host, storage_ip, 16);
             net.link_host_switch(host, iface, storage_sw, cfg.phys_link);
             let app = net.add_app(host, Box::new(TargetHostApp::new(cfg.target.clone())));
-            storages.push(StorageHost { host, storage_ip, app });
+            storages.push(StorageHost {
+                host,
+                storage_ip,
+                app,
+            });
             vgs.push(VolumeGroup::new(cfg.backing_bytes));
         }
         Cloud {
@@ -215,7 +217,9 @@ impl Cloud {
     /// Panics if the volume group is exhausted or the host index is out of
     /// range (configuration errors in experiment setup).
     pub fn create_volume(&mut self, bytes: u64, on_host: usize) -> VolumeHandle {
-        let vol = self.vgs[on_host].create_volume(bytes).expect("volume group exhausted");
+        let vol = self.vgs[on_host]
+            .create_volume(bytes)
+            .expect("volume group exhausted");
         let id = vol.id();
         let iqn = Iqn::for_volume(id.0);
         let shared = SharedVolume::new(vol);
@@ -233,7 +237,14 @@ impl Cloud {
             .downcast_mut::<TargetHostApp>()
             .expect("target app type")
             .register_volume(iqn.clone(), shared.clone());
-        VolumeHandle { id, iqn, storage_host: on_host, portal, shared, sectors }
+        VolumeHandle {
+            id,
+            iqn,
+            storage_host: on_host,
+            portal,
+            shared,
+            sectors,
+        }
     }
 
     /// Attaches `volume` to a VM on compute host `host_idx`, running
@@ -251,13 +262,22 @@ impl Cloud {
             initiator_iqn: Iqn::for_host(&format!("compute{host_idx}-{vm_label}")),
             target_iqn: volume.iqn.clone(),
             params: SessionParams::default(),
-            isid: [0x80, 0, 0, (host_idx + 1) as u8, 0, (volume.id.0 % 256) as u8],
+            isid: [
+                0x80,
+                0,
+                0,
+                (host_idx + 1) as u8,
+                0,
+                (volume.id.0 % 256) as u8,
+            ],
         };
         let mut cfg = VolumeClientConfig::new(volume.portal, initiator, vm_label);
         cfg.seed = seed;
         cfg.timeline = timeline;
         let host = self.computes[host_idx].host;
-        let app = self.net.add_app(host, Box::new(VolumeClient::new(cfg, workload)));
+        let app = self
+            .net
+            .add_app(host, Box::new(VolumeClient::new(cfg, workload)));
         self.attachments.push(crate::attribution::AttachRecord {
             host_idx,
             app,
@@ -315,7 +335,11 @@ impl Cloud {
         let instance_ip = Ipv4Addr::new(192, 168, tenant as u8, 10 + (n % 200) as u8);
         let iface = self.net.add_iface_with(node, instance_ip, 24);
         let ovs = self.computes[host_idx].ovs;
-        let spec = if is_namespace { self.cfg.veth_link } else { self.cfg.virtio_link };
+        let spec = if is_namespace {
+            self.cfg.veth_link
+        } else {
+            self.cfg.virtio_link
+        };
         let link = self.net.link_host_switch(node, iface, ovs, spec);
         let ovs_port = match self.net.fabric.link(link).ends()[1] {
             storm_net::Endpoint::Switch { port, .. } => port,
@@ -326,16 +350,27 @@ impl Cloud {
         // steered frames reach this guest without flooding.
         self.net.fabric.switch_mut(ovs).set_tenant(ovs_port, tenant);
         let uplink = self.computes[host_idx].uplink_port;
-        self.net.fabric.switch_mut(self.instance_sw).learn(mac, uplink);
+        self.net
+            .fabric
+            .switch_mut(self.instance_sw)
+            .learn(mac, uplink);
         let storage_ip = if storage_leg {
             let ip = Ipv4Addr::new(10, 1, 2, 10 + (n % 200) as u8);
             let siface = self.net.add_iface_with(node, ip, 16);
-            self.net.link_host_switch(node, siface, self.storage_sw, self.cfg.veth_link);
+            self.net
+                .link_host_switch(node, siface, self.storage_sw, self.cfg.veth_link);
             Some(ip)
         } else {
             None
         };
-        GuestVm { node, host_idx, instance_ip, mac, storage_ip, ovs_port }
+        GuestVm {
+            node,
+            host_idx,
+            instance_ip,
+            mac,
+            storage_ip,
+            ovs_port,
+        }
     }
 
     /// Records of every attachment (the attribution registry's input).
@@ -382,17 +417,17 @@ mod tests {
             0,
             "vm:smoke",
             &vol,
-            Box::new(SmokeWorkload { verified: false, wrote: None }),
+            Box::new(SmokeWorkload {
+                verified: false,
+                wrote: None,
+            }),
             7,
             false,
         );
         cloud.net.run_until(SimTime::from_nanos(2_000_000_000));
         let client = cloud.client_mut(0, app);
         assert!(client.is_ready(), "login should complete");
-        let verified = client
-            .workload_ref()
-            .map(|_| ())
-            .is_some();
+        let verified = client.workload_ref().map(|_| ()).is_some();
         assert!(verified);
         assert_eq!(client.stats.reads.count(), 1);
         assert_eq!(client.stats.writes.count(), 1);

@@ -37,7 +37,9 @@ pub mod splice;
 
 pub use platform::{ChainDeployment, MbSpec, RelayMode, StormPlatform};
 pub use policy::{ServiceSpec, TenantPolicy, VolumePolicy};
-pub use relay::{ActiveRelayConfig, ActiveRelayMb, PassiveTap, PassiveTapConfig};
+pub use relay::{
+    ActiveRelayConfig, ActiveRelayMb, MbControl, PassiveTap, PassiveTapConfig, RetryPolicy,
+};
 pub use semantics::{FsAccess, FsOp, FsTargetKind, Reconstructor};
 pub use service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};
 pub use splice::GatewayPair;

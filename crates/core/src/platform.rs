@@ -44,7 +44,12 @@ pub struct MbSpec {
 impl MbSpec {
     /// A middle-box with no services (baseline measurement).
     pub fn bare(host_idx: usize, mode: RelayMode) -> Self {
-        MbSpec { host_idx, mode, services: Vec::new(), replicas: Vec::new() }
+        MbSpec {
+            host_idx,
+            mode,
+            services: Vec::new(),
+            replicas: Vec::new(),
+        }
     }
 
     /// A middle-box with services.
@@ -53,7 +58,12 @@ impl MbSpec {
         mode: RelayMode,
         services: Vec<Box<dyn StorageService>>,
     ) -> Self {
-        MbSpec { host_idx, mode, services, replicas: Vec::new() }
+        MbSpec {
+            host_idx,
+            mode,
+            services,
+            replicas: Vec::new(),
+        }
     }
 }
 
@@ -170,7 +180,10 @@ impl StormPlatform {
                     );
                     cloud.net.set_tap(
                         guest.node,
-                        Some(TapConfig { app, per_packet: self.tap_cost }),
+                        Some(TapConfig {
+                            app,
+                            per_packet: self.tap_cost,
+                        }),
                     );
                     Some(app)
                 }
@@ -192,12 +205,15 @@ impl StormPlatform {
                         .net
                         .add_app(guest.node, Box::new(ActiveRelayMb::new(cfg, spec.services)));
                     // Redirect the steered flow to the pseudo-server.
-                    cloud.net.add_dnat(guest.node, DnatRule {
-                        match_dst_ip: egress_portal.ip,
-                        match_dst_port: Some(egress_portal.port),
-                        match_src_ip: None,
-                        to: SockAddr::new(guest.instance_ip, listen_port),
-                    });
+                    cloud.net.add_dnat(
+                        guest.node,
+                        DnatRule {
+                            match_dst_ip: egress_portal.ip,
+                            match_dst_port: Some(egress_portal.port),
+                            match_src_ip: None,
+                            to: SockAddr::new(guest.instance_ip, listen_port),
+                        },
+                    );
                     Some(app)
                 }
             };
@@ -209,7 +225,10 @@ impl StormPlatform {
         // Forward chain: all middle-boxes, ingress gw -> ... -> egress gw.
         let hops: Vec<ChainHop> = mb_nodes
             .iter()
-            .map(|g| ChainHop { mac: g.mac, ovs: cloud.computes[g.host_idx].ovs })
+            .map(|g| ChainHop {
+                mac: g.mac,
+                ovs: cloud.computes[g.host_idx].ovs,
+            })
             .collect();
         let forward_chain = ChainSpec {
             vm_port: None,
@@ -295,8 +314,11 @@ impl StormPlatform {
         seed: u64,
         timeline: bool,
     ) -> AppId {
-        let rule = splice::steering_rule_for(cloud, compute_idx, &deployment.gateways, volume.portal);
-        cloud.net.add_steer_rule(cloud.computes[compute_idx].host, rule);
+        let rule =
+            splice::steering_rule_for(cloud, compute_idx, &deployment.gateways, volume.portal);
+        cloud
+            .net
+            .add_steer_rule(cloud.computes[compute_idx].host, rule);
         let app = cloud.attach_volume(compute_idx, vm_label, volume, workload, seed, timeline);
         // Atomic attachment window: wait for login, then drop the rule.
         let deadline = cloud.net.now() + SimDuration::from_secs(5);

@@ -152,14 +152,18 @@ impl TenantPolicy {
             }
             for s in &v.services {
                 if !KNOWN_KINDS.contains(&s.kind.as_str()) {
-                    return Err(PolicyError::UnknownKind { kind: s.kind.clone() });
+                    return Err(PolicyError::UnknownKind {
+                        kind: s.kind.clone(),
+                    });
                 }
                 // Monitoring and replication must see whole PDUs; only
                 // stream transforms fit the passive path.
                 if s.mode == RelayModeSpec::Passive
                     && (s.kind == "monitor" || s.kind == "replication")
                 {
-                    return Err(PolicyError::PassiveBuffering { kind: s.kind.clone() });
+                    return Err(PolicyError::PassiveBuffering {
+                        kind: s.kind.clone(),
+                    });
                 }
             }
         }
@@ -208,7 +212,10 @@ mod tests {
     fn passive_monitor_rejected() {
         let mut p = sample();
         p.volumes[0].services[0].mode = RelayModeSpec::Passive;
-        assert!(matches!(p.validate(), Err(PolicyError::PassiveBuffering { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(PolicyError::PassiveBuffering { .. })
+        ));
         // Passive encryption (stream cipher) is fine.
         let mut p2 = sample();
         p2.volumes[0].services[1].mode = RelayModeSpec::Passive;

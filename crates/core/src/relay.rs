@@ -19,5 +19,5 @@
 mod active;
 mod passive;
 
-pub use active::{ActiveRelayConfig, ActiveRelayMb, ReplicaTarget};
+pub use active::{ActiveRelayConfig, ActiveRelayMb, MbControl, ReplicaTarget, RetryPolicy};
 pub use passive::{PassiveTap, PassiveTapConfig, WireTracker};

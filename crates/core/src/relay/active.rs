@@ -4,10 +4,12 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use storm_iscsi::{Initiator, InitiatorConfig, InitiatorEvent, Iqn, IoTag, Pdu, PduStream,
-    ScsiStatus, SessionParams};
-use storm_net::{App, CloseReason, Cx, SendQueue, SockAddr, SockId};
-use storm_sim::{SerialResource, SimDuration, SimTime};
+use storm_iscsi::{
+    Initiator, InitiatorConfig, InitiatorEvent, IoTag, Iqn, Pdu, PduStream, ScsiStatus,
+    SessionParams,
+};
+use storm_net::{App, BusMsg, CloseReason, Cx, HostId, SendQueue, SockAddr, SockId};
+use storm_sim::{FaultAction, FaultHook, FaultSite, SerialResource, SimDuration, SimTime};
 
 use crate::service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};
 
@@ -19,6 +21,55 @@ pub struct ReplicaTarget {
     pub portal: SockAddr,
     /// The replica volume's IQN.
     pub iqn: Iqn,
+}
+
+/// Watchdog policy for replica I/O: a request that produces no response
+/// within `timeout` is retried with bounded exponential backoff; a replica
+/// that times out `fail_threshold` times in a row is declared unresponsive
+/// and failed over (the paper's "once a replica is not responsive ... it
+/// will be eliminated from future operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Time allowed for one replica request to complete.
+    pub timeout: SimDuration,
+    /// Re-issues per request before the request is failed to its service.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: SimDuration,
+    /// Consecutive timeouts after which the whole replica is failed.
+    pub fail_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_millis(500),
+            max_retries: 2,
+            backoff_base: SimDuration::from_millis(10),
+            backoff_cap: SimDuration::from_millis(200),
+            fail_threshold: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based), capped.
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let d = self.backoff_base * (1u64 << exp);
+        d.min(self.backoff_cap)
+    }
+}
+
+/// Control messages a fault driver delivers over the hypervisor bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbControl {
+    /// Crash the middle-box VM: every flow and replica session is cut.
+    Crash,
+    /// Boot the middle-box back up; replica sessions reconnect.
+    Restart,
 }
 
 /// Active relay configuration.
@@ -41,6 +92,8 @@ pub struct ActiveRelayConfig {
     pub replicas: Vec<ReplicaTarget>,
     /// Initiator identity for replica sessions.
     pub initiator_iqn: Iqn,
+    /// Replica I/O watchdog; `None` disables timeouts entirely.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ActiveRelayConfig {
@@ -54,6 +107,7 @@ impl ActiveRelayConfig {
             label: "mb".into(),
             replicas: Vec::new(),
             initiator_iqn: Iqn::for_host("middlebox"),
+            retry: Some(RetryPolicy::default()),
         }
     }
 }
@@ -78,14 +132,25 @@ struct FlowPair {
     closed: bool,
 }
 
+/// One in-flight replica request: the owning service, its completion
+/// context, the request itself (kept for retries) and the attempt count.
+struct PendingIo {
+    svc: usize,
+    ctx: u64,
+    io: ReplicaIo,
+    attempts: u32,
+}
+
 struct ReplicaSession {
     ini: Initiator,
     sock: Option<SockId>,
     sendq: SendQueue,
-    pending: HashMap<IoTag, (usize, u64)>,
+    pending: HashMap<IoTag, PendingIo>,
     deferred: Vec<(usize, ReplicaIo, u64)>,
     up: bool,
     failed: bool,
+    /// Consecutive request timeouts (reset by any completion).
+    timeouts: u32,
 }
 
 enum Deferred {
@@ -109,9 +174,16 @@ pub struct ActiveRelayMb {
     replica_socks: HashMap<SockId, usize>,
     deferred: HashMap<u64, Deferred>,
     svc_timers: HashMap<u64, (usize, u64)>,
+    /// Watchdog token -> the replica request it guards.
+    watchdogs: HashMap<u64, (usize, IoTag)>,
+    /// Backoff token -> the request to re-issue when it fires.
+    retries: HashMap<u64, (usize, PendingIo)>,
     next_token: u64,
     alerts: Vec<(SimTime, String)>,
     pdus_forwarded: u64,
+    crashed: bool,
+    fault: FaultHook,
+    fault_mb: u32,
 }
 
 impl ActiveRelayMb {
@@ -127,10 +199,27 @@ impl ActiveRelayMb {
             replica_socks: HashMap::new(),
             deferred: HashMap::new(),
             svc_timers: HashMap::new(),
+            watchdogs: HashMap::new(),
+            retries: HashMap::new(),
             next_token: 1,
             alerts: Vec::new(),
             pdus_forwarded: 0,
+            crashed: false,
+            fault: FaultHook::none(),
+            fault_mb: 0,
         }
+    }
+
+    /// Arms this middle-box's fault hook; `mb` identifies it in
+    /// [`FaultSite::MbProcess`] sites.
+    pub fn set_fault_hook(&mut self, hook: FaultHook, mb: u32) {
+        self.fault = hook;
+        self.fault_mb = mb;
+    }
+
+    /// Whether the middle-box is currently crashed (fault injection).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Alerts raised by services, with timestamps.
@@ -168,8 +257,13 @@ impl ActiveRelayMb {
         now: SimTime,
         dir: Dir,
         pdu: Pdu,
-    ) -> (Vec<Pdu>, Vec<Pdu>, Vec<(usize, usize, ReplicaIo, u64)>, SimDuration, Vec<(usize, SimDuration, u64)>)
-    {
+    ) -> (
+        Vec<Pdu>,
+        Vec<Pdu>,
+        Vec<(usize, usize, ReplicaIo, u64)>,
+        SimDuration,
+        Vec<(usize, SimDuration, u64)>,
+    ) {
         let order: Vec<usize> = match dir {
             Dir::ToTarget => (0..self.services.len()).collect(),
             Dir::ToInitiator => (0..self.services.len()).rev().collect(),
@@ -253,27 +347,87 @@ impl ActiveRelayMb {
         io: ReplicaIo,
         ctx: u64,
     ) {
+        self.issue_replica_attempt(
+            cx,
+            replica,
+            PendingIo {
+                svc: svc_idx,
+                ctx,
+                io,
+                attempts: 0,
+            },
+        );
+    }
+
+    fn issue_replica_attempt(&mut self, cx: &mut Cx<'_>, replica: usize, req: PendingIo) {
         let Some(sess) = self.replicas.get_mut(replica) else {
             return;
         };
         if sess.failed {
+            let (svc, ctx) = (req.svc, req.ctx);
             let mut scx = SvcCtx::new(cx.now());
-            self.services[svc_idx].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
-            self.run_side_actions(cx, svc_idx, scx);
+            self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
+            self.run_side_actions(cx, svc, scx);
             return;
         }
         if !sess.up {
-            sess.deferred.push((svc_idx, io, ctx));
+            sess.deferred.push((req.svc, req.io, req.ctx));
             return;
         }
-        let tag = match io {
-            ReplicaIo::Write { lba, data } => sess.ini.write(lba, data),
-            ReplicaIo::Read { lba, sectors } => sess.ini.read(lba, sectors),
+        let tag = match &req.io {
+            ReplicaIo::Write { lba, data } => sess.ini.write(*lba, data.clone()),
+            ReplicaIo::Read { lba, sectors } => sess.ini.read(*lba, *sectors),
         };
-        sess.pending.insert(tag, (svc_idx, ctx));
+        sess.pending.insert(tag, req);
         if let Some(sock) = sess.sock {
             let out = sess.ini.take_output();
             sess.sendq.send(cx, sock, &out);
+        }
+        // Arm the request watchdog.
+        if let Some(policy) = self.cfg.retry {
+            let token = self.token();
+            self.watchdogs.insert(token, (replica, tag));
+            cx.set_timer(policy.timeout, token);
+        }
+    }
+
+    /// A replica request produced no response within the timeout window:
+    /// retry with bounded exponential backoff, and once the session has
+    /// timed out `fail_threshold` requests in a row, fail the replica.
+    fn handle_replica_timeout(&mut self, cx: &mut Cx<'_>, replica: usize, tag: IoTag) {
+        let Some(policy) = self.cfg.retry else {
+            return;
+        };
+        let Some(sess) = self.replicas.get_mut(replica) else {
+            return;
+        };
+        // The response arrived (or the session already failed over).
+        let Some(mut req) = sess.pending.remove(&tag) else {
+            return;
+        };
+        sess.timeouts += 1;
+        if sess.timeouts >= policy.fail_threshold {
+            let (svc, ctx) = (req.svc, req.ctx);
+            self.fail_replica(cx, replica);
+            // `fail_replica` drained the remaining pending requests; this
+            // one was removed above, so report it failed separately.
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
+            self.run_side_actions(cx, svc, scx);
+            return;
+        }
+        if req.attempts < policy.max_retries {
+            req.attempts += 1;
+            let backoff = policy.backoff(req.attempts);
+            let token = self.token();
+            self.retries.insert(token, (replica, req));
+            cx.set_timer(backoff, token);
+        } else {
+            // Out of retries: this request alone is failed to its service.
+            let (svc, ctx) = (req.svc, req.ctx);
+            let mut scx = SvcCtx::new(cx.now());
+            self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
+            self.run_side_actions(cx, svc, scx);
         }
     }
 
@@ -327,7 +481,26 @@ impl ActiveRelayMb {
         }
         for pdu in pdus {
             let input_bytes = pdu.wire_len();
+            // Fault injection: an armed plan may drop or slow PDU
+            // processing inside the middle-box.
+            let mut fault_delay = SimDuration::ZERO;
+            match self
+                .fault
+                .decide(now, FaultSite::MbProcess { mb: self.fault_mb })
+            {
+                FaultAction::Proceed => {}
+                FaultAction::Drop | FaultAction::Fail => {
+                    // Keep the persistence-buffer accounting draining.
+                    if side == Side::Server {
+                        let p = &mut self.pairs[pair_idx];
+                        p.buffered_in = p.buffered_in.saturating_sub(input_bytes);
+                    }
+                    continue;
+                }
+                FaultAction::Delay(d) => fault_delay = d,
+            }
             let (forwards, replies, replica_ops, cost, timers) = self.run_chain(now, dir, pdu);
+            let cost = cost + fault_delay;
             for (svc_idx, delay, token) in timers {
                 let t = self.token();
                 self.svc_timers.insert(t, (svc_idx, token));
@@ -337,20 +510,30 @@ impl ActiveRelayMb {
             let _ = cx.charge(cost, &self.cfg.label.clone());
             let done = self.pairs[pair_idx].proc.serve(now, cost);
             let token = self.token();
-            self.deferred.insert(token, Deferred::Release {
-                pair: pair_idx,
-                forwards,
-                replies,
-                dir,
-                replica_ops,
-                input_bytes: if side == Side::Server { input_bytes } else { 0 },
-            });
+            self.deferred.insert(
+                token,
+                Deferred::Release {
+                    pair: pair_idx,
+                    forwards,
+                    replies,
+                    dir,
+                    replica_ops,
+                    input_bytes: if side == Side::Server { input_bytes } else { 0 },
+                },
+            );
             cx.set_timer(done - now, token);
         }
     }
 
     fn release(&mut self, cx: &mut Cx<'_>, d: Deferred) {
-        let Deferred::Release { pair, forwards, replies, dir, replica_ops, input_bytes } = d;
+        let Deferred::Release {
+            pair,
+            forwards,
+            replies,
+            dir,
+            replica_ops,
+            input_bytes,
+        } = d;
         if pair >= self.pairs.len() || self.pairs[pair].closed {
             return;
         }
@@ -402,19 +585,27 @@ impl ActiveRelayMb {
                 InitiatorEvent::LoginFailed { .. } => self.fail_replica(cx, idx),
                 InitiatorEvent::WriteComplete { tag, status }
                 | InitiatorEvent::FlushComplete { tag, status } => {
-                    if let Some((svc_idx, ctx)) = self.replicas[idx].pending.remove(&tag) {
+                    if let Some(req) = self.replicas[idx].pending.remove(&tag) {
+                        self.replicas[idx].timeouts = 0;
                         let ok = status == ScsiStatus::Good;
                         let mut scx = SvcCtx::new(cx.now());
-                        self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, ok, Bytes::new());
-                        self.run_side_actions(cx, svc_idx, scx);
+                        self.services[req.svc].on_replica_done(
+                            &mut scx,
+                            idx,
+                            req.ctx,
+                            ok,
+                            Bytes::new(),
+                        );
+                        self.run_side_actions(cx, req.svc, scx);
                     }
                 }
                 InitiatorEvent::ReadComplete { tag, status, data } => {
-                    if let Some((svc_idx, ctx)) = self.replicas[idx].pending.remove(&tag) {
+                    if let Some(req) = self.replicas[idx].pending.remove(&tag) {
+                        self.replicas[idx].timeouts = 0;
                         let ok = status == ScsiStatus::Good;
                         let mut scx = SvcCtx::new(cx.now());
-                        self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, ok, data);
-                        self.run_side_actions(cx, svc_idx, scx);
+                        self.services[req.svc].on_replica_done(&mut scx, idx, req.ctx, ok, data);
+                        self.run_side_actions(cx, req.svc, scx);
                     }
                 }
                 InitiatorEvent::LoggedOut => self.fail_replica(cx, idx),
@@ -422,6 +613,73 @@ impl ActiveRelayMb {
             }
         }
         self.flush_replica(cx, idx);
+    }
+
+    /// Opens (or re-opens) every configured replica session.
+    fn connect_replicas(&mut self, cx: &mut Cx<'_>) {
+        self.replicas.clear();
+        self.replica_socks.clear();
+        for target in self.cfg.replicas.clone() {
+            let sock = cx.connect(target.portal);
+            let ini = Initiator::new(InitiatorConfig {
+                initiator_iqn: self.cfg.initiator_iqn.clone(),
+                target_iqn: target.iqn.clone(),
+                params: SessionParams::default(),
+                isid: [0x80, 0, 0, 0x10, 0, self.replicas.len() as u8],
+            });
+            let idx = self.replicas.len();
+            self.replicas.push(ReplicaSession {
+                ini,
+                sock: Some(sock),
+                sendq: SendQueue::new(),
+                pending: HashMap::new(),
+                deferred: Vec::new(),
+                up: false,
+                failed: false,
+                timeouts: 0,
+            });
+            self.replica_socks.insert(sock, idx);
+        }
+    }
+
+    /// Crashes the middle-box VM: every flow and replica session is cut
+    /// and all in-flight state is lost, like a power failure.
+    fn crash(&mut self, cx: &mut Cx<'_>) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        for pair in &mut self.pairs {
+            if !pair.closed {
+                pair.closed = true;
+                cx.abort(pair.server);
+                cx.abort(pair.client);
+            }
+        }
+        self.pairs.clear();
+        self.by_sock.clear();
+        for sess in &mut self.replicas {
+            if let Some(sock) = sess.sock.take() {
+                cx.abort(sock);
+            }
+        }
+        self.replicas.clear();
+        self.replica_socks.clear();
+        self.deferred.clear();
+        self.svc_timers.clear();
+        self.watchdogs.clear();
+        self.retries.clear();
+    }
+
+    /// Boots the middle-box back up. Replica sessions reconnect from
+    /// scratch; service state (e.g. replicas a service already evicted)
+    /// survives, as it would on a warm restart from a persistence buffer.
+    fn restart(&mut self, cx: &mut Cx<'_>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        self.connect_replicas(cx);
     }
 
     fn fail_replica(&mut self, cx: &mut Cx<'_>, idx: usize) {
@@ -432,7 +690,7 @@ impl ActiveRelayMb {
             }
             sess.failed = true;
             sess.up = false;
-            sess.pending.drain().map(|(_, v)| v).collect()
+            sess.pending.drain().map(|(_, v)| (v.svc, v.ctx)).collect()
         };
         // Fail outstanding I/O back to the owning services, then tell
         // every service the replica is gone.
@@ -452,27 +710,15 @@ impl ActiveRelayMb {
 impl App for ActiveRelayMb {
     fn on_start(&mut self, cx: &mut Cx<'_>) {
         cx.listen(self.cfg.listen_port);
-        for target in self.cfg.replicas.clone() {
-            let sock = cx.connect(target.portal);
-            let mut ini = Initiator::new(InitiatorConfig {
-                initiator_iqn: self.cfg.initiator_iqn.clone(),
-                target_iqn: target.iqn.clone(),
-                params: SessionParams::default(),
-                isid: [0x80, 0, 0, 0x10, 0, self.replicas.len() as u8],
-            });
-            // Login is queued once connected.
-            let idx = self.replicas.len();
-            let _ = &mut ini;
-            self.replicas.push(ReplicaSession {
-                ini,
-                sock: Some(sock),
-                sendq: SendQueue::new(),
-                pending: HashMap::new(),
-                deferred: Vec::new(),
-                up: false,
-                failed: false,
-            });
-            self.replica_socks.insert(sock, idx);
+        self.connect_replicas(cx);
+    }
+
+    fn on_bus(&mut self, cx: &mut Cx<'_>, _from: HostId, msg: BusMsg) {
+        if let Ok(ctl) = msg.downcast::<MbControl>() {
+            match ctl {
+                MbControl::Crash => self.crash(cx),
+                MbControl::Restart => self.restart(cx),
+            }
         }
     }
 
@@ -496,6 +742,10 @@ impl App for ActiveRelayMb {
     }
 
     fn on_accepted(&mut self, cx: &mut Cx<'_>, _port: u16, sock: SockId) {
+        if self.crashed {
+            cx.abort(sock);
+            return;
+        }
         // New steered flow: open the upstream leg, binding the flow's
         // original source port so port-matched chain rules keep working.
         let src_port = cx.tuple_of(sock).map(|t| t.dst.port);
@@ -555,6 +805,11 @@ impl App for ActiveRelayMb {
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc_idx].on_timer(&mut scx, user_token);
             self.run_side_actions(cx, svc_idx, scx);
+        } else if let Some((replica, tag)) = self.watchdogs.remove(&token) {
+            self.handle_replica_timeout(cx, replica, tag);
+        } else if let Some((replica, req)) = self.retries.remove(&token) {
+            self.issue_replica_attempt(cx, replica, req);
+            self.flush_replica(cx, replica);
         }
     }
 

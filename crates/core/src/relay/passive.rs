@@ -17,7 +17,9 @@ pub struct PassiveTapConfig {
 
 impl Default for PassiveTapConfig {
     fn default() -> Self {
-        PassiveTapConfig { iscsi_port: storm_iscsi::ISCSI_PORT }
+        PassiveTapConfig {
+            iscsi_port: storm_iscsi::ISCSI_PORT,
+        }
     }
 }
 
@@ -34,7 +36,12 @@ enum TrackState {
     /// Collecting the 48-byte BHS.
     Header,
     /// Consuming `remaining` data bytes then `pad` pad bytes.
-    Data { remaining: usize, pad: usize, ctx: DataCtx, consumed: usize },
+    Data {
+        remaining: usize,
+        pad: usize,
+        ctx: DataCtx,
+        consumed: usize,
+    },
 }
 
 /// Incremental per-direction PDU boundary tracker.
@@ -59,7 +66,11 @@ impl Default for WireTracker {
 impl WireTracker {
     /// Creates a tracker at a PDU boundary.
     pub fn new() -> Self {
-        WireTracker { state: TrackState::Header, hdr: Vec::with_capacity(48), pdus: 0 }
+        WireTracker {
+            state: TrackState::Header,
+            hdr: Vec::with_capacity(48),
+            pdus: 0,
+        }
     }
 
     /// PDUs whose headers have been parsed.
@@ -93,12 +104,21 @@ impl WireTracker {
                         let ctx = self.classify_header(shared_cmds);
                         self.hdr.clear();
                         if dsl > 0 {
-                            self.state =
-                                TrackState::Data { remaining: dsl, pad, ctx, consumed: 0 };
+                            self.state = TrackState::Data {
+                                remaining: dsl,
+                                pad,
+                                ctx,
+                                consumed: 0,
+                            };
                         }
                     }
                 }
-                TrackState::Data { remaining, pad, ctx, consumed } => {
+                TrackState::Data {
+                    remaining,
+                    pad,
+                    ctx,
+                    consumed,
+                } => {
                     if *remaining > 0 {
                         let take = (*remaining).min(payload.len() - pos);
                         if let Some(base) = ctx.vol_offset {
@@ -135,16 +155,16 @@ impl WireTracker {
                 let cdb: [u8; 16] = h[32..48].try_into().expect("16 bytes");
                 if let Ok(Cdb::Write { lba, .. } | Cdb::Read { lba, .. }) = Cdb::parse(&cdb) {
                     shared_cmds.insert(itt, lba);
-                    return DataCtx { vol_offset: Some(lba * 512) };
+                    return DataCtx {
+                        vol_offset: Some(lba * 512),
+                    };
                 }
                 DataCtx { vol_offset: None }
             }
             0x05 | 0x25 => {
                 // Data-Out / Data-In: buffer offset at bytes 40..44.
                 let buf_off = u32::from_be_bytes(h[40..44].try_into().expect("4 bytes"));
-                let vol = shared_cmds
-                    .get(&itt)
-                    .map(|lba| lba * 512 + buf_off as u64);
+                let vol = shared_cmds.get(&itt).map(|lba| lba * 512 + buf_off as u64);
                 DataCtx { vol_offset: vol }
             }
             0x21 => {
@@ -214,10 +234,7 @@ impl App for PassiveTap {
         }
         let payload_len = frame.tcp.payload.len();
         let cmds = self.cmds.entry(base_tuple).or_default();
-        let tracker = self
-            .trackers
-            .entry((base_tuple, dir))
-            .or_default();
+        let tracker = self.trackers.entry((base_tuple, dir)).or_default();
         let runs = tracker.walk(&frame.tcp.payload, cmds);
         let mut per_byte = SimDuration::ZERO;
         for svc in &self.services {
@@ -265,7 +282,11 @@ mod tests {
             edtl,
             cmd_sn: 1,
             exp_stat_sn: 1,
-            cdb: Cdb::Write { lba, sectors: edtl / 512 }.to_bytes(),
+            cdb: Cdb::Write {
+                lba,
+                sectors: edtl / 512,
+            }
+            .to_bytes(),
             data: Bytes::copy_from_slice(imm),
         })
         .encode()

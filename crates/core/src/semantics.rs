@@ -18,8 +18,10 @@
 use std::collections::HashMap;
 
 use storm_block::BlockDevice;
-use storm_extfs::{parse_dirents, FileType, FsView, Inode, Region, BLOCK_SIZE, INODE_SIZE,
-    ROOT_INO, SECTORS_PER_BLOCK};
+use storm_extfs::{
+    parse_dirents, FileType, FsView, Inode, Region, BLOCK_SIZE, INODE_SIZE, ROOT_INO,
+    SECTORS_PER_BLOCK,
+};
 
 /// Read or write, as carried by the SCSI command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -239,7 +241,11 @@ impl Reconstructor {
         let inode = self.read_inode(dev, ino)?;
         self.register_inode(ino, &inode.into_lite());
         if inode.is_dir() {
-            let blocks: Vec<u32> = inode.block[..12].iter().copied().filter(|&b| b != 0).collect();
+            let blocks: Vec<u32> = inode.block[..12]
+                .iter()
+                .copied()
+                .filter(|&b| b != 0)
+                .collect();
             for b in blocks {
                 let buf = Self::read_block(dev, b as u64)?;
                 for e in parse_dirents(&buf) {
@@ -249,7 +255,10 @@ impl Reconstructor {
                     let parent_path = self.paths.get(&ino).cloned().unwrap_or_default();
                     let path = format!("{parent_path}/{}", e.name);
                     self.paths.insert(e.inode, path);
-                    self.children.entry(ino).or_default().insert(e.name.clone(), e.inode);
+                    self.children
+                        .entry(ino)
+                        .or_default()
+                        .insert(e.name.clone(), e.inode);
                     self.walk(dev, e.inode)?;
                 }
             }
@@ -345,8 +354,11 @@ impl Reconstructor {
         for chunk in data.chunks_exact(4) {
             let p = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             if p != 0 {
-                let role =
-                    if is_dir { BlockRole::DirData(ino) } else { BlockRole::FileData(ino) };
+                let role = if is_dir {
+                    BlockRole::DirData(ino)
+                } else {
+                    BlockRole::FileData(ino)
+                };
                 self.assign_role(p as u64, role);
             }
         }
@@ -367,7 +379,11 @@ impl Reconstructor {
         for chunk in data.chunks_exact(4) {
             let p = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             if p != 0 {
-                let role = if is_dir { BlockRole::DirData(ino) } else { BlockRole::FileData(ino) };
+                let role = if is_dir {
+                    BlockRole::DirData(ino)
+                } else {
+                    BlockRole::FileData(ino)
+                };
                 self.owner.insert(p as u64, role);
             }
         }
@@ -382,27 +398,33 @@ impl Reconstructor {
 
     fn classify(&self, bno: u64) -> FsTargetKind {
         match self.view.classify_block(bno) {
-            Region::Superblock => FsTargetKind::Meta { kind: "superblock".into() },
-            Region::GroupDescTable => FsTargetKind::Meta { kind: "group_desc_table".into() },
-            Region::BlockBitmap { group } => {
-                FsTargetKind::Meta { kind: format!("block_bitmap_{group}") }
-            }
-            Region::InodeBitmap { group } => {
-                FsTargetKind::Meta { kind: format!("inode_bitmap_{group}") }
-            }
-            Region::InodeTable { group, .. } => {
-                FsTargetKind::Meta { kind: format!("inode_group_{group}") }
-            }
+            Region::Superblock => FsTargetKind::Meta {
+                kind: "superblock".into(),
+            },
+            Region::GroupDescTable => FsTargetKind::Meta {
+                kind: "group_desc_table".into(),
+            },
+            Region::BlockBitmap { group } => FsTargetKind::Meta {
+                kind: format!("block_bitmap_{group}"),
+            },
+            Region::InodeBitmap { group } => FsTargetKind::Meta {
+                kind: format!("inode_bitmap_{group}"),
+            },
+            Region::InodeTable { group, .. } => FsTargetKind::Meta {
+                kind: format!("inode_group_{group}"),
+            },
             Region::Beyond => FsTargetKind::Unknown { block: bno },
             Region::Data => match self.owner.get(&bno) {
-                Some(BlockRole::FileData(ino)) => {
-                    FsTargetKind::File { path: self.display_path(*ino) }
-                }
-                Some(BlockRole::DirData(ino)) => {
-                    FsTargetKind::Dir { path: self.display_path(*ino) }
-                }
+                Some(BlockRole::FileData(ino)) => FsTargetKind::File {
+                    path: self.display_path(*ino),
+                },
+                Some(BlockRole::DirData(ino)) => FsTargetKind::Dir {
+                    path: self.display_path(*ino),
+                },
                 Some(BlockRole::Indirect(ino)) | Some(BlockRole::DoubleIndirect(ino)) => {
-                    FsTargetKind::Indirect { path: self.display_path(*ino) }
+                    FsTargetKind::Indirect {
+                        path: self.display_path(*ino),
+                    }
                 }
                 None => FsTargetKind::Unknown { block: bno },
             },
@@ -415,7 +437,13 @@ impl Reconstructor {
     ///
     /// Returns Table-I style access rows, one per contiguous
     /// same-classification run.
-    pub fn observe(&mut self, op: FsOp, lba: u64, len: usize, data: Option<&[u8]>) -> Vec<FsAccess> {
+    pub fn observe(
+        &mut self,
+        op: FsOp,
+        lba: u64,
+        len: usize,
+        data: Option<&[u8]>,
+    ) -> Vec<FsAccess> {
         // Update phase first (writes refresh the view), then classify.
         if let (FsOp::Write, Some(data)) = (op, data) {
             self.update_from_write(lba, data);
@@ -556,7 +584,10 @@ impl Reconstructor {
             let path = format!("{parent_path}/{name}");
             self.paths.insert(ino, path.clone());
             self.children.entry(dir_ino).or_default().insert(name, ino);
-            self.events.push(FsEvent::Created { path, file_type: ft });
+            self.events.push(FsEvent::Created {
+                path,
+                file_type: ft,
+            });
         }
         let dir_has_single_block = self
             .inodes
@@ -582,7 +613,11 @@ trait IntoLite {
 }
 impl IntoLite for Inode {
     fn into_lite(self) -> InodeLite {
-        InodeLite { mode: self.mode, links: self.links_count, block: self.block }
+        InodeLite {
+            mode: self.mode,
+            links: self.links_count,
+            block: self.block,
+        }
     }
 }
 
@@ -612,10 +647,7 @@ mod tests {
 
     /// Replays a recording log through the reconstructor, applying the
     /// analysis-phase re-classification at the end (as the monitor does).
-    fn replay(
-        recon: &mut Reconstructor,
-        log: Vec<storm_block::AccessRecord>,
-    ) -> Vec<FsAccess> {
+    fn replay(recon: &mut Reconstructor, log: Vec<storm_block::AccessRecord>) -> Vec<FsAccess> {
         let mut rows = Vec::new();
         for rec in log {
             let (op, data) = match rec.kind {
@@ -657,30 +689,37 @@ mod tests {
         let _ = fs.readdir("/name1").unwrap();
         let _ = fs.read_file_to_end("/name1/1.img").unwrap();
         let rows = replay(&mut recon, fs.device_mut().take_log());
-        assert!(rows.iter().any(|r| matches!(
-            &r.target,
-            FsTargetKind::Dir { path } if path == "/mnt/box/name1"
-        )), "rows: {rows:?}");
+        assert!(
+            rows.iter().any(|r| matches!(
+                &r.target,
+                FsTargetKind::Dir { path } if path == "/mnt/box/name1"
+            )),
+            "rows: {rows:?}"
+        );
         assert!(rows.iter().any(|r| r.op == FsOp::Read
             && matches!(&r.target, FsTargetKind::File { path } if path == "/mnt/box/name1/1.img")));
         // Metadata reads show up as inode-group rows (Table I rows 2-34).
-        assert!(rows
-            .iter()
-            .any(|r| matches!(&r.target, FsTargetKind::Meta { kind } if kind.starts_with("inode_group"))));
+        assert!(rows.iter().any(
+            |r| matches!(&r.target, FsTargetKind::Meta { kind } if kind.starts_with("inode_group"))
+        ));
     }
 
     #[test]
     fn new_file_creation_is_detected() {
         let (mut fs, mut recon) = setup();
         fs.create("/name0/fresh.bin").unwrap();
-        fs.write_file("/name0/fresh.bin", 0, &vec![3u8; 4096]).unwrap();
+        fs.write_file("/name0/fresh.bin", 0, &vec![3u8; 4096])
+            .unwrap();
         fs.sync().unwrap();
         let rows = replay(&mut recon, fs.device_mut().take_log());
         let events = recon.take_events();
-        assert!(events.contains(&FsEvent::Created {
-            path: "/mnt/box/name0/fresh.bin".into(),
-            file_type: FileType::Regular
-        }), "events: {events:?}");
+        assert!(
+            events.contains(&FsEvent::Created {
+                path: "/mnt/box/name0/fresh.bin".into(),
+                file_type: FileType::Regular
+            }),
+            "events: {events:?}"
+        );
         // The data write is attributed to the new path.
         assert!(rows.iter().any(|r| r.op == FsOp::Write
             && matches!(&r.target, FsTargetKind::File { path } if path == "/mnt/box/name0/fresh.bin")));
@@ -694,7 +733,9 @@ mod tests {
         let _ = replay(&mut recon, fs.device_mut().take_log());
         let events = recon.take_events();
         assert!(
-            events.contains(&FsEvent::Unlinked { path: "/mnt/box/name2/3.img".into() }),
+            events.contains(&FsEvent::Unlinked {
+                path: "/mnt/box/name2/3.img".into()
+            }),
             "events: {events:?}"
         );
     }
@@ -721,7 +762,8 @@ mod tests {
         fs.sync().unwrap();
         let _ = replay(&mut recon, fs.device_mut().take_log());
         // 80 blocks: goes through the single-indirect block.
-        fs.write_file("/name5/big.dat", 0, &vec![5u8; 80 * BLOCK_SIZE]).unwrap();
+        fs.write_file("/name5/big.dat", 0, &vec![5u8; 80 * BLOCK_SIZE])
+            .unwrap();
         fs.sync().unwrap();
         let rows = replay(&mut recon, fs.device_mut().take_log());
         let attributed: usize = rows
@@ -732,7 +774,11 @@ mod tests {
             })
             .map(|r| r.bytes)
             .sum();
-        assert_eq!(attributed, 80 * BLOCK_SIZE, "indirect data must be attributed");
+        assert_eq!(
+            attributed,
+            80 * BLOCK_SIZE,
+            "indirect data must be attributed"
+        );
         // Now read it back: reads of indirect region resolve too.
         let _ = fs.read_file_to_end("/name5/big.dat").unwrap();
         let rows = replay(&mut recon, fs.device_mut().take_log());
@@ -751,13 +797,17 @@ mod tests {
     fn display_formats_match_table_style() {
         let row = FsAccess {
             op: FsOp::Read,
-            target: FsTargetKind::Dir { path: "/mnt/box".into() },
+            target: FsTargetKind::Dir {
+                path: "/mnt/box".into(),
+            },
             bytes: 4096,
         };
         assert_eq!(row.to_string(), "read /mnt/box/. 4096");
         let row = FsAccess {
             op: FsOp::Write,
-            target: FsTargetKind::Meta { kind: "inode_group_0".into() },
+            target: FsTargetKind::Meta {
+                kind: "inode_group_0".into(),
+            },
             bytes: 4096,
         };
         assert_eq!(row.to_string(), "write META: inode_group_0 4096");

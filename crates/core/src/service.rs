@@ -92,7 +92,10 @@ pub struct SvcCtx {
 impl SvcCtx {
     /// Creates a collector at `now`.
     pub fn new(now: SimTime) -> Self {
-        SvcCtx { now, actions: Vec::new() }
+        SvcCtx {
+            now,
+            actions: Vec::new(),
+        }
     }
 
     /// Takes the accumulated actions.
@@ -112,14 +115,20 @@ impl SvcCtx {
 
     /// Issues a replica write.
     pub fn replica_write(&mut self, replica: usize, lba: u64, data: Bytes, ctx: u64) {
-        self.actions
-            .push(SvcAction::Replica { replica, io: ReplicaIo::Write { lba, data }, ctx });
+        self.actions.push(SvcAction::Replica {
+            replica,
+            io: ReplicaIo::Write { lba, data },
+            ctx,
+        });
     }
 
     /// Issues a replica read.
     pub fn replica_read(&mut self, replica: usize, lba: u64, sectors: u32, ctx: u64) {
-        self.actions
-            .push(SvcAction::Replica { replica, io: ReplicaIo::Read { lba, sectors }, ctx });
+        self.actions.push(SvcAction::Replica {
+            replica,
+            io: ReplicaIo::Read { lba, sectors },
+            ctx,
+        });
     }
 
     /// Raises an alert.
@@ -157,7 +166,14 @@ pub trait StorageService: std::any::Any {
     fn on_pdu(&mut self, cx: &mut SvcCtx, dir: Dir, pdu: Pdu);
 
     /// Completion of a [`SvcCtx::replica_write`] / [`SvcCtx::replica_read`].
-    fn on_replica_done(&mut self, cx: &mut SvcCtx, replica: usize, ctx: u64, ok: bool, data: Bytes) {
+    fn on_replica_done(
+        &mut self,
+        cx: &mut SvcCtx,
+        replica: usize,
+        ctx: u64,
+        ok: bool,
+        data: Bytes,
+    ) {
     }
 
     /// A replica session failed (connection reset/refused).
@@ -258,7 +274,11 @@ mod tests {
         assert!(matches!(actions[2], SvcAction::Alert(ref m) if m == "suspicious"));
         assert!(matches!(
             actions[3],
-            SvcAction::Replica { replica: 1, ctx: 7, io: ReplicaIo::Write { lba: 100, .. } }
+            SvcAction::Replica {
+                replica: 1,
+                ctx: 7,
+                io: ReplicaIo::Write { lba: 100, .. }
+            }
         ));
         assert!(matches!(actions[4], SvcAction::Timer { token: 9, .. }));
         assert!(cx.take_actions().is_empty());

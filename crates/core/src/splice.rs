@@ -30,7 +30,9 @@ impl GatewayPair {
     /// The ingress gateway's storage-network address (the steering
     /// next-hop for compute hosts).
     pub fn ingress_storage_ip(&self) -> Ipv4Addr {
-        self.ingress.storage_ip.expect("ingress gateway has a storage leg")
+        self.ingress
+            .storage_ip
+            .expect("ingress gateway has a storage leg")
     }
 
     /// The egress gateway's instance-network endpoint for iSCSI, as the
@@ -65,7 +67,11 @@ pub fn create_gateway_pair(
     );
     cloud.net.enable_forwarding(ingress.node, forward_cost);
     cloud.net.enable_forwarding(egress.node, forward_cost);
-    GatewayPair { ingress, egress, tenant }
+    GatewayPair {
+        ingress,
+        egress,
+        tenant,
+    }
 }
 
 /// Installs the per-volume NAT rules of the paper's Figure 3 on both
@@ -77,31 +83,46 @@ pub fn create_gateway_pair(
 pub fn install_gateway_nat(cloud: &mut Cloud, pair: &GatewayPair, target: SockAddr) {
     let egress_portal = pair.egress_instance_portal();
     // Ingress gateway.
-    cloud.net.add_dnat(pair.ingress.node, DnatRule {
-        match_dst_ip: target.ip,
-        match_dst_port: Some(target.port),
-        match_src_ip: None,
-        to: egress_portal,
-    });
-    cloud.net.add_snat(pair.ingress.node, SnatRule {
-        match_dst_ip: Some(egress_portal.ip),
-        match_dst_port: Some(egress_portal.port),
-        to_ip: pair.ingress.instance_ip,
-        to_port: None,
-    });
+    cloud.net.add_dnat(
+        pair.ingress.node,
+        DnatRule {
+            match_dst_ip: target.ip,
+            match_dst_port: Some(target.port),
+            match_src_ip: None,
+            to: egress_portal,
+        },
+    );
+    cloud.net.add_snat(
+        pair.ingress.node,
+        SnatRule {
+            match_dst_ip: Some(egress_portal.ip),
+            match_dst_port: Some(egress_portal.port),
+            to_ip: pair.ingress.instance_ip,
+            to_port: None,
+        },
+    );
     // Egress gateway.
-    cloud.net.add_dnat(pair.egress.node, DnatRule {
-        match_dst_ip: egress_portal.ip,
-        match_dst_port: Some(egress_portal.port),
-        match_src_ip: None,
-        to: target,
-    });
-    cloud.net.add_snat(pair.egress.node, SnatRule {
-        match_dst_ip: Some(target.ip),
-        match_dst_port: Some(target.port),
-        to_ip: pair.egress.storage_ip.expect("egress gateway has a storage leg"),
-        to_port: None,
-    });
+    cloud.net.add_dnat(
+        pair.egress.node,
+        DnatRule {
+            match_dst_ip: egress_portal.ip,
+            match_dst_port: Some(egress_portal.port),
+            match_src_ip: None,
+            to: target,
+        },
+    );
+    cloud.net.add_snat(
+        pair.egress.node,
+        SnatRule {
+            match_dst_ip: Some(target.ip),
+            match_dst_port: Some(target.port),
+            to_ip: pair
+                .egress
+                .storage_ip
+                .expect("egress gateway has a storage leg"),
+            to_port: None,
+        },
+    );
 }
 
 /// Builds the compute-host steering rule that diverts a target portal's

@@ -158,7 +158,12 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -168,7 +173,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] =
             gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
         state[4 * c + 1] =
@@ -221,7 +231,9 @@ macro_rules! aes_variant {
         impl $name {
             /// Expands `key` into a key schedule.
             pub fn new(key: &[u8; $key_len]) -> Self {
-                $name { ks: KeySchedule::expand(key) }
+                $name {
+                    ks: KeySchedule::expand(key),
+                }
             }
 
             /// Encrypts one 16-byte block in place.
@@ -245,7 +257,11 @@ macro_rules! aes_variant {
 }
 
 aes_variant!(Aes128, 16, "AES with a 128-bit key (10 rounds).");
-aes_variant!(Aes256, 32, "AES with a 256-bit key (14 rounds), as used by dm-crypt in the paper.");
+aes_variant!(
+    Aes256,
+    32,
+    "AES with a 256-bit key (14 rounds), as used by dm-crypt in the paper."
+);
 
 #[cfg(test)]
 mod tests {

@@ -88,7 +88,11 @@ pub fn parse_dirents(block: &[u8]) -> Vec<DirEntry> {
                 FileType::from_byte(block[off + 7]),
                 std::str::from_utf8(&block[off + 8..off + 8 + name_len]),
             ) {
-                out.push(DirEntry { inode, file_type: ft, name: name.to_owned() });
+                out.push(DirEntry {
+                    inode,
+                    file_type: ft,
+                    name: name.to_owned(),
+                });
             }
         }
         off += rec_len;
@@ -106,11 +110,14 @@ mod tests {
         let mut block = vec![0u8; BLOCK_SIZE];
         write_dirent(&mut block, 2, FileType::Directory, ".", BLOCK_SIZE);
         let got = parse_dirents(&block);
-        assert_eq!(got, vec![DirEntry {
-            inode: 2,
-            file_type: FileType::Directory,
-            name: ".".into()
-        }]);
+        assert_eq!(
+            got,
+            vec![DirEntry {
+                inode: 2,
+                file_type: FileType::Directory,
+                name: ".".into()
+            }]
+        );
     }
 
     #[test]
@@ -131,7 +138,13 @@ mod tests {
         let mut block = vec![0u8; BLOCK_SIZE];
         let r1 = rec_len_for(5);
         write_dirent(&mut block, 0, FileType::Regular, "gone!", r1); // inode 0
-        write_dirent(&mut block[r1..], 9, FileType::Regular, "live", BLOCK_SIZE - r1);
+        write_dirent(
+            &mut block[r1..],
+            9,
+            FileType::Regular,
+            "live",
+            BLOCK_SIZE - r1,
+        );
         let got = parse_dirents(&block);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].name, "live");

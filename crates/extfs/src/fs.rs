@@ -180,7 +180,14 @@ impl<D: BlockDevice> ExtFs<D> {
             inodes_per_group: INODES_PER_GROUP,
             magic: EXT_MAGIC,
         };
-        let mut fs = ExtFs { dev, sb, groups: gds, gdt_blocks, clock: 1, sb_dirty: true };
+        let mut fs = ExtFs {
+            dev,
+            sb,
+            groups: gds,
+            gdt_blocks,
+            clock: 1,
+            sb_dirty: true,
+        };
         // Root directory.
         let mut root = Inode::new_dir();
         let root_block = fs.alloc_block(0)?;
@@ -190,7 +197,13 @@ impl<D: BlockDevice> ExtFs<D> {
         let mut dirblock = vec![0u8; BLOCK_SIZE];
         let r1 = rec_len_for(1);
         write_dirent(&mut dirblock, ROOT_INO, FileType::Directory, ".", r1);
-        write_dirent(&mut dirblock[r1..], ROOT_INO, FileType::Directory, "..", BLOCK_SIZE - r1);
+        write_dirent(
+            &mut dirblock[r1..],
+            ROOT_INO,
+            FileType::Directory,
+            "..",
+            BLOCK_SIZE - r1,
+        );
         fs.write_block(root_block as u64, &dirblock)?;
         fs.write_inode(ROOT_INO, &root)?;
         fs.groups[0].used_dirs_count += 1;
@@ -215,7 +228,14 @@ impl<D: BlockDevice> ExtFs<D> {
         for g in 0..groups as usize {
             gds.push(GroupDesc::read_from(&gdt[g * GroupDesc::SIZE..]));
         }
-        Ok(ExtFs { dev, sb, groups: gds, gdt_blocks, clock: 1, sb_dirty: false })
+        Ok(ExtFs {
+            dev,
+            sb,
+            groups: gds,
+            gdt_blocks,
+            clock: 1,
+            sb_dirty: false,
+        })
     }
 
     /// The cached superblock.
@@ -284,8 +304,7 @@ impl<D: BlockDevice> ExtFs<D> {
         let idx = (ino - 1) as u64;
         let group = (idx / INODES_PER_GROUP as u64) as usize;
         let within = (idx % INODES_PER_GROUP as u64) as usize;
-        let block =
-            self.groups[group].inode_table + (within * INODE_SIZE / BLOCK_SIZE) as u64;
+        let block = self.groups[group].inode_table + (within * INODE_SIZE / BLOCK_SIZE) as u64;
         let offset = (within * INODE_SIZE) % BLOCK_SIZE;
         (block, offset)
     }
@@ -305,7 +324,11 @@ impl<D: BlockDevice> ExtFs<D> {
 
     // ---- allocation ----
 
-    fn alloc_from_bitmap(&mut self, bitmap_block: u64, limit: usize) -> Result<Option<usize>, FsError> {
+    fn alloc_from_bitmap(
+        &mut self,
+        bitmap_block: u64,
+        limit: usize,
+    ) -> Result<Option<usize>, FsError> {
         let mut bitmap = self.read_block(bitmap_block)?;
         for idx in 0..limit {
             let byte = idx / 8;
@@ -414,16 +437,17 @@ impl<D: BlockDevice> ExtFs<D> {
             }
             let outer = self.read_block(dind as u64)?;
             let slot = idx / PTRS_PER_BLOCK;
-            let ind = u32::from_le_bytes(
-                outer[slot * 4..slot * 4 + 4].try_into().expect("4 bytes"),
-            );
+            let ind =
+                u32::from_le_bytes(outer[slot * 4..slot * 4 + 4].try_into().expect("4 bytes"));
             if ind == 0 {
                 return Ok(None);
             }
             let inner = self.read_block(ind as u64)?;
             let within = idx % PTRS_PER_BLOCK;
             let b = u32::from_le_bytes(
-                inner[within * 4..within * 4 + 4].try_into().expect("4 bytes"),
+                inner[within * 4..within * 4 + 4]
+                    .try_into()
+                    .expect("4 bytes"),
             );
             return Ok(if b == 0 { None } else { Some(b) });
         }
@@ -516,16 +540,14 @@ impl<D: BlockDevice> ExtFs<D> {
         if inode.block[DIND_SLOT] != 0 {
             let outer = self.read_block(inode.block[DIND_SLOT] as u64)?;
             for s in 0..PTRS_PER_BLOCK {
-                let ind =
-                    u32::from_le_bytes(outer[s * 4..s * 4 + 4].try_into().expect("4 bytes"));
+                let ind = u32::from_le_bytes(outer[s * 4..s * 4 + 4].try_into().expect("4 bytes"));
                 if ind == 0 {
                     continue;
                 }
                 let inner = self.read_block(ind as u64)?;
                 for i in 0..PTRS_PER_BLOCK {
-                    let b = u32::from_le_bytes(
-                        inner[i * 4..i * 4 + 4].try_into().expect("4 bytes"),
-                    );
+                    let b =
+                        u32::from_le_bytes(inner[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
                     if b != 0 {
                         self.free_block(b)?;
                     }
@@ -564,13 +586,7 @@ impl<D: BlockDevice> ExtFs<D> {
         Ok(None)
     }
 
-    fn dir_add(
-        &mut self,
-        dir_ino: u32,
-        name: &str,
-        ino: u32,
-        ft: FileType,
-    ) -> Result<(), FsError> {
+    fn dir_add(&mut self, dir_ino: u32, name: &str, ino: u32, ft: FileType) -> Result<(), FsError> {
         if name.is_empty() || name.len() > MAX_NAME_LEN || name.contains('/') {
             return Err(FsError::InvalidPath);
         }
@@ -584,16 +600,18 @@ impl<D: BlockDevice> ExtFs<D> {
             let mut buf = self.read_block(b)?;
             let mut off = 0usize;
             while off + 8 <= BLOCK_SIZE {
-                let entry_ino =
-                    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+                let entry_ino = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
                 let rec_len =
-                    u16::from_le_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes"))
-                        as usize;
+                    u16::from_le_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes")) as usize;
                 if rec_len < 8 || off + rec_len > BLOCK_SIZE {
                     break;
                 }
                 let name_len = buf[off + 6] as usize;
-                let used = if entry_ino == 0 { 0 } else { rec_len_for(name_len) };
+                let used = if entry_ino == 0 {
+                    0
+                } else {
+                    rec_len_for(name_len)
+                };
                 if rec_len - used >= needed {
                     // Split: shrink the existing record, place ours after.
                     if entry_ino != 0 {
@@ -628,24 +646,22 @@ impl<D: BlockDevice> ExtFs<D> {
             let mut off = 0usize;
             let mut prev: Option<usize> = None;
             while off + 8 <= BLOCK_SIZE {
-                let entry_ino =
-                    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+                let entry_ino = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
                 let rec_len =
-                    u16::from_le_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes"))
-                        as usize;
+                    u16::from_le_bytes(buf[off + 4..off + 6].try_into().expect("2 bytes")) as usize;
                 if rec_len < 8 || off + rec_len > BLOCK_SIZE {
                     break;
                 }
                 let name_len = buf[off + 6] as usize;
-                let entry_name = std::str::from_utf8(&buf[off + 8..off + 8 + name_len])
-                    .unwrap_or("");
+                let entry_name =
+                    std::str::from_utf8(&buf[off + 8..off + 8 + name_len]).unwrap_or("");
                 if entry_ino != 0 && entry_name == name {
                     match prev {
                         Some(p) => {
                             // Merge into the previous record (classic ext2).
-                            let prev_len = u16::from_le_bytes(
-                                buf[p + 4..p + 6].try_into().expect("2 bytes"),
-                            ) as usize;
+                            let prev_len =
+                                u16::from_le_bytes(buf[p + 4..p + 6].try_into().expect("2 bytes"))
+                                    as usize;
                             let merged = (prev_len + rec_len) as u16;
                             buf[p + 4..p + 6].copy_from_slice(&merged.to_le_bytes());
                         }
@@ -745,7 +761,13 @@ impl<D: BlockDevice> ExtFs<D> {
         let mut buf = vec![0u8; BLOCK_SIZE];
         let r1 = rec_len_for(1);
         write_dirent(&mut buf, ino, FileType::Directory, ".", r1);
-        write_dirent(&mut buf[r1..], parent, FileType::Directory, "..", BLOCK_SIZE - r1);
+        write_dirent(
+            &mut buf[r1..],
+            parent,
+            FileType::Directory,
+            "..",
+            BLOCK_SIZE - r1,
+        );
         self.write_block(b as u64, &buf)?;
         self.write_inode(ino, &inode)?;
         self.dir_add(parent, name, ino, FileType::Directory)?;
@@ -808,7 +830,9 @@ impl<D: BlockDevice> ExtFs<D> {
         for b in self.dir_blocks(&dir)? {
             let buf = self.read_block(b)?;
             out.extend(
-                parse_dirents(&buf).into_iter().filter(|e| e.name != "." && e.name != ".."),
+                parse_dirents(&buf)
+                    .into_iter()
+                    .filter(|e| e.name != "." && e.name != ".."),
             );
         }
         Ok(out)
@@ -972,7 +996,10 @@ impl<D: BlockDevice> ExtFs<D> {
         }
         for b in self.dir_blocks(&inode)? {
             let buf = self.read_block(b)?;
-            if parse_dirents(&buf).iter().any(|e| e.name != "." && e.name != "..") {
+            if parse_dirents(&buf)
+                .iter()
+                .any(|e| e.name != "." && e.name != "..")
+            {
                 return Err(FsError::DirNotEmpty);
             }
         }
@@ -993,7 +1020,9 @@ impl<D: BlockDevice> ExtFs<D> {
     /// otherwise.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
         let (from_parent, from_name) = self.namei_parent(from)?;
-        let entry = self.dir_lookup(from_parent, from_name)?.ok_or(FsError::NotFound)?;
+        let entry = self
+            .dir_lookup(from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
         let (to_parent, to_name) = self.namei_parent(to)?;
         // POSIX: renaming a file onto itself is a no-op.
         if from_parent == to_parent && from_name == to_name {
@@ -1115,7 +1144,8 @@ mod tests {
         let blocks = DIRECT_BLOCKS + PTRS_PER_BLOCK + 5;
         let chunk = vec![0xCDu8; BLOCK_SIZE];
         for i in 0..blocks {
-            f.write_file("/huge", (i * BLOCK_SIZE) as u64, &chunk).unwrap();
+            f.write_file("/huge", (i * BLOCK_SIZE) as u64, &chunk)
+                .unwrap();
         }
         let st = f.stat("/huge").unwrap();
         assert_eq!(st.size, (blocks * BLOCK_SIZE) as u64);
@@ -1221,11 +1251,18 @@ mod tests {
         f.mkdir("/etc").unwrap();
         f.mkdir("/etc/init.d").unwrap();
         f.create("/etc/init.d/DbSecuritySpt").unwrap();
-        f.symlink("/etc/S97DbSecuritySpt", "/etc/init.d/DbSecuritySpt").unwrap();
-        assert_eq!(f.readlink("/etc/S97DbSecuritySpt").unwrap(), "/etc/init.d/DbSecuritySpt");
+        f.symlink("/etc/S97DbSecuritySpt", "/etc/init.d/DbSecuritySpt")
+            .unwrap();
+        assert_eq!(
+            f.readlink("/etc/S97DbSecuritySpt").unwrap(),
+            "/etc/init.d/DbSecuritySpt"
+        );
         let st = f.stat("/etc/S97DbSecuritySpt").unwrap();
         assert!(st.is_symlink);
-        assert_eq!(f.readlink("/etc/init.d/DbSecuritySpt"), Err(FsError::InvalidPath));
+        assert_eq!(
+            f.readlink("/etc/init.d/DbSecuritySpt"),
+            Err(FsError::InvalidPath)
+        );
     }
 
     #[test]

@@ -21,8 +21,7 @@ pub const DIND_SLOT: usize = 13;
 pub const PTRS_PER_BLOCK: usize = BLOCK_SIZE / 4;
 
 /// An on-disk inode (128 bytes, ext2 field offsets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Inode {
     /// Type + permission bits.
     pub mode: u16,
@@ -41,21 +40,32 @@ pub struct Inode {
     pub block: [u32; 15],
 }
 
-
 impl Inode {
     /// A fresh regular-file inode.
     pub fn new_file() -> Inode {
-        Inode { mode: S_IFREG | 0o644, links_count: 1, ..Default::default() }
+        Inode {
+            mode: S_IFREG | 0o644,
+            links_count: 1,
+            ..Default::default()
+        }
     }
 
     /// A fresh directory inode.
     pub fn new_dir() -> Inode {
-        Inode { mode: S_IFDIR | 0o755, links_count: 2, ..Default::default() }
+        Inode {
+            mode: S_IFDIR | 0o755,
+            links_count: 2,
+            ..Default::default()
+        }
     }
 
     /// A fresh symlink inode.
     pub fn new_symlink() -> Inode {
-        Inode { mode: S_IFLNK | 0o777, links_count: 1, ..Default::default() }
+        Inode {
+            mode: S_IFLNK | 0o777,
+            links_count: 1,
+            ..Default::default()
+        }
     }
 
     /// Whether this inode is a directory.
@@ -94,10 +104,8 @@ impl Inode {
 
     /// Parses a 128-byte inode-table slot.
     pub fn from_bytes(slot: &[u8]) -> Inode {
-        let le16 =
-            |off: usize| u16::from_le_bytes(slot[off..off + 2].try_into().expect("2 bytes"));
-        let le32 =
-            |off: usize| u32::from_le_bytes(slot[off..off + 4].try_into().expect("4 bytes"));
+        let le16 = |off: usize| u16::from_le_bytes(slot[off..off + 2].try_into().expect("2 bytes"));
+        let le32 = |off: usize| u32::from_le_bytes(slot[off..off + 4].try_into().expect("4 bytes"));
         let mut block = [0u32; 15];
         for (i, b) in block.iter_mut().enumerate() {
             *b = le32(40 + 4 * i);

@@ -127,11 +127,9 @@ impl GroupDesc {
 
     /// Parses a 32-byte slot.
     pub fn read_from(slot: &[u8]) -> GroupDesc {
-        let le32 = |off: usize| {
-            u32::from_le_bytes(slot[off..off + 4].try_into().expect("4 bytes")) as u64
-        };
-        let le16 =
-            |off: usize| u16::from_le_bytes(slot[off..off + 2].try_into().expect("2 bytes"));
+        let le32 =
+            |off: usize| u32::from_le_bytes(slot[off..off + 4].try_into().expect("4 bytes")) as u64;
+        let le16 = |off: usize| u16::from_le_bytes(slot[off..off + 2].try_into().expect("2 bytes"));
         GroupDesc {
             block_bitmap: le32(0),
             inode_bitmap: le32(4),

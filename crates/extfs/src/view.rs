@@ -73,7 +73,11 @@ impl FsView {
         let descs = (0..groups as usize)
             .map(|g| GroupDesc::read_from(&gdt[g * GroupDesc::SIZE..]))
             .collect();
-        Ok(FsView { sb, groups: descs, gdt_blocks })
+        Ok(FsView {
+            sb,
+            groups: descs,
+            gdt_blocks,
+        })
     }
 
     /// The parsed superblock.
@@ -107,10 +111,12 @@ impl FsView {
             }
             if bno >= gd.inode_table && bno < gd.inode_table + INODE_TABLE_BLOCKS {
                 let inodes_per_block = (BLOCK_SIZE / INODE_SIZE) as u32;
-                let first_ino = g32 * INODES_PER_GROUP
-                    + (bno - gd.inode_table) as u32 * inodes_per_block
-                    + 1;
-                return Region::InodeTable { group: g32, first_ino };
+                let first_ino =
+                    g32 * INODES_PER_GROUP + (bno - gd.inode_table) as u32 * inodes_per_block + 1;
+                return Region::InodeTable {
+                    group: g32,
+                    first_ino,
+                };
             }
         }
         Region::Data
@@ -181,11 +187,20 @@ mod tests {
         assert_eq!(v.classify_block(0), Region::Superblock);
         assert_eq!(v.classify_block(1), Region::GroupDescTable);
         let gd0 = v.groups[0];
-        assert_eq!(v.classify_block(gd0.block_bitmap), Region::BlockBitmap { group: 0 });
-        assert_eq!(v.classify_block(gd0.inode_bitmap), Region::InodeBitmap { group: 0 });
+        assert_eq!(
+            v.classify_block(gd0.block_bitmap),
+            Region::BlockBitmap { group: 0 }
+        );
+        assert_eq!(
+            v.classify_block(gd0.inode_bitmap),
+            Region::InodeBitmap { group: 0 }
+        );
         assert!(matches!(
             v.classify_block(gd0.inode_table),
-            Region::InodeTable { group: 0, first_ino: 1 }
+            Region::InodeTable {
+                group: 0,
+                first_ino: 1
+            }
         ));
         // First data block of group 0 is Data.
         assert_eq!(
@@ -221,9 +236,15 @@ mod tests {
         let v = view();
         assert!(v.group_count() >= 2, "128 MiB should span multiple groups");
         let gd1 = v.groups[1];
-        assert_eq!(v.classify_block(gd1.block_bitmap), Region::BlockBitmap { group: 1 });
+        assert_eq!(
+            v.classify_block(gd1.block_bitmap),
+            Region::BlockBitmap { group: 1 }
+        );
         match v.classify_block(gd1.inode_table) {
-            Region::InodeTable { group: 1, first_ino } => {
+            Region::InodeTable {
+                group: 1,
+                first_ino,
+            } => {
                 assert_eq!(first_ino, INODES_PER_GROUP + 1);
             }
             other => panic!("expected inode table, got {other:?}"),

@@ -14,18 +14,34 @@ use storm_extfs::{ExtFs, FsError};
 #[derive(Debug, Clone)]
 enum Op {
     Create(u8),
-    Write { file: u8, offset: u16, len: u16, byte: u8 },
-    Read { file: u8 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        byte: u8,
+    },
+    Read {
+        file: u8,
+    },
     Unlink(u8),
-    Rename { from: u8, to: u8 },
+    Rename {
+        from: u8,
+        to: u8,
+    },
     Truncate(u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..12).prop_map(Op::Create),
-        (0u8..12, any::<u16>(), 1u16..2048, any::<u8>())
-            .prop_map(|(file, offset, len, byte)| Op::Write { file, offset, len, byte }),
+        (0u8..12, any::<u16>(), 1u16..2048, any::<u8>()).prop_map(|(file, offset, len, byte)| {
+            Op::Write {
+                file,
+                offset,
+                len,
+                byte,
+            }
+        }),
         (0u8..12).prop_map(|f| Op::Read { file: f }),
         (0u8..12).prop_map(Op::Unlink),
         (0u8..12, 0u8..12).prop_map(|(from, to)| Op::Rename { from, to }),

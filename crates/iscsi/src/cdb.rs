@@ -111,7 +111,9 @@ impl Cdb {
     pub fn parse(b: &[u8; 16]) -> Result<Cdb, u8> {
         Ok(match b[0] {
             0x00 => Cdb::TestUnitReady,
-            0x12 => Cdb::Inquiry { alloc: u16::from_be_bytes([b[3], b[4]]) },
+            0x12 => Cdb::Inquiry {
+                alloc: u16::from_be_bytes([b[3], b[4]]),
+            },
             0x25 => Cdb::ReadCapacity10,
             0x28 => Cdb::Read {
                 lba: u32::from_be_bytes([b[2], b[3], b[4], b[5]]) as u64,
@@ -136,7 +138,10 @@ impl Cdb {
 
     /// Whether this command transfers data from target to initiator.
     pub fn is_read(&self) -> bool {
-        matches!(self, Cdb::Read { .. } | Cdb::Inquiry { .. } | Cdb::ReadCapacity10)
+        matches!(
+            self,
+            Cdb::Read { .. } | Cdb::Inquiry { .. } | Cdb::ReadCapacity10
+        )
     }
 
     /// Whether this command transfers data from initiator to target.
@@ -155,7 +160,10 @@ mod tests {
             Cdb::TestUnitReady,
             Cdb::Inquiry { alloc: 96 },
             Cdb::ReadCapacity10,
-            Cdb::Read { lba: 1 << 40, sectors: 2048 },
+            Cdb::Read {
+                lba: 1 << 40,
+                sectors: 2048,
+            },
             Cdb::Write { lba: 7, sectors: 8 },
             Cdb::SynchronizeCache,
         ];
@@ -170,9 +178,21 @@ mod tests {
         b[0] = 0x28; // READ(10)
         b[2..6].copy_from_slice(&1234u32.to_be_bytes());
         b[7..9].copy_from_slice(&16u16.to_be_bytes());
-        assert_eq!(Cdb::parse(&b), Ok(Cdb::Read { lba: 1234, sectors: 16 }));
+        assert_eq!(
+            Cdb::parse(&b),
+            Ok(Cdb::Read {
+                lba: 1234,
+                sectors: 16
+            })
+        );
         b[0] = 0x2A; // WRITE(10)
-        assert_eq!(Cdb::parse(&b), Ok(Cdb::Write { lba: 1234, sectors: 16 }));
+        assert_eq!(
+            Cdb::parse(&b),
+            Ok(Cdb::Write {
+                lba: 1234,
+                sectors: 16
+            })
+        );
     }
 
     #[test]
@@ -193,7 +213,11 @@ mod tests {
 
     #[test]
     fn status_round_trip() {
-        for s in [ScsiStatus::Good, ScsiStatus::CheckCondition, ScsiStatus::Busy] {
+        for s in [
+            ScsiStatus::Good,
+            ScsiStatus::CheckCondition,
+            ScsiStatus::Busy,
+        ] {
             assert_eq!(ScsiStatus::from_byte(s.to_byte()), s);
         }
         assert_eq!(ScsiStatus::from_byte(0x42), ScsiStatus::CheckCondition);

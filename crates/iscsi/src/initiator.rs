@@ -190,10 +190,13 @@ impl Initiator {
         assert!(sectors > 0, "zero-length read");
         let itt = self.alloc_itt();
         let expected = sectors as usize * 512;
-        self.pending.insert(itt, Pending::Read {
-            buf: BytesMut::zeroed(expected),
-            expected,
-        });
+        self.pending.insert(
+            itt,
+            Pending::Read {
+                buf: BytesMut::zeroed(expected),
+                expected,
+            },
+        );
         let pdu = Pdu::ScsiCommand(ScsiCommand {
             immediate: false,
             final_pdu: true,
@@ -221,14 +224,20 @@ impl Initiator {
     /// Panics if not logged in, `data` is empty or not sector-aligned.
     pub fn write(&mut self, lba: u64, data: Bytes) -> IoTag {
         assert_eq!(self.state, State::FullFeature, "write before login");
-        assert!(!data.is_empty() && data.len().is_multiple_of(512), "unaligned write");
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(512),
+            "unaligned write"
+        );
         let itt = self.alloc_itt();
         let sectors = (data.len() / 512) as u32;
         let mrdsl = self.params.max_recv_data_segment_length as usize;
         let first_burst = self.params.first_burst_length as usize;
         // Immediate data rides in the command PDU (ImmediateData=Yes).
-        let immediate_limit =
-            if self.params.immediate_data { first_burst.min(mrdsl) } else { 0 };
+        let immediate_limit = if self.params.immediate_data {
+            first_burst.min(mrdsl)
+        } else {
+            0
+        };
         let imm = data.len().min(immediate_limit);
         let pdu = Pdu::ScsiCommand(ScsiCommand {
             immediate: false,
@@ -338,7 +347,9 @@ impl Initiator {
             Pdu::LoginResponse(r) => {
                 self.exp_stat_sn = r.stat_sn.wrapping_add(1);
                 if self.state != State::LoginSent {
-                    events.push(InitiatorEvent::ProtocolError("unexpected login response".into()));
+                    events.push(InitiatorEvent::ProtocolError(
+                        "unexpected login response".into(),
+                    ));
                     return;
                 }
                 if r.status_class != 0 {
@@ -512,7 +523,9 @@ mod tests {
                     TargetEvent::ReadReady { itt, lba, sectors } => {
                         let mut buf = Vec::new();
                         for s in 0..sectors as u64 {
-                            buf.extend_from_slice(&disk.get(&(lba + s)).copied().unwrap_or([0; 512]));
+                            buf.extend_from_slice(
+                                &disk.get(&(lba + s)).copied().unwrap_or([0; 512]),
+                            );
                         }
                         tgt.complete_read(itt, Bytes::from(buf), ScsiStatus::Good);
                     }
@@ -539,7 +552,10 @@ mod tests {
         let (mut ini, mut tgt) = logged_in_pair();
         let tag = ini.write(10, Bytes::from(vec![0x42u8; 4096]));
         let evs = drive(&mut ini, &mut tgt);
-        assert!(evs.contains(&InitiatorEvent::WriteComplete { tag, status: ScsiStatus::Good }));
+        assert!(evs.contains(&InitiatorEvent::WriteComplete {
+            tag,
+            status: ScsiStatus::Good
+        }));
         assert_eq!(ini.in_flight(), 0);
     }
 
@@ -551,14 +567,19 @@ mod tests {
         let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
         let tag = ini.write(100, Bytes::from(data.clone()));
         let evs = drive_with(&mut ini, &mut tgt, &mut disk);
-        assert!(evs.contains(&InitiatorEvent::WriteComplete { tag, status: ScsiStatus::Good }));
+        assert!(evs.contains(&InitiatorEvent::WriteComplete {
+            tag,
+            status: ScsiStatus::Good
+        }));
         // Read it back and verify contents survived segmentation/offsets.
         let rtag = ini.read(100, 512);
         let evs = drive_with(&mut ini, &mut tgt, &mut disk);
         let got = evs
             .iter()
             .find_map(|e| match e {
-                InitiatorEvent::ReadComplete { tag, data, .. } if *tag == rtag => Some(data.clone()),
+                InitiatorEvent::ReadComplete { tag, data, .. } if *tag == rtag => {
+                    Some(data.clone())
+                }
                 _ => None,
             })
             .expect("read completed");
@@ -595,7 +616,10 @@ mod tests {
         let (mut ini, mut tgt) = logged_in_pair();
         let tag = ini.flush();
         let evs = drive(&mut ini, &mut tgt);
-        assert!(evs.contains(&InitiatorEvent::FlushComplete { tag, status: ScsiStatus::Good }));
+        assert!(evs.contains(&InitiatorEvent::FlushComplete {
+            tag,
+            status: ScsiStatus::Good
+        }));
         ini.logout();
         let evs = drive(&mut ini, &mut tgt);
         assert!(evs.contains(&InitiatorEvent::LoggedOut));

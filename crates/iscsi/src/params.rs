@@ -41,7 +41,10 @@ impl SessionParams {
             self.max_recv_data_segment_length.to_string(),
         );
         m.insert("MaxBurstLength".into(), self.max_burst_length.to_string());
-        m.insert("FirstBurstLength".into(), self.first_burst_length.to_string());
+        m.insert(
+            "FirstBurstLength".into(),
+            self.first_burst_length.to_string(),
+        );
         m.insert("InitialR2T".into(), yes_no(self.initial_r2t).into());
         m.insert("ImmediateData".into(), yes_no(self.immediate_data).into());
         m
@@ -57,9 +60,8 @@ impl SessionParams {
                 .map(|theirs| theirs.min(ours))
                 .unwrap_or(ours)
         };
-        let boolean = |key: &str| -> Option<bool> {
-            peer.get(key).map(|v| v.eq_ignore_ascii_case("yes"))
-        };
+        let boolean =
+            |key: &str| -> Option<bool> { peer.get(key).map(|v| v.eq_ignore_ascii_case("yes")) };
         SessionParams {
             max_recv_data_segment_length: num(
                 "MaxRecvDataSegmentLength",
@@ -118,7 +120,10 @@ mod tests {
     #[test]
     fn text_round_trip() {
         let mut keys = BTreeMap::new();
-        keys.insert("InitiatorName".to_string(), "iqn.2016-04.org.storm:host-c1".to_string());
+        keys.insert(
+            "InitiatorName".to_string(),
+            "iqn.2016-04.org.storm:host-c1".to_string(),
+        );
         keys.insert("MaxBurstLength".to_string(), "262144".to_string());
         let encoded = encode_text(&keys);
         assert_eq!(decode_text(&encoded), keys);

@@ -785,7 +785,11 @@ mod tests {
             edtl: 4096,
             cmd_sn: 3,
             exp_stat_sn: 2,
-            cdb: crate::cdb::Cdb::Read { lba: 100, sectors: 8 }.to_bytes(),
+            cdb: crate::cdb::Cdb::Read {
+                lba: 100,
+                sectors: 8,
+            }
+            .to_bytes(),
             data: Bytes::new(),
         }));
         round_trip(Pdu::ScsiResponse(ScsiResponse {
@@ -904,8 +908,14 @@ mod tests {
     fn unknown_opcode_rejected() {
         let mut bhs = [0u8; BHS_LEN];
         bhs[0] = 0x3B;
-        assert_eq!(Pdu::decode(&bhs, Bytes::new()), Err(PduError::UnknownOpcode(0x3B)));
-        assert_eq!(Pdu::decode(&bhs[..10], Bytes::new()), Err(PduError::Truncated));
+        assert_eq!(
+            Pdu::decode(&bhs, Bytes::new()),
+            Err(PduError::UnknownOpcode(0x3B))
+        );
+        assert_eq!(
+            Pdu::decode(&bhs[..10], Bytes::new()),
+            Err(PduError::Truncated)
+        );
     }
 
     #[test]

@@ -164,8 +164,7 @@ impl TargetConn {
                 let peer = decode_text(&r.data);
                 self.params = self.cfg.params.negotiate(&peer);
                 self.exp_cmd_sn = r.cmd_sn.wrapping_add(1);
-                let initiator_name =
-                    peer.get("InitiatorName").cloned().unwrap_or_default();
+                let initiator_name = peer.get("InitiatorName").cloned().unwrap_or_default();
                 let mut keys = self.cfg.params.to_keys();
                 keys.insert("TargetPortalGroupTag".into(), "1".into());
                 let resp = Pdu::LoginResponse(LoginResponse {
@@ -225,7 +224,11 @@ impl TargetConn {
                             return;
                         }
                         self.reads.insert(c.itt, ());
-                        events.push(TargetEvent::ReadReady { itt: c.itt, lba, sectors });
+                        events.push(TargetEvent::ReadReady {
+                            itt: c.itt,
+                            lba,
+                            sectors,
+                        });
                     }
                     Cdb::Write { lba, sectors } => {
                         let expected = sectors as usize * 512;
@@ -253,7 +256,11 @@ impl TargetConn {
                         xfer.received = imm;
                         if xfer.received >= xfer.expected {
                             let data = xfer.buf.freeze();
-                            events.push(TargetEvent::WriteReady { itt: c.itt, lba, data });
+                            events.push(TargetEvent::WriteReady {
+                                itt: c.itt,
+                                lba,
+                                data,
+                            });
                         } else {
                             // Solicit only what the initiator will not
                             // push unsolicited.
@@ -387,7 +394,11 @@ impl TargetConn {
                 lun: 0,
                 itt,
                 ttt: 0xFFFF_FFFF,
-                stat_sn: if last { self.bump_stat_sn() } else { self.stat_sn },
+                stat_sn: if last {
+                    self.bump_stat_sn()
+                } else {
+                    self.stat_sn
+                },
                 exp_cmd_sn: self.exp_cmd_sn,
                 max_cmd_sn: self.exp_cmd_sn.wrapping_add(64),
                 data_sn,
@@ -442,7 +453,10 @@ mod tests {
         let evs = tgt.feed(&ini.take_output());
         match &evs[0] {
             TargetEvent::LoggedIn { initiator_name } => {
-                assert_eq!(initiator_name, InitiatorConfig::example().initiator_iqn.as_str());
+                assert_eq!(
+                    initiator_name,
+                    InitiatorConfig::example().initiator_iqn.as_str()
+                );
             }
             other => panic!("expected login, got {other:?}"),
         }

@@ -18,7 +18,12 @@ fn arbitrary_pdu() -> impl Strategy<Value = Pdu> {
                 data: Bytes::from(data),
             })
         }),
-        (any::<u32>(), any::<u32>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..600))
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..600)
+        )
             .prop_map(|(itt, ttt, off, data)| {
                 Pdu::DataOut(DataOut {
                     final_pdu: true,

@@ -77,7 +77,10 @@ impl FourTuple {
 
     /// The same connection seen from the other side.
     pub fn reversed(self) -> FourTuple {
-        FourTuple { src: self.dst, dst: self.src }
+        FourTuple {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 }
 

@@ -208,7 +208,8 @@ impl Network {
 
     /// Adds a host with `cores` CPU cores.
     pub fn add_host(&mut self, name: impl Into<String>, cores: usize) -> HostId {
-        self.hosts.push(Host::new(name.into(), cores, self.default_tcp));
+        self.hosts
+            .push(Host::new(name.into(), cores, self.default_tcp));
         HostId(self.hosts.len() as u32 - 1)
     }
 
@@ -228,7 +229,12 @@ impl Network {
         self.mac_counter += 1;
         self.fabric.set_arp(ip, mac);
         let h = &mut self.hosts[host.0 as usize];
-        h.ifaces.push(Iface { mac, ip, prefix_len, link: None });
+        h.ifaces.push(Iface {
+            mac,
+            ip,
+            prefix_len,
+            link: None,
+        });
         IfaceId(h.ifaces.len() as u32 - 1)
     }
 
@@ -311,6 +317,11 @@ impl Network {
         &self.hosts[id.0 as usize]
     }
 
+    /// Number of hosts in the network (host ids are `0..count`).
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
     /// Mutable access to a host (for topology/NAT/steering setup).
     pub fn host_mut(&mut self, id: HostId) -> &mut Host {
         &mut self.hosts[id.0 as usize]
@@ -332,7 +343,12 @@ impl Network {
         via: Option<std::net::Ipv4Addr>,
         iface: IfaceId,
     ) {
-        self.hosts[host.0 as usize].routes.push(Route { dst, prefix_len, via, iface });
+        self.hosts[host.0 as usize].routes.push(Route {
+            dst,
+            prefix_len,
+            via,
+            iface,
+        });
     }
 
     /// Enables IP forwarding with the given per-packet cost.
@@ -377,7 +393,15 @@ impl Network {
         delay: SimDuration,
         msg: BusMsg,
     ) {
-        self.q.push(self.now + delay, Ev::Bus { host: to_host, app: to_app, from, msg });
+        self.q.push(
+            self.now + delay,
+            Ev::Bus {
+                host: to_host,
+                app: to_app,
+                from,
+                msg,
+            },
+        );
     }
 
     /// Runs until the queue drains or `end` is reached; time advances to
@@ -419,9 +443,12 @@ impl Network {
             Ev::Egress { host, iface, frame } => self.emit(host, iface, frame),
             Ev::Local { host, frame } => self.local_input(host, frame),
             Ev::Timer { host, app, token } => self.dispatch(host, app, Callback::Timer(token)),
-            Ev::Bus { host, app, from, msg } => {
-                self.dispatch(host, app, Callback::Bus(from, msg))
-            }
+            Ev::Bus {
+                host,
+                app,
+                from,
+                msg,
+            } => self.dispatch(host, app, Callback::Bus(from, msg)),
             Ev::Resume { host, sock } => {
                 let (outs, events) = self.hosts[host.0 as usize].tcp.resume(sock);
                 for seg in outs {
@@ -437,7 +464,14 @@ impl Network {
     fn push_deliveries(&mut self, deliveries: Vec<Delivery>) {
         for d in deliveries {
             // LinkId is only informational here; reuse 0.
-            self.q.push(d.at, Ev::Arrive { link: LinkId(0), to: d.to, frame: d.frame });
+            self.q.push(
+                d.at,
+                Ev::Arrive {
+                    link: LinkId(0),
+                    to: d.to,
+                    frame: d.frame,
+                },
+            );
         }
     }
 
@@ -505,7 +539,14 @@ impl Network {
         } else {
             done
         };
-        self.q.push(done, Ev::Egress { host, iface: out_iface, frame });
+        self.q.push(
+            done,
+            Ev::Egress {
+                host,
+                iface: out_iface,
+                frame,
+            },
+        );
     }
 
     /// Emits a frame out of a host interface onto its link.
@@ -551,8 +592,10 @@ impl Network {
                 hops: 0,
             };
             frame.set_tuple(tuple);
-            self.q
-                .push(self.now + SimDuration::from_micros(1), Ev::Local { host, frame });
+            self.q.push(
+                self.now + SimDuration::from_micros(1),
+                Ev::Local { host, frame },
+            );
             return;
         }
         let Some((out_iface, next_hop)) = h.route_for_flow(&tuple, is_syn) else {
@@ -580,7 +623,11 @@ impl Network {
         let Some(mut a) = self.hosts[host.0 as usize].apps[app.0 as usize].take() else {
             return TapVerdict::Forward;
         };
-        let mut cx = Cx { net: self, host, app };
+        let mut cx = Cx {
+            net: self,
+            host,
+            app,
+        };
         let verdict = a.on_tap(&mut cx, frame);
         self.hosts[host.0 as usize].apps[app.0 as usize] = Some(a);
         verdict
@@ -594,7 +641,11 @@ impl Network {
             return;
         };
         {
-            let mut cx = Cx { net: self, host, app };
+            let mut cx = Cx {
+                net: self,
+                host,
+                app,
+            };
             match cb {
                 Callback::Start => a.on_start(&mut cx),
                 Callback::Timer(token) => a.on_timer(&mut cx, token),
@@ -639,7 +690,12 @@ impl Callback {
         match self {
             Callback::Start => Ev::Start { host, app },
             Callback::Timer(token) => Ev::Timer { host, app, token },
-            Callback::Bus(from, msg) => Ev::Bus { host, app, from, msg },
+            Callback::Bus(from, msg) => Ev::Bus {
+                host,
+                app,
+                from,
+                msg,
+            },
             Callback::Tcp(_) => {
                 // TCP events cannot be requeued without re-entering the
                 // stack; in practice apps never trigger same-app TCP events
@@ -689,7 +745,9 @@ impl<'a> Cx<'a> {
     ///
     /// Panics if the port is already bound on this host.
     pub fn listen(&mut self, port: u16) {
-        self.net.hosts[self.host.0 as usize].tcp.listen(self.app, port);
+        self.net.hosts[self.host.0 as usize]
+            .tcp
+            .listen(self.app, port);
     }
 
     /// Opens a connection to `remote`, choosing the local source IP from
@@ -745,7 +803,13 @@ impl<'a> Cx<'a> {
     /// Resumes delivery on `sock` (buffered data arrives via `on_data`
     /// immediately after this callback returns).
     pub fn resume(&mut self, sock: SockId) {
-        self.net.q.push(self.net.now, Ev::Resume { host: self.host, sock });
+        self.net.q.push(
+            self.net.now,
+            Ev::Resume {
+                host: self.host,
+                sock,
+            },
+        );
     }
 
     /// Gracefully closes a socket.
@@ -766,23 +830,39 @@ impl<'a> Cx<'a> {
 
     /// Fires `on_timer(token)` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.net
-            .q
-            .push(self.net.now + delay, Ev::Timer { host: self.host, app: self.app, token });
+        self.net.q.push(
+            self.net.now + delay,
+            Ev::Timer {
+                host: self.host,
+                app: self.app,
+                token,
+            },
+        );
     }
 
     /// Runs `cost` of CPU work attributed to `label`, firing
     /// `on_timer(token)` at completion (queueing behind other work on the
     /// host's cores).
     pub fn compute(&mut self, cost: SimDuration, label: &str, token: u64) {
-        let done = self.net.hosts[self.host.0 as usize].cpu.run(self.net.now, cost, label);
-        self.net.q.push(done, Ev::Timer { host: self.host, app: self.app, token });
+        let done = self.net.hosts[self.host.0 as usize]
+            .cpu
+            .run(self.net.now, cost, label);
+        self.net.q.push(
+            done,
+            Ev::Timer {
+                host: self.host,
+                app: self.app,
+                token,
+            },
+        );
     }
 
     /// Accounts CPU time to `label` without scheduling a callback; returns
     /// the completion instant.
     pub fn charge(&mut self, cost: SimDuration, label: &str) -> SimTime {
-        self.net.hosts[self.host.0 as usize].cpu.run(self.net.now, cost, label)
+        self.net.hosts[self.host.0 as usize]
+            .cpu
+            .run(self.net.now, cost, label)
     }
 
     /// Sends a hypervisor-bus message to `(to_host, to_app)` after `delay`.
@@ -824,7 +904,13 @@ mod tests {
     }
     impl Blaster {
         fn new(remote: SockAddr, total: usize) -> Self {
-            Blaster { remote, total, sent: 0, sock: None, connected_at: None }
+            Blaster {
+                remote,
+                total,
+                sent: 0,
+                sock: None,
+                connected_at: None,
+            }
         }
         fn pump(&mut self, cx: &mut Cx<'_>, sock: SockId) {
             while self.sent < self.total {
@@ -869,7 +955,10 @@ mod tests {
         let sink_id = net.add_app(b, Box::new(Sink::default()));
         net.add_app(
             a,
-            Box::new(Blaster::new(SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 3260), total)),
+            Box::new(Blaster::new(
+                SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 3260),
+                total,
+            )),
         );
         net.run_until(SimTime::from_nanos(2_000_000_000));
         let sink = net
@@ -892,7 +981,10 @@ mod tests {
         let sink_id = net.add_app(b, Box::new(Sink::default()));
         net.add_app(
             a,
-            Box::new(Blaster::new(SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 3260), total)),
+            Box::new(Blaster::new(
+                SockAddr::new(Ipv4Addr::new(10, 0, 0, 2), 3260),
+                total,
+            )),
         );
         // Run in small steps until the sink has everything, then read time.
         let mut done_at = None;
@@ -923,7 +1015,10 @@ mod tests {
         let sink_id = net.add_app(b, Box::new(Sink::default()));
         net.add_app(
             a,
-            Box::new(Blaster::new(SockAddr::new(Ipv4Addr::new(10, 0, 1, 2), 3260), 100)),
+            Box::new(Blaster::new(
+                SockAddr::new(Ipv4Addr::new(10, 0, 1, 2), 3260),
+                100,
+            )),
         );
         net.run_until(SimTime::from_nanos(100_000_000));
         let sink = net

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use storm_sim::{SerialResource, SimDuration, SimTime};
+use storm_sim::{FaultAction, FaultHook, FaultSite, SerialResource, SimDuration, SimTime};
 
 use crate::addr::MacAddr;
 use crate::frame::Frame;
@@ -149,6 +149,7 @@ pub struct Fabric {
     switch_port_links: HashMap<(SwitchId, PortNo), LinkId>,
     arp: HashMap<Ipv4Addr, MacAddr>,
     dropped: u64,
+    fault: FaultHook,
 }
 
 impl Fabric {
@@ -223,9 +224,19 @@ impl Fabric {
         &self.links[id.0 as usize]
     }
 
+    /// Number of links in the fabric (link ids are `0..count`).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
     /// The link wired to a switch port, if any.
     pub fn link_at(&self, sw: SwitchId, port: PortNo) -> Option<LinkId> {
         self.switch_port_links.get(&(sw, port)).copied()
+    }
+
+    /// Arms (or, with an unarmed hook, clears) the fabric's fault hook.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = hook;
     }
 
     /// Frames dropped by the fabric (down links, unwired ports).
@@ -242,6 +253,18 @@ impl Fabric {
         frame: Frame,
         now: SimTime,
     ) -> Option<Delivery> {
+        // Fault injection: an armed plan may drop or delay the frame.
+        let extra_latency = match self
+            .fault
+            .decide(now, FaultSite::LinkTransmit { link: id.0 })
+        {
+            FaultAction::Proceed => SimDuration::ZERO,
+            FaultAction::Drop | FaultAction::Fail => {
+                self.dropped += 1;
+                return None;
+            }
+            FaultAction::Delay(d) => d,
+        };
         let link = &mut self.links[id.0 as usize];
         if !link.up {
             self.dropped += 1;
@@ -268,7 +291,11 @@ impl Fabric {
         let done = link.queues[queue].serve(now, occupancy);
         link.frames += 1;
         link.bytes += frame.wire_len() as u64;
-        Some(Delivery { at: done + link.spec.latency, to, frame })
+        Some(Delivery {
+            at: done + link.spec.latency + extra_latency,
+            to,
+            frame,
+        })
     }
 
     /// Runs switch forwarding for a frame arriving at `sw` on `port` and
@@ -323,7 +350,10 @@ mod tests {
     }
 
     fn host_end(h: u32, i: u32) -> Endpoint {
-        Endpoint::Host { host: HostId(h), iface: IfaceId(i) }
+        Endpoint::Host {
+            host: HostId(h),
+            iface: IfaceId(i),
+        }
     }
 
     #[test]
@@ -362,10 +392,14 @@ mod tests {
         let l = f.add_link(host_end(0, 0), host_end(1, 0), LinkSpec::instant());
         f.set_link_up(l, false);
         assert!(!f.link(l).is_up());
-        assert!(f.transmit(l, host_end(0, 0), frame(10), SimTime::ZERO).is_none());
+        assert!(f
+            .transmit(l, host_end(0, 0), frame(10), SimTime::ZERO)
+            .is_none());
         assert_eq!(f.dropped(), 1);
         f.set_link_up(l, true);
-        assert!(f.transmit(l, host_end(0, 0), frame(10), SimTime::ZERO).is_some());
+        assert!(f
+            .transmit(l, host_end(0, 0), frame(10), SimTime::ZERO)
+            .is_some());
     }
 
     #[test]
@@ -374,12 +408,18 @@ mod tests {
         let sw = f.add_switch(VirtualSwitch::new("sw", 4));
         let la = f.add_link(
             host_end(0, 0),
-            Endpoint::Switch { sw, port: PortNo(0) },
+            Endpoint::Switch {
+                sw,
+                port: PortNo(0),
+            },
             LinkSpec::instant(),
         );
         let _lb = f.add_link(
             host_end(1, 0),
-            Endpoint::Switch { sw, port: PortNo(1) },
+            Endpoint::Switch {
+                sw,
+                port: PortNo(1),
+            },
             LinkSpec::instant(),
         );
         assert_eq!(f.link_at(sw, PortNo(0)), Some(la));
@@ -395,7 +435,10 @@ mod tests {
         let sw = f.add_switch(VirtualSwitch::new("sw", 3));
         f.add_link(
             host_end(0, 0),
-            Endpoint::Switch { sw, port: PortNo(0) },
+            Endpoint::Switch {
+                sw,
+                port: PortNo(0),
+            },
             LinkSpec::instant(),
         );
         // Unknown destination floods to ports 1 and 2, neither wired.

@@ -245,7 +245,11 @@ mod tests {
     fn remove_by_match() {
         let mut t = FlowTable::new();
         let m = FlowMatch::any().dst_port(3260);
-        t.install(FlowRule { priority: 5, matching: m, actions: vec![FlowAction::Drop] });
+        t.install(FlowRule {
+            priority: 5,
+            matching: m,
+            actions: vec![FlowAction::Drop],
+        });
         t.install(FlowRule {
             priority: 0,
             matching: FlowMatch::any(),

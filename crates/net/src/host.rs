@@ -192,8 +192,7 @@ impl Host {
             }
         }
         for r in &self.routes {
-            if in_subnet(dst, r.dst, r.prefix_len)
-                && best.is_none_or(|(p, _, _)| r.prefix_len > p)
+            if in_subnet(dst, r.dst, r.prefix_len) && best.is_none_or(|(p, _, _)| r.prefix_len > p)
             {
                 best = Some((r.prefix_len, r.iface, r.via.unwrap_or(dst)));
             }

@@ -147,7 +147,10 @@ impl Nat {
             }
         }
         if out != tuple {
-            let entry = NatEntry { orig: tuple, xlat: out };
+            let entry = NatEntry {
+                orig: tuple,
+                xlat: out,
+            };
             self.forward.insert(tuple, entry);
             self.reply.insert(out.reversed(), entry);
         }

@@ -154,7 +154,11 @@ impl VirtualSwitch {
 
 /// Installs a Figure-3 style steering rule: frames matching `matching` get
 /// their destination MAC rewritten to `next_mac` and are then L2-forwarded.
-pub fn steering_rule(priority: u16, matching: crate::flow::FlowMatch, next_mac: MacAddr) -> FlowRule {
+pub fn steering_rule(
+    priority: u16,
+    matching: crate::flow::FlowMatch,
+    next_mac: MacAddr,
+) -> FlowRule {
     FlowRule {
         priority,
         matching,
@@ -256,7 +260,9 @@ mod tests {
             matching: FlowMatch::any().dst_port(3260),
             actions: vec![FlowAction::Drop],
         });
-        assert!(sw.process(frame(MacAddr::nth(1), MacAddr::nth(2)), PortNo(0)).is_empty());
+        assert!(sw
+            .process(frame(MacAddr::nth(1), MacAddr::nth(2)), PortNo(0))
+            .is_empty());
         assert_eq!(sw.dropped(), 1);
     }
 }

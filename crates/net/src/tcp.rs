@@ -56,7 +56,11 @@ pub struct TcpConfig {
 
 impl Default for TcpConfig {
     fn default() -> Self {
-        TcpConfig { mss: 1448, rcv_wnd: 256 * 1024, snd_buf: 1024 * 1024 }
+        TcpConfig {
+            mss: 1448,
+            rcv_wnd: 256 * 1024,
+            snd_buf: 1024 * 1024,
+        }
     }
 }
 
@@ -317,7 +321,10 @@ impl TcpStack {
         let Some(tcb) = self.conns.get_mut(&sock.0) else {
             return (0, Vec::new());
         };
-        if !matches!(tcb.state, State::Established | State::SynSent | State::SynRcvd) {
+        if !matches!(
+            tcb.state,
+            State::Established | State::SynSent | State::SynRcvd
+        ) {
             return (0, Vec::new());
         }
         let space = self.config.snd_buf.saturating_sub(tcb.snd_buf.len());
@@ -344,7 +351,10 @@ impl TcpStack {
 
     /// Bytes accepted but not yet acknowledged by the peer.
     pub fn unacked(&self, sock: SockId) -> usize {
-        self.conns.get(&sock.0).map(|t| t.snd_buf.len()).unwrap_or(0)
+        self.conns
+            .get(&sock.0)
+            .map(|t| t.snd_buf.len())
+            .unwrap_or(0)
     }
 
     /// Stops delivering received data to the app; incoming bytes accumulate
@@ -483,7 +493,11 @@ impl TcpStack {
     /// Processes an incoming segment. `tuple` is the segment's on-wire
     /// direction (src = remote, dst = local). Returns segments to transmit
     /// and app events to dispatch.
-    pub fn input(&mut self, tuple: FourTuple, seg: TcpSegment) -> (Vec<OutSeg>, Vec<(AppId, TcpEvent)>) {
+    pub fn input(
+        &mut self,
+        tuple: FourTuple,
+        seg: TcpSegment,
+    ) -> (Vec<OutSeg>, Vec<(AppId, TcpEvent)>) {
         self.counters.segs_in += 1;
         let key = tuple.reversed();
         let mut out = Vec::new();
@@ -574,7 +588,13 @@ impl TcpStack {
                 if tcb.state == State::SynSent {
                     events.push((tcb.app, TcpEvent::ConnectFailed(sock)));
                 } else {
-                    events.push((tcb.app, TcpEvent::Closed { sock, kind: CloseKind::Reset }));
+                    events.push((
+                        tcb.app,
+                        TcpEvent::Closed {
+                            sock,
+                            kind: CloseKind::Reset,
+                        },
+                    ));
                 }
                 remove = true;
             } else {
@@ -614,17 +634,14 @@ impl TcpStack {
                         if seg.flags.ack {
                             let fin_adj = if tcb.state == State::FinSent { 1 } else { 0 };
                             if seg.ack > tcb.snd_una && seg.ack <= tcb.snd_nxt + fin_adj {
-                                let advance =
-                                    (seg.ack.min(tcb.snd_nxt) - tcb.snd_una) as usize;
+                                let advance = (seg.ack.min(tcb.snd_nxt) - tcb.snd_una) as usize;
                                 tcb.snd_buf.drain(..advance);
                                 tcb.snd_una = seg.ack.min(tcb.snd_nxt);
                             }
                             tcb.peer_wnd = seg.wnd;
                             let had_backlog = tcb.wants_writable;
                             out.extend(Self::pump(&mut self.counters, self.config, tcb));
-                            if had_backlog
-                                && tcb.snd_buf.len() < self.config.snd_buf
-                            {
+                            if had_backlog && tcb.snd_buf.len() < self.config.snd_buf {
                                 tcb.wants_writable = false;
                                 events.push((tcb.app, TcpEvent::Writable(sock)));
                             }
@@ -665,7 +682,13 @@ impl TcpStack {
                                     },
                                 });
                             }
-                            events.push((tcb.app, TcpEvent::Closed { sock, kind: CloseKind::Graceful }));
+                            events.push((
+                                tcb.app,
+                                TcpEvent::Closed {
+                                    sock,
+                                    kind: CloseKind::Graceful,
+                                },
+                            ));
                             remove = true;
                         } else if tcb.state == State::FinSent
                             && seg.flags.ack
@@ -673,7 +696,13 @@ impl TcpStack {
                         {
                             // Our FIN was acked; peer's FIN (if any) handled
                             // above. Treat as fully closed.
-                            events.push((tcb.app, TcpEvent::Closed { sock, kind: CloseKind::Graceful }));
+                            events.push((
+                                tcb.app,
+                                TcpEvent::Closed {
+                                    sock,
+                                    kind: CloseKind::Graceful,
+                                },
+                            ));
                             remove = true;
                         }
                     }
@@ -752,7 +781,11 @@ mod tests {
     /// A small, fixed configuration so window/backpressure tests are
     /// independent of the default (autotuned-style) sizes.
     fn small_config() -> TcpConfig {
-        TcpConfig { mss: 1448, rcv_wnd: 64 * 1024, snd_buf: 256 * 1024 }
+        TcpConfig {
+            mss: 1448,
+            rcv_wnd: 64 * 1024,
+            snd_buf: 256 * 1024,
+        }
     }
 
     fn pair() -> (TcpStack, TcpStack) {
@@ -901,12 +934,20 @@ mod tests {
         let (ca, _cb) = establish(&mut a, &mut b);
         let fin = a.close(ca);
         let (ea, eb) = shuttle(&mut a, &mut b, fin, vec![]);
-        assert!(eb
-            .iter()
-            .any(|e| matches!(e, TcpEvent::Closed { kind: CloseKind::Graceful, .. })));
-        assert!(ea
-            .iter()
-            .any(|e| matches!(e, TcpEvent::Closed { kind: CloseKind::Graceful, .. })));
+        assert!(eb.iter().any(|e| matches!(
+            e,
+            TcpEvent::Closed {
+                kind: CloseKind::Graceful,
+                ..
+            }
+        )));
+        assert!(ea.iter().any(|e| matches!(
+            e,
+            TcpEvent::Closed {
+                kind: CloseKind::Graceful,
+                ..
+            }
+        )));
         // Both sides cleaned up: further sends are no-ops.
         let (n, _) = a.send(ca, b"x");
         assert_eq!(n, 0);
@@ -918,9 +959,13 @@ mod tests {
         let (ca, _cb) = establish(&mut a, &mut b);
         let rst = a.abort(ca);
         let (_, eb) = shuttle(&mut a, &mut b, rst, vec![]);
-        assert!(eb
-            .iter()
-            .any(|e| matches!(e, TcpEvent::Closed { kind: CloseKind::Reset, .. })));
+        assert!(eb.iter().any(|e| matches!(
+            e,
+            TcpEvent::Closed {
+                kind: CloseKind::Reset,
+                ..
+            }
+        )));
     }
 
     #[test]

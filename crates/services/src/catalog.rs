@@ -8,7 +8,7 @@
 
 use storm_core::policy::{RelayModeSpec, ServiceSpec};
 use storm_core::service::PassthroughService;
-use storm_core::{RelayMode, Reconstructor, StorageService};
+use storm_core::{Reconstructor, RelayMode, StorageService};
 use storm_sim::SimDuration;
 
 use crate::{EncryptionService, MonitorConfig, MonitorService, ReplicationService};
@@ -88,15 +88,28 @@ pub fn build_service(
                 .map(|w| w.split(',').map(|s| s.trim().to_owned()).collect())
                 .unwrap_or_default();
             Ok(Box::new(MonitorService::new(
-                MonitorConfig { watch, per_byte_cost: SimDuration::from_nanos(1) },
+                MonitorConfig {
+                    watch,
+                    per_byte_cost: SimDuration::from_nanos(1),
+                },
                 recon,
             )))
         }
         "encryption" => {
-            let passphrase = spec.params.get("key").map(String::as_str).unwrap_or("default");
-            let cipher = spec.params.get("cipher").map(String::as_str).unwrap_or("aes-256-xts");
+            let passphrase = spec
+                .params
+                .get("key")
+                .map(String::as_str)
+                .unwrap_or("default");
+            let cipher = spec
+                .params
+                .get("cipher")
+                .map(String::as_str)
+                .unwrap_or("aes-256-xts");
             match cipher {
-                "aes-256-xts" => Ok(Box::new(EncryptionService::aes_xts(&expand_key(passphrase)))),
+                "aes-256-xts" => Ok(Box::new(EncryptionService::aes_xts(&expand_key(
+                    passphrase,
+                )))),
                 "chacha20" | "stream" => {
                     let key64 = expand_key(passphrase);
                     let mut key = [0u8; 32];
@@ -157,8 +170,11 @@ mod tests {
     fn builds_every_known_kind() {
         let enc = build_service(&ServiceSpec::new("encryption"), None).unwrap();
         assert_eq!(enc.name(), "encryption");
-        let rep = build_service(&ServiceSpec::new("replication").param("replicas", "3"), None)
-            .unwrap();
+        let rep = build_service(
+            &ServiceSpec::new("replication").param("replicas", "3"),
+            None,
+        )
+        .unwrap();
         assert_eq!(rep.name(), "replication");
         let mon = build_service(
             &ServiceSpec::new("monitor").param("watch", "/mnt/a, /mnt/b"),
@@ -181,16 +197,34 @@ mod tests {
     #[test]
     fn bad_params_are_rejected() {
         assert!(matches!(
-            build_service(&ServiceSpec::new("encryption").param("cipher", "rot13"), None),
-            Err(CatalogError::BadParam { param: "cipher", .. })
+            build_service(
+                &ServiceSpec::new("encryption").param("cipher", "rot13"),
+                None
+            ),
+            Err(CatalogError::BadParam {
+                param: "cipher",
+                ..
+            })
         ));
         assert!(matches!(
-            build_service(&ServiceSpec::new("replication").param("replicas", "many"), None),
-            Err(CatalogError::BadParam { param: "replicas", .. })
+            build_service(
+                &ServiceSpec::new("replication").param("replicas", "many"),
+                None
+            ),
+            Err(CatalogError::BadParam {
+                param: "replicas",
+                ..
+            })
         ));
         assert!(matches!(
-            build_service(&ServiceSpec::new("replication").param("replicas", "0"), None),
-            Err(CatalogError::BadParam { param: "replicas", .. })
+            build_service(
+                &ServiceSpec::new("replication").param("replicas", "0"),
+                None
+            ),
+            Err(CatalogError::BadParam {
+                param: "replicas",
+                ..
+            })
         ));
         assert!(matches!(
             build_service(&ServiceSpec::new("dedupe"), None),

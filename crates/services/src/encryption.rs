@@ -57,7 +57,9 @@ pub struct EncryptionService {
 impl EncryptionService {
     /// AES-256-XTS from a 64-byte master key (active relay only).
     pub fn aes_xts(master_key: &[u8; 64]) -> Self {
-        Self::with_cipher(CipherKind::AesXts(Box::new(AesXts::from_master_key(master_key))))
+        Self::with_cipher(CipherKind::AesXts(Box::new(AesXts::from_master_key(
+            master_key,
+        ))))
     }
 
     /// ChaCha20 stream cipher (works on both relay paths).
@@ -113,7 +115,8 @@ impl StorageService for EncryptionService {
             (Pdu::DataOut(d), Dir::ToTarget) => {
                 if let Some(&lba) = self.cmds.get(&d.itt) {
                     let mut data = d.data.to_vec();
-                    self.cipher.apply(true, lba * 512 + d.buffer_offset as u64, &mut data);
+                    self.cipher
+                        .apply(true, lba * 512 + d.buffer_offset as u64, &mut data);
                     cx.charge(self.per_byte * data.len() as u64);
                     self.bytes_encrypted += data.len() as u64;
                     d.data = data.into();
@@ -122,7 +125,8 @@ impl StorageService for EncryptionService {
             (Pdu::DataIn(d), Dir::ToInitiator) => {
                 if let Some(&lba) = self.cmds.get(&d.itt) {
                     let mut data = d.data.to_vec();
-                    self.cipher.apply(false, lba * 512 + d.buffer_offset as u64, &mut data);
+                    self.cipher
+                        .apply(false, lba * 512 + d.buffer_offset as u64, &mut data);
                     cx.charge(self.per_byte * data.len() as u64);
                     self.bytes_decrypted += data.len() as u64;
                     d.data = data.into();
@@ -277,12 +281,20 @@ mod tests {
         // Encrypt in irregular chunks (packets), decrypt in different ones.
         let mut off = 0;
         for chunk in [100usize, 900, 1448, 552] {
-            enc.transform(Dir::ToTarget, 5000 + off as u64, &mut wire[off..off + chunk]);
+            enc.transform(
+                Dir::ToTarget,
+                5000 + off as u64,
+                &mut wire[off..off + chunk],
+            );
             off += chunk;
         }
         let mut off = 0;
         for chunk in [1448usize, 1448, 104] {
-            dec.transform(Dir::ToInitiator, 5000 + off as u64, &mut wire[off..off + chunk]);
+            dec.transform(
+                Dir::ToInitiator,
+                5000 + off as u64,
+                &mut wire[off..off + chunk],
+            );
             off += chunk;
         }
         assert_eq!(wire, plain);

@@ -60,7 +60,14 @@ pub struct MonitorService {
 impl MonitorService {
     /// Creates a monitor over a bootstrapped reconstructor.
     pub fn new(cfg: MonitorConfig, recon: Reconstructor) -> Self {
-        MonitorService { cfg, recon, log: Vec::new(), next_id: 1, writes: HashMap::new(), reads: HashMap::new() }
+        MonitorService {
+            cfg,
+            recon,
+            log: Vec::new(),
+            next_id: 1,
+            writes: HashMap::new(),
+            reads: HashMap::new(),
+        }
     }
 
     /// The raw access log (classification-time targets).
@@ -73,7 +80,10 @@ impl MonitorService {
     pub fn analysis(&self) -> Vec<NumberedAccess> {
         self.log
             .iter()
-            .map(|e| NumberedAccess { id: e.id, row: self.recon.reclassify(&e.row) })
+            .map(|e| NumberedAccess {
+                id: e.id,
+                row: self.recon.reclassify(&e.row),
+            })
             .collect()
     }
 
@@ -104,7 +114,10 @@ impl MonitorService {
             if let Some(path) = self.watch_hit(&row) {
                 cx.alert(format!("watched path accessed: {} ({})", path, row.op));
             }
-            self.log.push(NumberedAccess { id: self.next_id, row });
+            self.log.push(NumberedAccess {
+                id: self.next_id,
+                row,
+            });
             self.next_id += 1;
         }
     }
@@ -128,12 +141,9 @@ impl StorageService for MonitorService {
                     match cdb {
                         Cdb::Read { lba, sectors } => {
                             self.reads.insert(c.itt, (lba, sectors));
-                            let rows = self.recon.observe(
-                                FsOp::Read,
-                                lba,
-                                sectors as usize * 512,
-                                None,
-                            );
+                            let rows =
+                                self.recon
+                                    .observe(FsOp::Read, lba, sectors as usize * 512, None);
                             self.record(cx, rows);
                         }
                         Cdb::Write { lba, .. } => {
@@ -204,7 +214,7 @@ impl std::fmt::Debug for MonitorService {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use storm_block::{MemDisk, RecordingDevice, AccessKind};
+    use storm_block::{AccessKind, MemDisk, RecordingDevice};
     use storm_core::service::SvcAction;
     use storm_extfs::ExtFs;
     use storm_iscsi::ScsiCommand;
@@ -227,10 +237,7 @@ mod tests {
     }
 
     /// Feeds the fs's recorded accesses to the monitor as PDUs.
-    fn feed_log(
-        mon: &mut MonitorService,
-        log: Vec<storm_block::AccessRecord>,
-    ) -> Vec<SvcAction> {
+    fn feed_log(mon: &mut MonitorService, log: Vec<storm_block::AccessRecord>) -> Vec<SvcAction> {
         let mut actions = Vec::new();
         for (itt, rec) in (101u32..).zip(log) {
             let mut cx = SvcCtx::new(SimTime::ZERO);
@@ -238,13 +245,19 @@ mod tests {
                 AccessKind::Read => (
                     true,
                     false,
-                    Cdb::Read { lba: rec.lba, sectors: rec.sectors as u32 },
+                    Cdb::Read {
+                        lba: rec.lba,
+                        sectors: rec.sectors as u32,
+                    },
                     Bytes::new(),
                 ),
                 AccessKind::Write => (
                     false,
                     true,
-                    Cdb::Write { lba: rec.lba, sectors: rec.sectors as u32 },
+                    Cdb::Write {
+                        lba: rec.lba,
+                        sectors: rec.sectors as u32,
+                    },
                     Bytes::from(rec.data.clone()),
                 ),
             };
@@ -277,7 +290,10 @@ mod tests {
         assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
         assert_eq!(ids[0], 1);
         // Every PDU was forwarded (the monitor is transparent).
-        let forwards = actions.iter().filter(|a| matches!(a, SvcAction::Forward(_))).count();
+        let forwards = actions
+            .iter()
+            .filter(|a| matches!(a, SvcAction::Forward(_)))
+            .count();
         assert!(forwards > 0);
     }
 
@@ -286,8 +302,10 @@ mod tests {
         let (mut fs, mut mon) = monitored_fs();
         let _ = fs.read_file_to_end("/box/secret.txt").unwrap();
         let actions = feed_log(&mut mon, fs.device_mut().take_log());
-        let alerts: Vec<&SvcAction> =
-            actions.iter().filter(|a| matches!(a, SvcAction::Alert(_))).collect();
+        let alerts: Vec<&SvcAction> = actions
+            .iter()
+            .filter(|a| matches!(a, SvcAction::Alert(_)))
+            .collect();
         assert!(!alerts.is_empty(), "reading a watched file must alert");
     }
 
@@ -295,7 +313,8 @@ mod tests {
     fn unwatched_access_does_not_alert() {
         let (mut fs, mut mon) = monitored_fs();
         fs.create("/box/benign.txt").unwrap();
-        fs.write_file("/box/benign.txt", 0, b"nothing to see").unwrap();
+        fs.write_file("/box/benign.txt", 0, b"nothing to see")
+            .unwrap();
         fs.sync().unwrap();
         let actions = feed_log(&mut mon, fs.device_mut().take_log());
         assert!(!actions.iter().any(|a| matches!(a, SvcAction::Alert(_))));
@@ -316,10 +335,13 @@ mod tests {
         fs.sync().unwrap();
         let _ = feed_log(&mut mon, fs.device_mut().take_log());
         let events = mon.events();
-        assert!(events.iter().any(|e| matches!(
-            e,
-            storm_core::semantics::FsEvent::Created { path, .. }
-            if path == "/mnt/box/etc/init.d/DbSecuritySpt"
-        )), "events: {events:?}");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                storm_core::semantics::FsEvent::Created { path, .. }
+                if path == "/mnt/box/etc/init.d/DbSecuritySpt"
+            )),
+            "events: {events:?}"
+        );
     }
 }

@@ -15,8 +15,16 @@ use std::thread::JoinHandle;
 use storm_crypto::AesXts;
 
 enum Job {
-    Encrypt { idx: usize, sector: u64, data: Vec<u8> },
-    Decrypt { idx: usize, sector: u64, data: Vec<u8> },
+    Encrypt {
+        idx: usize,
+        sector: u64,
+        data: Vec<u8>,
+    },
+    Decrypt {
+        idx: usize,
+        sector: u64,
+        data: Vec<u8>,
+    },
 }
 
 /// A pool of cipher workers.
@@ -45,11 +53,19 @@ impl CipherPipeline {
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         match job {
-                            Job::Encrypt { idx, sector, mut data } => {
+                            Job::Encrypt {
+                                idx,
+                                sector,
+                                mut data,
+                            } => {
                                 xts.encrypt_run(sector, 512, &mut data);
                                 let _ = tx_done.send((idx, data));
                             }
-                            Job::Decrypt { idx, sector, mut data } => {
+                            Job::Decrypt {
+                                idx,
+                                sector,
+                                mut data,
+                            } => {
                                 xts.decrypt_run(sector, 512, &mut data);
                                 let _ = tx_done.send((idx, data));
                             }
@@ -58,7 +74,11 @@ impl CipherPipeline {
                 })
             })
             .collect();
-        CipherPipeline { tx: Some(tx), rx_done, workers: handles }
+        CipherPipeline {
+            tx: Some(tx),
+            rx_done,
+            workers: handles,
+        }
     }
 
     fn run_batch(&self, jobs: Vec<Job>) -> Vec<Vec<u8>> {
@@ -72,7 +92,9 @@ impl CipherPipeline {
             let (idx, data) = self.rx_done.recv().expect("workers alive");
             out[idx] = Some(data);
         }
-        out.into_iter().map(|d| d.expect("all jobs returned")).collect()
+        out.into_iter()
+            .map(|d| d.expect("all jobs returned"))
+            .collect()
     }
 
     /// Encrypts a batch of `(first_sector, data)` runs in parallel,
@@ -124,7 +146,9 @@ impl Drop for CipherPipeline {
 
 impl std::fmt::Debug for CipherPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CipherPipeline").field("workers", &self.workers.len()).finish()
+        f.debug_struct("CipherPipeline")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -154,12 +178,11 @@ mod tests {
     #[test]
     fn round_trip_through_pipeline() {
         let pipeline = CipherPipeline::new(xts(), 3);
-        let batch: Vec<(u64, Vec<u8>)> =
-            (0..16).map(|i| (i as u64, vec![(i * 7) as u8; 512])).collect();
+        let batch: Vec<(u64, Vec<u8>)> = (0..16)
+            .map(|i| (i as u64, vec![(i * 7) as u8; 512]))
+            .collect();
         let enc = pipeline.encrypt_batch(batch.clone());
-        let dec = pipeline.decrypt_batch(
-            batch.iter().map(|(s, _)| *s).zip(enc).collect(),
-        );
+        let dec = pipeline.decrypt_batch(batch.iter().map(|(s, _)| *s).zip(enc).collect());
         for (i, (_, plain)) in batch.iter().enumerate() {
             assert_eq!(&dec[i], plain);
         }
@@ -170,7 +193,12 @@ mod tests {
         let pipeline = CipherPipeline::new(xts(), 8);
         // Mixed sizes so completion order differs from submission order.
         let batch: Vec<(u64, Vec<u8>)> = (0..64)
-            .map(|i| (i as u64, vec![i as u8; if i % 3 == 0 { 64 * 512 } else { 512 }]))
+            .map(|i| {
+                (
+                    i as u64,
+                    vec![i as u8; if i % 3 == 0 { 64 * 512 } else { 512 }],
+                )
+            })
             .collect();
         let out = pipeline.encrypt_batch(batch.clone());
         for (i, (sector, plain)) in batch.iter().enumerate() {

@@ -182,38 +182,35 @@ impl StorageService for ReplicationService {
                         }
                         cx.forward(Pdu::ScsiCommand(c));
                     }
-                    Ok(Cdb::Read { lba, sectors }) => {
-                        match self.pick_read_source() {
-                            None => {
-                                self.stats.primary_reads += 1;
-                                cx.forward(Pdu::ScsiCommand(c));
-                            }
-                            Some(replica) => {
-                                self.stats.striped_reads += 1;
-                                let ctx_id = self.ctx();
-                                self.pending_reads
-                                    .insert(ctx_id, PendingRead { cmd: c, replica });
-                                cx.replica_read(replica, lba, sectors, ctx_id);
-                            }
+                    Ok(Cdb::Read { lba, sectors }) => match self.pick_read_source() {
+                        None => {
+                            self.stats.primary_reads += 1;
+                            cx.forward(Pdu::ScsiCommand(c));
                         }
-                    }
+                        Some(replica) => {
+                            self.stats.striped_reads += 1;
+                            let ctx_id = self.ctx();
+                            self.pending_reads
+                                .insert(ctx_id, PendingRead { cmd: c, replica });
+                            cx.replica_read(replica, lba, sectors, ctx_id);
+                        }
+                    },
                     _ => cx.forward(Pdu::ScsiCommand(c)),
                 }
             }
             Pdu::DataOut(d) => {
-                let complete = if let Some((_, buf, recv, expected)) =
-                    self.write_bufs.get_mut(&d.itt)
-                {
-                    let off = d.buffer_offset as usize;
-                    let end = (off + d.data.len()).min(*expected);
-                    if off < end {
-                        buf[off..end].copy_from_slice(&d.data[..end - off]);
-                        *recv += end - off;
-                    }
-                    *recv >= *expected
-                } else {
-                    false
-                };
+                let complete =
+                    if let Some((_, buf, recv, expected)) = self.write_bufs.get_mut(&d.itt) {
+                        let off = d.buffer_offset as usize;
+                        let end = (off + d.data.len()).min(*expected);
+                        if off < end {
+                            buf[off..end].copy_from_slice(&d.data[..end - off]);
+                            *recv += end - off;
+                        }
+                        *recv >= *expected
+                    } else {
+                        false
+                    };
                 if complete {
                     if let Some((lba, buf, _, _)) = self.write_bufs.remove(&d.itt) {
                         let data = buf.freeze();
@@ -226,7 +223,20 @@ impl StorageService for ReplicationService {
         }
     }
 
-    fn on_replica_done(&mut self, cx: &mut SvcCtx, replica: usize, ctx: u64, ok: bool, data: Bytes) {
+    fn on_replica_done(
+        &mut self,
+        cx: &mut SvcCtx,
+        replica: usize,
+        ctx: u64,
+        ok: bool,
+        data: Bytes,
+    ) {
+        // Claim the completion BEFORE the unresponsiveness bookkeeping: a
+        // threshold-crossing failure below runs `on_replica_failed`, which
+        // re-dispatches every read still in `pending_reads`. If this ctx
+        // were still there it would be retried twice and the miss afterward
+        // would be miscounted as a write failure.
+        let pending = self.pending_reads.remove(&ctx);
         // Unresponsiveness detection: repeated failures remove the replica.
         if replica < self.consecutive_failures.len() {
             if ok {
@@ -238,22 +248,28 @@ impl StorageService for ReplicationService {
                 }
             }
         }
-        if let Some(pending) = self.pending_reads.remove(&ctx) {
+        if let Some(pending) = pending {
             if ok {
                 Self::synth_read_reply(cx, pending.cmd.itt, data);
             } else {
                 // Retry: another replica, else fall back to the primary.
+                // `pick_read_source` only ever returns alive replicas.
                 self.stats.retried_reads += 1;
                 match self.pick_read_source() {
-                    Some(replica) if replica != pending.replica || self.alive[replica] => {
+                    Some(replica) => {
                         if let Ok(Cdb::Read { lba, sectors }) = Cdb::parse(&pending.cmd.cdb) {
                             let ctx_id = self.ctx();
-                            self.pending_reads
-                                .insert(ctx_id, PendingRead { cmd: pending.cmd, replica });
+                            self.pending_reads.insert(
+                                ctx_id,
+                                PendingRead {
+                                    cmd: pending.cmd,
+                                    replica,
+                                },
+                            );
                             cx.replica_read(replica, lba, sectors, ctx_id);
                         }
                     }
-                    _ => {
+                    None => {
                         self.stats.primary_reads += 1;
                         cx.forward(Pdu::ScsiCommand(pending.cmd));
                     }
@@ -286,8 +302,13 @@ impl StorageService for ReplicationService {
                         Some(r) => {
                             if let Ok(Cdb::Read { lba, sectors }) = Cdb::parse(&pending.cmd.cdb) {
                                 let new_ctx = self.ctx();
-                                self.pending_reads
-                                    .insert(new_ctx, PendingRead { cmd: pending.cmd, replica: r });
+                                self.pending_reads.insert(
+                                    new_ctx,
+                                    PendingRead {
+                                        cmd: pending.cmd,
+                                        replica: r,
+                                    },
+                                );
                                 cx.replica_read(r, lba, sectors, new_ctx);
                             }
                         }
@@ -368,7 +389,15 @@ mod tests {
         let acts = actions(&mut svc, Dir::ToTarget, write_cmd(1, 10, data));
         let writes: Vec<_> = acts
             .iter()
-            .filter(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Write { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    SvcAction::Replica {
+                        io: ReplicaIo::Write { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(writes.len(), 2);
         assert!(acts.iter().any(|a| matches!(a, SvcAction::Forward(_))));
@@ -424,10 +453,15 @@ mod tests {
             if acts.iter().any(|a| matches!(a, SvcAction::Forward(_))) {
                 forwarded += 1;
             }
-            if acts
-                .iter()
-                .any(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Read { .. }, .. }))
-            {
+            if acts.iter().any(|a| {
+                matches!(
+                    a,
+                    SvcAction::Replica {
+                        io: ReplicaIo::Read { .. },
+                        ..
+                    }
+                )
+            }) {
                 striped += 1;
             }
         }
@@ -469,7 +503,9 @@ mod tests {
         let mut svc = ReplicationService::new(2, true);
         svc.rr = 1; // next read goes to replica 0
         let acts = actions(&mut svc, Dir::ToTarget, read_cmd(1, 0, 8));
-        assert!(acts.iter().any(|a| matches!(a, SvcAction::Replica { replica: 0, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, SvcAction::Replica { replica: 0, .. })));
         // Replica 0 dies with the read outstanding.
         let mut cx = SvcCtx::new(SimTime::ZERO);
         svc.on_replica_failed(&mut cx, 0);
@@ -479,19 +515,145 @@ mod tests {
         assert!(
             acts.iter().any(|a| matches!(
                 a,
-                SvcAction::Replica { replica: 1, io: ReplicaIo::Read { .. }, .. }
+                SvcAction::Replica {
+                    replica: 1,
+                    io: ReplicaIo::Read { .. },
+                    ..
+                }
             ) || matches!(a, SvcAction::Forward(_))),
             "actions: {acts:?}"
         );
         assert_eq!(svc.alive_replicas(), 1);
         assert_eq!(svc.stats.retried_reads, 1);
         // Future writes only mirror to the survivor.
-        let acts = actions(&mut svc, Dir::ToTarget, write_cmd(2, 0, Bytes::from(vec![0u8; 512])));
+        let acts = actions(
+            &mut svc,
+            Dir::ToTarget,
+            write_cmd(2, 0, Bytes::from(vec![0u8; 512])),
+        );
         let mirrors = acts
             .iter()
-            .filter(|a| matches!(a, SvcAction::Replica { io: ReplicaIo::Write { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    SvcAction::Replica {
+                        io: ReplicaIo::Write { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(mirrors, 1);
+    }
+
+    #[test]
+    fn failed_replica_write_counts_write_failure() {
+        let mut svc = ReplicationService::new(2, true);
+        let acts = actions(
+            &mut svc,
+            Dir::ToTarget,
+            write_cmd(1, 0, Bytes::from(vec![0u8; 512])),
+        );
+        let ctxs: Vec<u64> = acts
+            .iter()
+            .filter_map(|a| match a {
+                SvcAction::Replica {
+                    io: ReplicaIo::Write { .. },
+                    ctx,
+                    ..
+                } => Some(*ctx),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ctxs.len(), 2);
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_replica_done(&mut cx, 0, ctxs[0], false, Bytes::new());
+        assert_eq!(svc.stats.write_failures, 1);
+        assert_eq!(svc.stats.retried_reads, 0);
+        // A successful completion must not bump the counter.
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_replica_done(&mut cx, 1, ctxs[1], true, Bytes::new());
+        assert_eq!(svc.stats.write_failures, 1);
+    }
+
+    #[test]
+    fn failed_replica_read_retries_on_another_source() {
+        let mut svc = ReplicationService::new(2, true);
+        svc.rr = 1; // next read goes to replica 0
+        let acts = actions(&mut svc, Dir::ToTarget, read_cmd(7, 64, 8));
+        let ctx = acts
+            .iter()
+            .find_map(|a| match a {
+                SvcAction::Replica {
+                    replica: 0, ctx, ..
+                } => Some(*ctx),
+                _ => None,
+            })
+            .expect("read dispatched to replica 0");
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_replica_done(&mut cx, 0, ctx, false, Bytes::new());
+        let acts = cx.take_actions();
+        // Re-dispatched exactly once: to another replica or the primary,
+        // and the miss must NOT be miscounted as a write failure.
+        let retried = acts
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    SvcAction::Replica {
+                        io: ReplicaIo::Read { .. },
+                        ..
+                    }
+                ) || matches!(a, SvcAction::Forward(_))
+            })
+            .count();
+        assert_eq!(retried, 1, "actions: {acts:?}");
+        assert_eq!(svc.stats.retried_reads, 1);
+        assert_eq!(svc.stats.write_failures, 0);
+    }
+
+    #[test]
+    fn threshold_crossing_read_failure_is_not_double_dispatched() {
+        // Three consecutive failed reads on replica 0 cross fail_threshold
+        // inside on_replica_done. The third completion's own pending read
+        // must be claimed before the eviction re-dispatches stranded reads,
+        // otherwise it is retried twice and write_failures is bumped.
+        let mut svc = ReplicationService::new(2, true);
+        let fail_read = |svc: &mut ReplicationService, itt: u32| {
+            svc.rr = 1; // force replica 0
+            let acts = actions(svc, Dir::ToTarget, read_cmd(itt, 0, 8));
+            let ctx = acts
+                .iter()
+                .find_map(|a| match a {
+                    SvcAction::Replica {
+                        replica: 0, ctx, ..
+                    } => Some(*ctx),
+                    _ => None,
+                })
+                .expect("read on replica 0");
+            let mut cx = SvcCtx::new(SimTime::ZERO);
+            svc.on_replica_done(&mut cx, 0, ctx, false, Bytes::new());
+            cx.take_actions()
+        };
+        fail_read(&mut svc, 1);
+        fail_read(&mut svc, 2);
+        let acts = fail_read(&mut svc, 3); // crosses fail_threshold = 3
+        assert_eq!(svc.alive_replicas(), 1);
+        let dispatches = acts
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    SvcAction::Replica {
+                        io: ReplicaIo::Read { .. },
+                        ..
+                    }
+                ) || matches!(a, SvcAction::Forward(_))
+            })
+            .count();
+        assert_eq!(dispatches, 1, "actions: {acts:?}");
+        assert_eq!(svc.stats.write_failures, 0);
+        assert_eq!(svc.stats.retried_reads, 3);
     }
 
     #[test]

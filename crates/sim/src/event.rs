@@ -49,7 +49,11 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
     }
 
     /// Schedules `event` for delivery at instant `at`.

@@ -26,11 +26,13 @@
 
 mod cpu;
 mod event;
+pub mod fault;
 pub mod metrics;
 mod rng;
 mod time;
 
 pub use cpu::{CpuModel, SerialResource};
 pub use event::EventQueue;
+pub use fault::{FaultAction, FaultHook, FaultPoint, FaultSite};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -4,6 +4,7 @@
 //! utilization for Figure 10, per-second transaction timelines for
 //! Figure 13.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use crate::{SimDuration, SimTime};
@@ -12,10 +13,16 @@ use crate::{SimDuration, SimTime};
 ///
 /// Samples are kept exactly (the experiments record at most a few hundred
 /// thousand operations), so percentiles are exact rather than approximated.
+/// Percentile queries sort lazily into an interior cache, so they take
+/// `&self` and can be answered from shared references (e.g. inside a
+/// report formatter); the simulator is single-threaded, so a [`RefCell`]
+/// suffices.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<SimDuration>,
-    sorted: bool,
+    /// Sorted copy of `samples`, rebuilt on read when stale. `samples`
+    /// only ever grows, so a length mismatch is the staleness signal.
+    sorted: RefCell<Vec<SimDuration>>,
 }
 
 impl LatencyStats {
@@ -27,7 +34,6 @@ impl LatencyStats {
     /// Records one sample.
     pub fn record(&mut self, d: SimDuration) {
         self.samples.push(d);
-        self.sorted = false;
     }
 
     /// Number of samples recorded.
@@ -45,26 +51,36 @@ impl LatencyStats {
     }
 
     /// Exact percentile in `[0, 100]`, or zero when empty.
-    pub fn percentile(&mut self, p: f64) -> SimDuration {
+    pub fn percentile(&self, p: f64) -> SimDuration {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
         }
-        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[rank.min(self.samples.len() - 1)]
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
     }
 
     /// Largest sample, or zero when empty.
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Smallest sample, or zero when empty.
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -134,7 +150,10 @@ impl Timeline {
     /// Panics if `bucket` is zero.
     pub fn new(bucket: SimDuration) -> Self {
         assert!(bucket > SimDuration::ZERO, "bucket must be positive");
-        Timeline { bucket, counts: Vec::new() }
+        Timeline {
+            bucket,
+            counts: Vec::new(),
+        }
     }
 
     /// Records one event at instant `at`.
@@ -208,10 +227,28 @@ mod tests {
 
     #[test]
     fn empty_latency_stats_are_zero() {
-        let mut s = LatencyStats::new();
+        let s = LatencyStats::new();
         assert_eq!(s.mean(), SimDuration::ZERO);
         assert_eq!(s.percentile(99.0), SimDuration::ZERO);
         assert_eq!(s.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentile_takes_shared_ref_and_tracks_new_samples() {
+        let mut s = LatencyStats::new();
+        s.record(ms(10));
+        s.record(ms(30));
+        // Query through a shared reference; the sort is cached inside.
+        let shared: &LatencyStats = &s;
+        assert_eq!(shared.percentile(100.0), ms(30));
+        assert_eq!(shared.percentile(0.0), ms(10));
+        // A later record invalidates the cache (out of order on purpose).
+        s.record(ms(20));
+        assert_eq!(s.percentile(50.0), ms(20));
+        assert_eq!(s.percentile(100.0), ms(30));
+        // Clones answer queries independently.
+        let c = s.clone();
+        assert_eq!(c.percentile(0.0), ms(10));
     }
 
     #[test]

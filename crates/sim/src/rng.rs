@@ -16,7 +16,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; used to give each workload
@@ -84,7 +86,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 

@@ -28,6 +28,16 @@ impl SimTime {
         SimTime(ns)
     }
 
+    /// Creates an instant `ms` milliseconds after simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
     /// Nanoseconds since simulation start.
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -230,7 +240,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(3);
         assert_eq!(t.as_micros(), 3_000);
         assert_eq!((t - SimTime::ZERO).as_millis(), 3);
-        assert_eq!(t - SimDuration::from_millis(1), SimTime::from_nanos(2_000_000));
+        assert_eq!(
+            t - SimDuration::from_millis(1),
+            SimTime::from_nanos(2_000_000)
+        );
     }
 
     #[test]

@@ -62,7 +62,14 @@ pub struct FioWorkload {
 impl FioWorkload {
     /// Creates the workload.
     pub fn new(job: FioJob) -> Self {
-        FioWorkload { job, started_at: None, seq_pos: 0, issued: 0, completed: 0, stopping: false }
+        FioWorkload {
+            job,
+            started_at: None,
+            seq_pos: 0,
+            issued: 0,
+            completed: 0,
+            stopping: false,
+        }
     }
 
     fn issue_one(&mut self, io: &mut IoCtx<'_>) {
@@ -118,7 +125,14 @@ mod tests {
     fn run_fio(job: FioJob) -> (u64, f64) {
         let mut cloud = Cloud::build(CloudConfig::default());
         let vol = cloud.create_volume(256 << 20, 0);
-        let app = cloud.attach_volume(0, "vm:fio", &vol, Box::new(FioWorkload::new(job.clone())), 11, false);
+        let app = cloud.attach_volume(
+            0,
+            "vm:fio",
+            &vol,
+            Box::new(FioWorkload::new(job.clone())),
+            11,
+            false,
+        );
         cloud.net.run_until(SimTime::from_nanos(
             (job.duration + SimDuration::from_secs(1)).as_nanos(),
         ));

@@ -79,7 +79,9 @@ impl FtpWorkload {
         if self.next_offset >= self.total_bytes {
             return false;
         }
-        let n = self.chunk_bytes.min((self.total_bytes - self.next_offset) as usize);
+        let n = self
+            .chunk_bytes
+            .min((self.total_bytes - self.next_offset) as usize);
         // Round to whole sectors.
         let n = (n / 512).max(1) * 512;
         let lba = self.next_offset / 512;

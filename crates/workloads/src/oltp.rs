@@ -71,7 +71,10 @@ impl OltpWorkload {
     /// Creates the workload.
     pub fn new(cfg: OltpConfig) -> Self {
         let threads = (0..cfg.threads)
-            .map(|_| Thread { phase: Phase::Idle, pending: None })
+            .map(|_| Thread {
+                phase: Phase::Idle,
+                pending: None,
+            })
             .collect();
         OltpWorkload {
             cfg,
@@ -106,7 +109,9 @@ impl OltpWorkload {
         }
         let page = self.random_page(io);
         let req = io.read(page, 32);
-        self.threads[t].phase = Phase::ReadInFlight { remaining: self.cfg.reads_per_txn - 1 };
+        self.threads[t].phase = Phase::ReadInFlight {
+            remaining: self.cfg.reads_per_txn - 1,
+        };
         self.threads[t].pending = Some(req);
     }
 
@@ -131,7 +136,9 @@ impl Workload for OltpWorkload {
             Phase::ReadInFlight { remaining } if remaining > 0 => {
                 let page = self.random_page(io);
                 let req = io.read(page, 32);
-                self.threads[t].phase = Phase::ReadInFlight { remaining: remaining - 1 };
+                self.threads[t].phase = Phase::ReadInFlight {
+                    remaining: remaining - 1,
+                };
                 self.threads[t].pending = Some(req);
             }
             Phase::ReadInFlight { .. } => {
@@ -167,8 +174,18 @@ mod tests {
     fn transactions_flow_and_timeline_fills() {
         let mut cloud = Cloud::build(CloudConfig::default());
         let vol = cloud.create_volume(256 << 20, 0);
-        let cfg = OltpConfig { duration: SimDuration::from_secs(5), ..OltpConfig::default() };
-        let app = cloud.attach_volume(0, "vm:oltp", &vol, Box::new(OltpWorkload::new(cfg)), 21, false);
+        let cfg = OltpConfig {
+            duration: SimDuration::from_secs(5),
+            ..OltpConfig::default()
+        };
+        let app = cloud.attach_volume(
+            0,
+            "vm:oltp",
+            &vol,
+            Box::new(OltpWorkload::new(cfg)),
+            21,
+            false,
+        );
         cloud.net.run_until(SimTime::from_nanos(7_000_000_000));
         let client = cloud.client_mut(0, app);
         assert_eq!(client.stats.errors, 0);
@@ -193,8 +210,14 @@ mod tests {
                 duration: SimDuration::from_secs(4),
                 ..OltpConfig::default()
             };
-            let app =
-                cloud.attach_volume(0, "vm:oltp", &vol, Box::new(OltpWorkload::new(cfg)), 22, false);
+            let app = cloud.attach_volume(
+                0,
+                "vm:oltp",
+                &vol,
+                Box::new(OltpWorkload::new(cfg)),
+                22,
+                false,
+            );
             cloud.net.run_until(SimTime::from_nanos(6_000_000_000));
             let client = cloud.client_mut(0, app);
             client

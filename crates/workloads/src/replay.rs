@@ -91,10 +91,16 @@ pub struct TraceWorkload {
 impl TraceWorkload {
     /// Creates a replay of `groups`.
     pub fn new(groups: Vec<OpGroup>) -> Self {
-        let stats = [OpClass::Read, OpClass::Append, OpClass::Create, OpClass::Delete, OpClass::Other]
-            .into_iter()
-            .map(|c| (c, ClassStats::default()))
-            .collect();
+        let stats = [
+            OpClass::Read,
+            OpClass::Append,
+            OpClass::Create,
+            OpClass::Delete,
+            OpClass::Other,
+        ]
+        .into_iter()
+        .map(|c| (c, ClassStats::default()))
+        .collect();
         TraceWorkload {
             groups,
             group_idx: 0,
@@ -121,7 +127,12 @@ impl TraceWorkload {
 
     /// Stats for one class.
     pub fn class_stats(&self, class: OpClass) -> &ClassStats {
-        &self.stats.iter().find(|(c, _)| *c == class).expect("all classes present").1
+        &self
+            .stats
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("all classes present")
+            .1
     }
 
     /// Wall-clock of the replay (start to last completion), if finished.
@@ -167,8 +178,8 @@ impl TraceWorkload {
                 || self.vm_cipher_per_access > SimDuration::ZERO;
             if cipher_on && !self.cipher_delayed {
                 let rec = &group.accesses[self.access_idx];
-                let cost = self.vm_cipher_per_byte * rec.len_bytes() as u64
-                    + self.vm_cipher_per_access;
+                let cost =
+                    self.vm_cipher_per_byte * rec.len_bytes() as u64 + self.vm_cipher_per_access;
                 io.charge_vm_cpu(cost);
                 io.set_timer(cost, 1);
                 self.cipher_delayed = true;
@@ -244,8 +255,16 @@ mod tests {
         let _ = fs.read_file_to_end("/f").unwrap();
         let read = fs.device_mut().take_log();
         vec![
-            OpGroup { class: OpClass::Create, label: "create /f".into(), accesses: create },
-            OpGroup { class: OpClass::Read, label: "read /f".into(), accesses: read },
+            OpGroup {
+                class: OpClass::Create,
+                label: "create /f".into(),
+                accesses: create,
+            },
+            OpGroup {
+                class: OpClass::Read,
+                label: "read /f".into(),
+                accesses: read,
+            },
         ]
     }
 
@@ -256,7 +275,14 @@ mod tests {
         assert!(total_accesses > 3);
         let mut cloud = Cloud::build(CloudConfig::default());
         let vol = cloud.create_volume(64 << 20, 0);
-        let app = cloud.attach_volume(0, "vm:replay", &vol, Box::new(TraceWorkload::new(groups)), 3, false);
+        let app = cloud.attach_volume(
+            0,
+            "vm:replay",
+            &vol,
+            Box::new(TraceWorkload::new(groups)),
+            3,
+            false,
+        );
         cloud.net.run_until(SimTime::from_nanos(5_000_000_000));
         let client = cloud.client_mut(0, app);
         assert_eq!(client.stats.errors, 0);

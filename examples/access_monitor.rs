@@ -23,9 +23,15 @@ fn main() {
     // A realistic pre-infection system image, and the scripted install.
     let mut image = malware::build_system_image();
     let (trace, steps) = malware::ganiw_trace(image.clone());
-    println!("replaying {} installation steps through the monitor...", steps.len());
+    println!(
+        "replaying {} installation steps through the monitor...",
+        steps.len()
+    );
 
-    let mut cloud = Cloud::build(CloudConfig { backing_bytes: 2 << 30, ..CloudConfig::default() });
+    let mut cloud = Cloud::build(CloudConfig {
+        backing_bytes: 2 << 30,
+        ..CloudConfig::default()
+    });
     let platform = StormPlatform::default();
     let volume = cloud.create_volume(256 << 20, 0);
     install_image(&mut image, &mut volume.shared.clone());
@@ -44,7 +50,11 @@ fn main() {
         &mut cloud,
         &volume,
         (1, 2),
-        vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor)])],
+        vec![MbSpec::with_services(
+            3,
+            RelayMode::Active,
+            vec![Box::new(monitor)],
+        )],
     );
     let app = platform.attach_volume_steered(
         &mut cloud,

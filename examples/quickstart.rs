@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use storm::cloud::{Cloud, CloudConfig, IoCtx, IoKind, IoResult, ReqId, Workload};
-use storm::core::{MbSpec, RelayMode, StormPlatform, TenantPolicy, VolumePolicy, ServiceSpec};
+use storm::core::{MbSpec, RelayMode, ServiceSpec, StormPlatform, TenantPolicy, VolumePolicy};
 use storm::services::EncryptionService;
 use storm_block::BlockDevice;
 use storm_sim::SimTime;
@@ -30,7 +30,11 @@ impl Workload for Quickstart {
             io.read(128, 8);
         } else {
             assert_eq!(kind, IoKind::Read);
-            assert_eq!(&result.data[..], &self.secret[..], "decryption must round-trip");
+            assert_eq!(
+                &result.data[..],
+                &self.secret[..],
+                "decryption must round-trip"
+            );
             println!("[vm] read back and verified in {}", result.latency);
             io.stop();
         }
@@ -48,8 +52,11 @@ fn main() {
         }],
     };
     policy.validate().expect("policy is well-formed");
-    println!("[policy] validated: {} service(s) for vm {}",
-        policy.volumes[0].services.len(), policy.volumes[0].vm);
+    println!(
+        "[policy] validated: {} service(s) for vm {}",
+        policy.volumes[0].services.len(),
+        policy.volumes[0].vm
+    );
 
     // 2. The provider builds the cloud and deploys the chain.
     let mut cloud = Cloud::build(CloudConfig::default());
@@ -75,7 +82,10 @@ fn main() {
         0,
         "vm:web-1",
         &volume,
-        Box::new(Quickstart { write: None, secret: secret.clone() }),
+        Box::new(Quickstart {
+            write: None,
+            secret: secret.clone(),
+        }),
         1,
         false,
     );

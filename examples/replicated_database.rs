@@ -28,18 +28,32 @@ fn main() {
     let rep1 = cloud.create_volume(2 << 30, 1);
     let rep2 = cloud.create_volume(2 << 30, 2);
 
-    let deployment = platform.deploy_chain(&mut cloud, &primary, (1, 2), vec![MbSpec {
-        host_idx: 3,
-        mode: RelayMode::Active,
-        services: vec![Box::new(ReplicationService::new(2, true))],
-        replicas: vec![
-            ReplicaTarget { portal: rep1.portal, iqn: rep1.iqn.clone() },
-            ReplicaTarget { portal: rep2.portal, iqn: rep2.iqn.clone() },
-        ],
-    }]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &primary,
+        (1, 2),
+        vec![MbSpec {
+            host_idx: 3,
+            mode: RelayMode::Active,
+            services: vec![Box::new(ReplicationService::new(2, true))],
+            replicas: vec![
+                ReplicaTarget {
+                    portal: rep1.portal,
+                    iqn: rep1.iqn.clone(),
+                },
+                ReplicaTarget {
+                    portal: rep2.portal,
+                    iqn: rep2.iqn.clone(),
+                },
+            ],
+        }],
+    );
     println!("replication middle-box deployed: primary + 2 replicas, read striping on");
 
-    let oltp = OltpConfig { duration: SimDuration::from_secs(30), ..OltpConfig::default() };
+    let oltp = OltpConfig {
+        duration: SimDuration::from_secs(30),
+        ..OltpConfig::default()
+    };
     let app = platform.attach_volume_steered(
         &mut cloud,
         &deployment,
@@ -58,14 +72,24 @@ fn main() {
     cloud.net.run_until(SimTime::from_nanos(40_000_000_000));
 
     let client = cloud.client_mut(0, app);
-    assert_eq!(client.stats.errors, 0, "the database must never see the failure");
-    let w = client.workload_ref().unwrap().downcast_ref::<OltpWorkload>().unwrap();
+    assert_eq!(
+        client.stats.errors, 0,
+        "the database must never see the failure"
+    );
+    let w = client
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<OltpWorkload>()
+        .unwrap();
     println!("\nper-second transactions:");
     for (t, tps) in w.tps.series().iter().enumerate().step_by(3) {
         let bar = "#".repeat((*tps as usize) / 20);
         println!("  t={t:>3}s {tps:>5} {bar}");
     }
-    println!("\ntotal transactions: {} (zero client-visible errors)", w.transactions);
+    println!(
+        "\ntotal transactions: {} (zero client-visible errors)",
+        w.transactions
+    );
 
     let relay = cloud
         .net

@@ -31,7 +31,8 @@ fn main() {
     fs.sync().unwrap();
     fs.device_mut().take_log();
     fs.create("/finance/q3-forecast.xlsx").unwrap();
-    fs.write_file("/finance/q3-forecast.xlsx", 0, &vec![0x55; 16384]).unwrap();
+    fs.write_file("/finance/q3-forecast.xlsx", 0, &vec![0x55; 16384])
+        .unwrap();
     fs.sync().unwrap();
     let ops = fs.device_mut().take_log();
     let mut image = fs.into_device().unwrap().into_inner();
@@ -44,13 +45,23 @@ fn main() {
     // The chain: monitor first, then encryption — order matters.
     let recon = Reconstructor::from_device(&mut volume.shared.clone(), "").unwrap();
     let monitor = MonitorService::new(
-        MonitorConfig { watch: vec!["/finance".into()], per_byte_cost: SimDuration::ZERO },
+        MonitorConfig {
+            watch: vec!["/finance".into()],
+            per_byte_cost: SimDuration::ZERO,
+        },
         recon,
     );
     let encryption = EncryptionService::aes_xts(&[0x99; 64]);
-    let deployment = platform.deploy_chain(&mut cloud, &volume, (1, 2), vec![
-        MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor), Box::new(encryption)]),
-    ]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &volume,
+        (1, 2),
+        vec![MbSpec::with_services(
+            3,
+            RelayMode::Active,
+            vec![Box::new(monitor), Box::new(encryption)],
+        )],
+    );
 
     let groups = vec![OpGroup {
         class: OpClass::Create,
@@ -81,11 +92,19 @@ fn main() {
     for (at, msg) in relay.alerts() {
         println!("  [{at}] {msg}");
     }
-    let mon = relay.service(0).unwrap().downcast_ref::<MonitorService>().unwrap();
+    let mon = relay
+        .service(0)
+        .unwrap()
+        .downcast_ref::<MonitorService>()
+        .unwrap();
     for e in mon.analysis().iter().take(8) {
         println!("  {e}");
     }
-    let enc = relay.service(1).unwrap().downcast_ref::<EncryptionService>().unwrap();
+    let enc = relay
+        .service(1)
+        .unwrap()
+        .downcast_ref::<EncryptionService>()
+        .unwrap();
     let (enc_bytes, _) = enc.counters();
     println!("\nstage 2 — encryption: {enc_bytes} bytes encrypted on the write path");
 

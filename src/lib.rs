@@ -10,6 +10,7 @@ pub use storm_cloud as cloud;
 pub use storm_core as core;
 pub use storm_crypto as crypto;
 pub use storm_extfs as extfs;
+pub use storm_faults as faults;
 pub use storm_iscsi as iscsi;
 pub use storm_net as net;
 pub use storm_services as services;

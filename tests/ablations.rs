@@ -32,19 +32,31 @@ impl Workload for Load {
 }
 
 fn throughput(platform: StormPlatform) -> u64 {
-    let mut cfg = CloudConfig { backing_bytes: 16 << 30, ..CloudConfig::default() };
+    let mut cfg = CloudConfig {
+        backing_bytes: 16 << 30,
+        ..CloudConfig::default()
+    };
     cfg.target.disk.prewarmed = true;
     let mut cloud = Cloud::build(cfg);
     let vol = cloud.create_volume(1 << 30, 0);
-    let deployment =
-        platform.deploy_chain(&mut cloud, &vol, (1, 2), vec![MbSpec::bare(3, RelayMode::Active)]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Active)],
+    );
     let app = platform.attach_volume_steered(
         &mut cloud,
         &deployment,
         0,
         "vm:load",
         &vol,
-        Box::new(Load { depth: 16, deadline: None, secs: 3, done: 0 }),
+        Box::new(Load {
+            depth: 16,
+            deadline: None,
+            secs: 3,
+            done: 0,
+        }),
         5,
         false,
     );
@@ -60,7 +72,10 @@ fn throughput(platform: StormPlatform) -> u64 {
 #[test]
 fn tso_batching_matters_under_load() {
     let with_tso = throughput(StormPlatform::default());
-    let without_tso = throughput(StormPlatform { tso: false, ..StormPlatform::default() });
+    let without_tso = throughput(StormPlatform {
+        tso: false,
+        ..StormPlatform::default()
+    });
     assert!(
         with_tso as f64 > without_tso as f64 * 1.1,
         "TSO should raise active-relay throughput by >10%: {with_tso} vs {without_tso}"
@@ -72,7 +87,10 @@ fn tso_batching_matters_under_load() {
 #[test]
 fn small_persistence_buffer_throttles_but_stays_correct() {
     let big = throughput(StormPlatform::default());
-    let small = throughput(StormPlatform { buffer_cap: 32 * 1024, ..StormPlatform::default() });
+    let small = throughput(StormPlatform {
+        buffer_cap: 32 * 1024,
+        ..StormPlatform::default()
+    });
     assert!(
         small <= big,
         "a 32 KiB persistence buffer cannot beat an 8 MiB one: {small} vs {big}"

@@ -1,0 +1,151 @@
+//! Figure-13 failover scenario, end to end, driven by `storm-faults`.
+//!
+//! An OLTP guest runs through a replication middle-box with two backup
+//! replicas (replication factor 3). Mid-run the fault plan mutes the
+//! storage host backing replica 0: its target keeps serving I/O but the
+//! responses never leave the host — the paper's "not responsive" replica,
+//! detectable only by timeout. The relay's watchdog must time the
+//! requests out, retry with backoff, evict the replica, and re-dispatch
+//! its unfinished reads; the database keeps running with zero lost reads
+//! and throughput dips then recovers on the surviving lanes.
+
+use storm::cloud::{Cloud, CloudConfig};
+use storm::core::relay::{ActiveRelayMb, ReplicaTarget};
+use storm::core::{MbSpec, RelayMode, StormPlatform};
+use storm_faults::{Fault, FaultPlan, FaultRunner};
+use storm_services::ReplicationService;
+use storm_sim::{SimDuration, SimTime};
+use storm_workloads::{OltpConfig, OltpWorkload};
+
+const RUN_SECS: u64 = 10;
+const FAIL_AT_SECS: u64 = 4;
+
+#[test]
+fn replica_goes_mute_mid_workload_and_is_evicted() {
+    let mut cfg = CloudConfig {
+        storage_hosts: 3,
+        backing_bytes: 8 << 30,
+        ..CloudConfig::default()
+    };
+    // Keep the page cache small so reads hit the spindles — the regime
+    // where read striping (and losing a stripe lane) matters.
+    cfg.target.disk.cache_blocks = 32_768;
+    let mut cloud = Cloud::build(cfg);
+    let platform = StormPlatform::default();
+    let vol = cloud.create_volume(1 << 30, 0);
+    let rep1 = cloud.create_volume(1 << 30, 1);
+    let rep2 = cloud.create_volume(1 << 30, 2);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec {
+            host_idx: 3,
+            mode: RelayMode::Active,
+            services: vec![Box::new(ReplicationService::new(2, true))],
+            replicas: vec![
+                ReplicaTarget {
+                    portal: rep1.portal,
+                    iqn: rep1.iqn.clone(),
+                },
+                ReplicaTarget {
+                    portal: rep2.portal,
+                    iqn: rep2.iqn.clone(),
+                },
+            ],
+        }],
+    );
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:mysql",
+        &vol,
+        Box::new(OltpWorkload::new(OltpConfig {
+            threads: 2,
+            reads_per_txn: 2,
+            area_sectors: 1 << 19,
+            duration: SimDuration::from_secs(RUN_SECS),
+        })),
+        77,
+        false,
+    );
+
+    // Replica 0 lives on storage host 1: mute that target at the fail
+    // mark. Served requests produce no responses from then on.
+    let plan = FaultPlan::new(0xF1613).at(
+        SimTime::from_secs(FAIL_AT_SECS),
+        Fault::MuteTarget {
+            host: rep1.storage_host as u32,
+        },
+    );
+    let mut runner = FaultRunner::new(plan.schedule());
+    runner.arm_cloud(&mut cloud);
+    let (mb_node, mb_app) = (deployment.mb_nodes[0].node, deployment.mb_apps[0].unwrap());
+    assert!(runner.arm_mb(&mut cloud, 0, mb_node, mb_app));
+
+    runner.run(&mut cloud, SimTime::from_secs(RUN_SECS + 2));
+
+    // Zero lost reads: the guest never sees an I/O error; every read the
+    // muted replica swallowed was timed out and re-served elsewhere.
+    let client = cloud.client_mut(0, app);
+    assert_eq!(
+        client.stats.errors, 0,
+        "the database must never see an I/O error"
+    );
+    let w = client
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<OltpWorkload>()
+        .unwrap();
+    let before = w.mean_tps(2, FAIL_AT_SECS as usize);
+    let dip = w.mean_tps(FAIL_AT_SECS as usize, FAIL_AT_SECS as usize + 2);
+    let after = w.mean_tps(FAIL_AT_SECS as usize + 3, RUN_SECS as usize);
+    assert!(
+        before > 0.0,
+        "workload must make progress before the failure"
+    );
+    assert!(
+        dip < before,
+        "throughput must dip while the mute replica times out: before={before:.0} dip={dip:.0}"
+    );
+    assert!(
+        after > before * 0.5,
+        "throughput must recover on the surviving lanes: before={before:.0} after={after:.0}"
+    );
+
+    // The watchdog evicted exactly the muted replica.
+    let relay = cloud
+        .net
+        .app_mut(mb_node, mb_app)
+        .unwrap()
+        .downcast_mut::<ActiveRelayMb>()
+        .unwrap();
+    assert!(!relay.is_crashed());
+    let svc = relay
+        .service(0)
+        .unwrap()
+        .downcast_ref::<ReplicationService>()
+        .unwrap();
+    assert_eq!(
+        svc.alive_replicas(),
+        1,
+        "the mute replica must be eliminated"
+    );
+    assert!(
+        svc.stats.retried_reads > 0,
+        "unfinished reads of the failed replica must be re-dispatched"
+    );
+    assert!(svc.stats.striped_reads > 0);
+
+    // The muted responses are visible in the fault trace.
+    let trace = runner.trace();
+    assert!(
+        trace.iter().any(|l| l.contains("arm #1 MuteTarget")),
+        "{trace:?}"
+    );
+    assert!(
+        trace.iter().any(|l| l.contains("TargetRespond")),
+        "{trace:?}"
+    );
+}

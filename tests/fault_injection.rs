@@ -35,7 +35,14 @@ impl Workload for Forever {
 fn storage_link_failure_stalls_but_does_not_corrupt() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let vol = cloud.create_volume(32 << 20, 0);
-    let app = cloud.attach_volume(0, "vm:f", &vol, Box::new(Forever { ok: 0, failed: 0 }), 4, false);
+    let app = cloud.attach_volume(
+        0,
+        "vm:f",
+        &vol,
+        Box::new(Forever { ok: 0, failed: 0 }),
+        4,
+        false,
+    );
     cloud.net.run_until(SimTime::from_nanos(1_000_000_000));
     let ok_before = {
         let c = cloud.client_mut(0, app);
@@ -50,13 +57,19 @@ fn storage_link_failure_stalls_but_does_not_corrupt() {
     cloud.net.run_until(SimTime::from_nanos(2_000_000_000));
     let ok_during = cloud.client_mut(0, app).stats.writes.count();
     // Progress stops (at most a few in-flight completions drain).
-    assert!(ok_during - ok_before < 20, "I/O must stall: {ok_before} -> {ok_during}");
+    assert!(
+        ok_during - ok_before < 20,
+        "I/O must stall: {ok_before} -> {ok_during}"
+    );
     // Restore: (no retransmission is modelled, so the stalled session does
     // not resume — but the fabric and volume stay consistent.)
     cloud.net.fabric.set_link_up(link, true);
     let mut buf = vec![0u8; 4096];
     vol.shared.clone().read(0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == 1), "acknowledged data must persist");
+    assert!(
+        buf.iter().all(|&b| b == 1),
+        "acknowledged data must persist"
+    );
 }
 
 /// A failed backing volume surfaces as SCSI errors to the client — the
@@ -65,21 +78,45 @@ fn storage_link_failure_stalls_but_does_not_corrupt() {
 fn volume_failure_surfaces_scsi_errors() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let vol = cloud.create_volume(32 << 20, 0);
-    let app = cloud.attach_volume(0, "vm:f", &vol, Box::new(Forever { ok: 0, failed: 0 }), 4, false);
+    let app = cloud.attach_volume(
+        0,
+        "vm:f",
+        &vol,
+        Box::new(Forever { ok: 0, failed: 0 }),
+        4,
+        false,
+    );
     cloud.net.run_until(SimTime::from_nanos(500_000_000));
     vol.shared.fail();
     cloud.net.run_until(SimTime::from_nanos(1_500_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client.stats.errors > 0, "device failure must surface as I/O errors");
-    let w = client.workload_ref().unwrap().downcast_ref::<Forever>().unwrap();
+    assert!(
+        client.stats.errors > 0,
+        "device failure must surface as I/O errors"
+    );
+    let w = client
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<Forever>()
+        .unwrap();
     assert!(w.failed > 0);
     // Recovery: I/O flows again.
     vol.shared.recover();
-    let ok_now = cloud.client_mut(0, app)
-        .workload_ref().unwrap().downcast_ref::<Forever>().unwrap().ok;
+    let ok_now = cloud
+        .client_mut(0, app)
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<Forever>()
+        .unwrap()
+        .ok;
     cloud.net.run_until(SimTime::from_nanos(2_500_000_000));
     let w = cloud.client_mut(0, app);
-    let after = w.workload_ref().unwrap().downcast_ref::<Forever>().unwrap().ok;
+    let after = w
+        .workload_ref()
+        .unwrap()
+        .downcast_ref::<Forever>()
+        .unwrap()
+        .ok;
     assert!(after > ok_now, "I/O must resume after recovery");
 }
 
@@ -114,5 +151,8 @@ fn forwarding_loops_are_bounded() {
     // If the hop guard failed this would loop forever; bounded termination
     // is the assertion.
     net.run_until(SimTime::from_nanos(100_000_000));
-    assert!(net.events_delivered() < 10_000, "loop must be cut by the hop guard");
+    assert!(
+        net.events_delivered() < 10_000,
+        "loop must be cut by the hop guard"
+    );
 }

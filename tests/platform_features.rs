@@ -24,7 +24,10 @@ impl Workload for Pump {
         } else if self.done.is_multiple_of(2) {
             io.read((self.done as u64 % 32) * 8, 8);
         } else {
-            io.write((self.done as u64 % 32) * 8, Bytes::from(vec![self.done as u8; 4096]));
+            io.write(
+                (self.done as u64 % 32) * 8,
+                Bytes::from(vec![self.done as u8; 4096]),
+            );
         }
     }
 }
@@ -36,23 +39,38 @@ fn two_middlebox_chain_forwards_through_both() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
-    let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), vec![
-        MbSpec::bare(3, RelayMode::Forward),
-        MbSpec::with_services(0, RelayMode::Active, vec![Box::new(PassthroughService::new())]),
-    ]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![
+            MbSpec::bare(3, RelayMode::Forward),
+            MbSpec::with_services(
+                0,
+                RelayMode::Active,
+                vec![Box::new(PassthroughService::new())],
+            ),
+        ],
+    );
     let app = platform.attach_volume_steered(
         &mut cloud,
         &deployment,
         0,
         "vm:chained",
         &vol,
-        Box::new(Pump { rounds: 40, done: 0 }),
+        Box::new(Pump {
+            rounds: 40,
+            done: 0,
+        }),
         13,
         false,
     );
     cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client.is_ready(), "login through a 2-MB chain must complete");
+    assert!(
+        client.is_ready(),
+        "login through a 2-MB chain must complete"
+    );
     assert_eq!(client.stats.errors, 0);
     assert!(client.stats.ops() >= 40);
     // Both middle-boxes carried the flow.
@@ -75,13 +93,20 @@ fn chain_rules_can_be_removed_dynamically() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
-    let deployment =
-        platform.deploy_chain(&mut cloud, &vol, (1, 2), vec![MbSpec::bare(3, RelayMode::Forward)]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Forward)],
+    );
     // Rules present on the ingress gateway's host OVS.
     let ingress_ovs = deployment.forward_chain.ingress_ovs;
     assert!(!cloud.net.fabric.switch(ingress_ovs).flows().is_empty());
     let removed = platform.tear_down_rules(&mut cloud, &deployment);
-    assert!(removed >= 2, "forward + reverse rules removed, got {removed}");
+    assert!(
+        removed >= 2,
+        "forward + reverse rules removed, got {removed}"
+    );
     assert!(cloud.net.fabric.switch(ingress_ovs).flows().is_empty());
     // Idempotent.
     assert_eq!(platform.tear_down_rules(&mut cloud, &deployment), 0);
@@ -94,15 +119,32 @@ fn attribution_maps_ports_to_vms() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let v1 = cloud.create_volume(32 << 20, 0);
     let v2 = cloud.create_volume(32 << 20, 0);
-    let a1 = cloud.attach_volume(0, "vm:alpha", &v1, Box::new(Pump { rounds: 4, done: 0 }), 1, false);
-    let a2 = cloud.attach_volume(0, "vm:beta", &v2, Box::new(Pump { rounds: 4, done: 0 }), 2, false);
+    let a1 = cloud.attach_volume(
+        0,
+        "vm:alpha",
+        &v1,
+        Box::new(Pump { rounds: 4, done: 0 }),
+        1,
+        false,
+    );
+    let a2 = cloud.attach_volume(
+        0,
+        "vm:beta",
+        &v2,
+        Box::new(Pump { rounds: 4, done: 0 }),
+        2,
+        false,
+    );
     cloud.net.run_until(SimTime::from_nanos(3_000_000_000));
     let _ = (a1, a2);
     let attrs = cloud.attributions();
     assert_eq!(attrs.len(), 2);
     for a in &attrs {
         let tuple = a.tuple.expect("sessions connected");
-        assert_eq!(cloud.vm_for_port(tuple.src.port).as_deref(), Some(a.vm_label.as_str()));
+        assert_eq!(
+            cloud.vm_for_port(tuple.src.port).as_deref(),
+            Some(a.vm_label.as_str())
+        );
     }
     // Target-side login records agree on the IQNs.
     let logins = cloud.target_mut(0).logins().to_vec();
@@ -160,7 +202,10 @@ fn port_scoped_chains_are_fine_grained() {
         ingress_ovs: cloud.computes[1].ovs,
         egress_mac: gw_out.mac,
         egress_ovs: cloud.computes[2].ovs,
-        hops: vec![sdn::ChainHop { mac: mb.mac, ovs: cloud.computes[3].ovs }],
+        hops: vec![sdn::ChainHop {
+            mac: mb.mac,
+            ovs: cloud.computes[3].ovs,
+        }],
         priority: 50,
     };
     sdn::install_chain(&mut cloud.net, &spec);

@@ -40,7 +40,10 @@ fn policy_document_deploys_and_enforces() {
 
     // 2. Provider instantiates services from the catalogue and deploys.
     let mut cloud = Cloud::build(CloudConfig::default());
-    let platform = StormPlatform { tenant: policy.tenant, ..StormPlatform::default() };
+    let platform = StormPlatform {
+        tenant: policy.tenant,
+        ..StormPlatform::default()
+    };
     let vp = &policy.volumes[0];
     let volume = cloud.create_volume((vp.volume_gb as u64) << 30, 0);
     let services: Vec<_> = vp
@@ -53,7 +56,12 @@ fn policy_document_deploys_and_enforces() {
         &mut cloud,
         &volume,
         (1, 2),
-        vec![MbSpec { host_idx: 3, mode, services, replicas: vec![] }],
+        vec![MbSpec {
+            host_idx: 3,
+            mode,
+            services,
+            replicas: vec![],
+        }],
     );
 
     // 3. Attach and run.
@@ -71,12 +79,23 @@ fn policy_document_deploys_and_enforces() {
     let client = cloud.client_mut(0, app);
     assert!(client.is_ready());
     assert_eq!(client.stats.errors, 0);
-    assert!(client.workload_ref().unwrap().downcast_ref::<WriteOnce>().unwrap().done);
+    assert!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<WriteOnce>()
+            .unwrap()
+            .done
+    );
 
     // 4. The policy's encryption is in force: ciphertext at rest.
     let mut at_rest = vec![0u8; 8192];
     volume.shared.clone().read(64, &mut at_rest).unwrap();
-    assert_ne!(at_rest, vec![0x17u8; 8192], "policy-mandated encryption must apply");
+    assert_ne!(
+        at_rest,
+        vec![0x17u8; 8192],
+        "policy-mandated encryption must apply"
+    );
 
     // 5. Attribution ties the session to the policy's VM.
     let attrs = cloud.attributions();

@@ -20,10 +20,18 @@ struct VerifyWorkload {
 
 impl VerifyWorkload {
     fn new(lba: u64, bytes: usize) -> Self {
-        VerifyWorkload { wrote: None, read: None, verified: false, lba, bytes }
+        VerifyWorkload {
+            wrote: None,
+            read: None,
+            verified: false,
+            lba,
+            bytes,
+        }
     }
     fn pattern(&self) -> Vec<u8> {
-        (0..self.bytes).map(|i| ((i * 3 + 11) % 251) as u8).collect()
+        (0..self.bytes)
+            .map(|i| ((i * 3 + 11) % 251) as u8)
+            .collect()
     }
 }
 
@@ -50,7 +58,11 @@ fn encryption_middlebox_encrypts_at_rest() {
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
     let enc = EncryptionService::aes_xts(&[0x5C; 64]);
-    let mbs = vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(enc)])];
+    let mbs = vec![MbSpec::with_services(
+        3,
+        RelayMode::Active,
+        vec![Box::new(enc)],
+    )];
     let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
     let app = platform.attach_volume_steered(
         &mut cloud,
@@ -64,12 +76,14 @@ fn encryption_middlebox_encrypts_at_rest() {
     );
     cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client
-        .workload_ref()
-        .unwrap()
-        .downcast_ref::<VerifyWorkload>()
-        .unwrap()
-        .verified);
+    assert!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<VerifyWorkload>()
+            .unwrap()
+            .verified
+    );
     // At rest: the backing volume holds ciphertext, not the pattern.
     let mut shared = vol.shared.clone();
     let mut at_rest = vec![0u8; 32 * 1024];
@@ -90,7 +104,11 @@ fn passive_stream_cipher_encrypts_at_rest() {
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
     let enc = EncryptionService::stream_cipher(&[0x77; 32], &[0x13; 12]);
-    let mbs = vec![MbSpec::with_services(3, RelayMode::Passive, vec![Box::new(enc)])];
+    let mbs = vec![MbSpec::with_services(
+        3,
+        RelayMode::Passive,
+        vec![Box::new(enc)],
+    )];
     let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
     let app = platform.attach_volume_steered(
         &mut cloud,
@@ -104,12 +122,14 @@ fn passive_stream_cipher_encrypts_at_rest() {
     );
     cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client
-        .workload_ref()
-        .unwrap()
-        .downcast_ref::<VerifyWorkload>()
-        .unwrap()
-        .verified);
+    assert!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<VerifyWorkload>()
+            .unwrap()
+            .verified
+    );
     let mut shared = vol.shared.clone();
     let mut at_rest = vec![0u8; 16 * 1024];
     shared.read(512, &mut at_rest).unwrap();
@@ -144,7 +164,11 @@ fn monitor_reconstructs_malware_install_over_the_wire() {
         },
         recon,
     );
-    let mbs = vec![MbSpec::with_services(3, RelayMode::Active, vec![Box::new(monitor)])];
+    let mbs = vec![MbSpec::with_services(
+        3,
+        RelayMode::Active,
+        vec![Box::new(monitor)],
+    )];
     let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
     let app = platform.attach_volume_steered(
         &mut cloud,
@@ -203,7 +227,10 @@ fn monitor_reconstructs_malware_install_over_the_wire() {
 /// removed while the client keeps running (the Figure 13 scenario).
 #[test]
 fn replication_mirrors_and_survives_replica_failure() {
-    let mut cloud = Cloud::build(CloudConfig { storage_hosts: 3, ..CloudConfig::default() });
+    let mut cloud = Cloud::build(CloudConfig {
+        storage_hosts: 3,
+        ..CloudConfig::default()
+    });
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
     let rep1 = cloud.create_volume(64 << 20, 1);
@@ -214,8 +241,14 @@ fn replication_mirrors_and_survives_replica_failure() {
         mode: RelayMode::Active,
         services: vec![Box::new(svc)],
         replicas: vec![
-            ReplicaTarget { portal: rep1.portal, iqn: rep1.iqn.clone() },
-            ReplicaTarget { portal: rep2.portal, iqn: rep2.iqn.clone() },
+            ReplicaTarget {
+                portal: rep1.portal,
+                iqn: rep1.iqn.clone(),
+            },
+            ReplicaTarget {
+                portal: rep2.portal,
+                iqn: rep2.iqn.clone(),
+            },
         ],
     }];
     let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
@@ -252,7 +285,11 @@ fn replication_mirrors_and_survives_replica_failure() {
         0,
         "vm:db",
         &vol,
-        Box::new(Churn { rounds: 3000, issued: 0, next_is_read: false }),
+        Box::new(Churn {
+            rounds: 3000,
+            issued: 0,
+            next_is_read: false,
+        }),
         10,
         false,
     );
@@ -286,7 +323,10 @@ fn replication_mirrors_and_survives_replica_failure() {
     // with 1s before the failure.
     let mut buf = vec![0u8; 4096];
     rep2.shared.clone().read(0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == 1), "replica 2 missing mirrored write");
+    assert!(
+        buf.iter().all(|&b| b == 1),
+        "replica 2 missing mirrored write"
+    );
 }
 
 /// Service chaining (paper §II-B): monitor + encryption in ONE middle-box;
@@ -318,12 +358,14 @@ fn chained_monitor_then_encryption() {
     );
     cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client
-        .workload_ref()
-        .unwrap()
-        .downcast_ref::<VerifyWorkload>()
-        .unwrap()
-        .verified);
+    assert!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<VerifyWorkload>()
+            .unwrap()
+            .verified
+    );
     // Ciphertext at rest proves the encryption stage ran *after* the
     // monitor stage on the write path.
     let mut at_rest = vec![0u8; 8192];

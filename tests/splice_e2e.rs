@@ -18,10 +18,18 @@ struct VerifyWorkload {
 
 impl VerifyWorkload {
     fn new(lba: u64, bytes: usize) -> Self {
-        VerifyWorkload { wrote: None, read: None, verified: false, lba, bytes }
+        VerifyWorkload {
+            wrote: None,
+            read: None,
+            verified: false,
+            lba,
+            bytes,
+        }
     }
     fn pattern(&self) -> Vec<u8> {
-        (0..self.bytes).map(|i| ((i / 512 + 7) % 251) as u8).collect()
+        (0..self.bytes)
+            .map(|i| ((i / 512 + 7) % 251) as u8)
+            .collect()
     }
 }
 
@@ -35,7 +43,11 @@ impl Workload for VerifyWorkload {
             self.read = Some(io.read(self.lba, (self.bytes / 512) as u32));
         } else if Some(req) == self.read {
             assert_eq!(result.data.len(), self.bytes);
-            assert_eq!(&result.data[..], &self.pattern()[..], "data corrupted in flight");
+            assert_eq!(
+                &result.data[..],
+                &self.pattern()[..],
+                "data corrupted in flight"
+            );
             self.verified = true;
             io.stop();
         }
@@ -62,7 +74,10 @@ fn run_mode(mode: RelayMode, bytes: usize) -> bool {
     );
     cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
     let client = cloud.client_mut(0, app);
-    assert!(client.is_ready(), "steered login must complete in mode {mode:?}");
+    assert!(
+        client.is_ready(),
+        "steered login must complete in mode {mode:?}"
+    );
     assert_eq!(client.stats.errors, 0);
     let verified = client
         .workload_ref()
@@ -82,7 +97,10 @@ fn run_mode(mode: RelayMode, bytes: usize) -> bool {
         RelayMode::Forward | RelayMode::Passive => host.cpu.busy_for("fwd") > SimDuration::ZERO,
         RelayMode::Active => host.tcp.counters().segs_in > 0,
     };
-    assert!(saw_traffic, "traffic must traverse the middle-box in {mode:?}");
+    assert!(
+        saw_traffic,
+        "traffic must traverse the middle-box in {mode:?}"
+    );
     verified
 }
 
@@ -120,8 +138,12 @@ fn atomic_attachment_scopes_steering() {
     let platform = StormPlatform::default();
     let vol1 = cloud.create_volume(64 << 20, 0);
     let vol2 = cloud.create_volume(64 << 20, 0);
-    let deployment =
-        platform.deploy_chain(&mut cloud, &vol1, (1, 2), vec![MbSpec::bare(3, RelayMode::Forward)]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol1,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Forward)],
+    );
     let app1 = platform.attach_volume_steered(
         &mut cloud,
         &deployment,
@@ -145,19 +167,24 @@ fn atomic_attachment_scopes_steering() {
     for app in [app1, app2] {
         let client = cloud.client_mut(0, app);
         assert!(client.is_ready());
-        assert!(client
-            .workload_ref()
-            .unwrap()
-            .downcast_ref::<VerifyWorkload>()
-            .unwrap()
-            .verified);
+        assert!(
+            client
+                .workload_ref()
+                .unwrap()
+                .downcast_ref::<VerifyWorkload>()
+                .unwrap()
+                .verified
+        );
     }
     // Flow pinning: exactly one flow remains pinned on the compute host.
     assert_eq!(cloud.net.host(cloud.computes[0].host).pinned_flows(), 1);
     // Attribution distinguishes the two VMs' connections.
     let attrs = cloud.attributions();
     assert_eq!(attrs.len(), 2);
-    let ports: Vec<u16> = attrs.iter().filter_map(|a| a.tuple.map(|t| t.src.port)).collect();
+    let ports: Vec<u16> = attrs
+        .iter()
+        .filter_map(|a| a.tuple.map(|t| t.src.port))
+        .collect();
     assert_eq!(ports.len(), 2);
     assert_ne!(ports[0], ports[1]);
 }
@@ -169,8 +196,12 @@ fn masquerading_hides_storage_addresses() {
     let mut cloud = Cloud::build(CloudConfig::default());
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(64 << 20, 0);
-    let deployment =
-        platform.deploy_chain(&mut cloud, &vol, (1, 2), vec![MbSpec::bare(3, RelayMode::Active)]);
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Active)],
+    );
     let app = platform.attach_volume_steered(
         &mut cloud,
         &deployment,

@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a fixed
+//! number of warm-up + timed iterations and prints mean wall-clock per
+//! iteration (plus throughput when configured). No statistics engine, no
+//! HTML reports — enough to execute the `cargo bench` targets and eyeball
+//! relative numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 10;
+const MIN_TIMED_ITERS: u64 = 30;
+const TARGET_RUN: Duration = Duration::from_millis(300);
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the sample is long enough.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= MIN_TIMED_ITERS && start.elapsed() >= TARGET_RUN {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, total: Duration, iters: u64, throughput: Option<Throughput>) {
+    if iters == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = total / iters as u32;
+    let mut line = format!("{name:<40} {per_iter:>12.2?}/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(b) => {
+                line.push_str(&format!(
+                    "  {:>9.1} MiB/s",
+                    b as f64 / secs / (1 << 20) as f64
+                ));
+            }
+            Throughput::Elements(e) => {
+                line.push_str(&format!("  {:>9.1} Kelem/s", e as f64 / secs / 1e3));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, b.total, b.iters, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("  {name}"), b.total, b.iters, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Storm only derives `Serialize`/`Deserialize` as a statement of intent on
+//! policy structs — nothing in the workspace performs serialization (there
+//! is no `serde_json`/`bincode` here). The stand-in keeps the derive
+//! attribute surface compiling: the traits are markers and the derive
+//! macros emit empty impls while accepting `#[serde(...)]` attributes.
+
+/// Marker for types that would be serializable with real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize<'de> {}
+
+/// Marker mirroring serde's owned-deserialization alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,95 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Parses just enough of the item (skipping attributes, visibility and
+//! doc comments) to find the type name, then emits an empty marker impl.
+//! `#[serde(...)]` helper attributes are declared so they parse and are
+//! discarded. Generic types get their parameters forwarded verbatim with
+//! no extra bounds — the marker traits need none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+fn type_name_and_generics(input: TokenStream) -> (String, String) {
+    let mut iter = input.into_iter().peekable();
+    // Skip leading attributes (`# [ ... ]`) and visibility / qualifiers
+    // until the `struct` / `enum` / `union` keyword.
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    // Capture generic parameter *names* (stripping bounds) from `<...>`.
+    let mut generics = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while let Some(tt) = iter.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                    // Lifetime parameter: keep the quote + following ident.
+                    if let Some(TokenTree::Ident(id)) = iter.next() {
+                        generics.push(format!("'{id}"));
+                    }
+                    at_param_start = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        // `const N: usize` — the name is the next ident.
+                        if let Some(TokenTree::Ident(n)) = iter.next() {
+                            generics.push(n.to_string());
+                        }
+                    } else {
+                        generics.push(s);
+                    }
+                    at_param_start = false;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                _ => {}
+            }
+        }
+    }
+    let generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    (name, generics)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_name_and_generics(input);
+    format!("impl{generics} ::serde::Serialize for {name}{generics} {{}}")
+        .parse()
+        .expect("valid impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = type_name_and_generics(input);
+    format!(
+        "impl<'storm_de, {g}> ::serde::Deserialize<'storm_de> for {name}{angle} {{}}",
+        g = generics.trim_start_matches('<').trim_end_matches('>'),
+        angle = generics,
+    )
+    .parse()
+    .expect("valid impl")
+}
