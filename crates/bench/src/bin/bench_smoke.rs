@@ -1,0 +1,70 @@
+//! Benchmark smoke run: one short scenario per figure family, results to
+//! `BENCH_results.json`, a full trace of the active-relay scenario to
+//! `BENCH_trace.jsonl`, and its latency attribution to stdout.
+//!
+//! This is the CI job's entry point — small enough to run in seconds but
+//! exercising every data path (LEGACY, MB-FWD, MB-PASSIVE-RELAY,
+//! MB-ACTIVE-RELAY) end to end.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use storm_bench::{fio_point, fio_point_traced, BenchResults, PathMode, Testbed};
+use storm_sim::SimDuration;
+use storm_telemetry::{analyze, Recorder};
+
+fn main() {
+    let testbed = Testbed {
+        duration: SimDuration::from_secs(1),
+        volume_bytes: 1 << 30,
+        ..Testbed::default()
+    };
+    let block = 64 * 1024;
+    let mut results = BenchResults::new();
+
+    for (name, mode) in [
+        ("fig4.legacy.64k", PathMode::Legacy),
+        ("fig4.fwd.64k", PathMode::MbFwd),
+        ("fig5.passive.64k", PathMode::MbPassiveRelay),
+    ] {
+        let p = fio_point(mode, block, 1, &testbed);
+        println!(
+            "{name}: {} ops, {:.0} iops, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+            p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
+        );
+        results.push(name, mode, block, 1, p);
+    }
+
+    // The active-relay scenario runs with the recorder armed: its trace is
+    // the uploaded artifact and feeds the attribution table below.
+    let rec = Arc::new(Recorder::new());
+    let p = fio_point_traced(
+        PathMode::MbActiveRelay,
+        block,
+        1,
+        &testbed,
+        Recorder::hook(&rec),
+    );
+    println!(
+        "fig5.active.64k: {} ops, {:.0} iops, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+        p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
+    );
+    results.push("fig5.active.64k", PathMode::MbActiveRelay, block, 1, p);
+
+    results
+        .write(Path::new("BENCH_results.json"))
+        .expect("write BENCH_results.json");
+    std::fs::write("BENCH_trace.jsonl", rec.to_jsonl()).expect("write BENCH_trace.jsonl");
+
+    let report = analyze::attribute(&rec.events());
+    println!();
+    println!("active-relay latency attribution ({} events):", rec.len());
+    print!("{}", report.table());
+    assert!(report.requests > 0, "traced run completed no requests");
+    let share_sum: f64 = report.rows.iter().map(|r| r.share).sum();
+    assert!(
+        (share_sum - 100.0).abs() < 0.5,
+        "attribution shares sum to {share_sum}%"
+    );
+    println!("wrote BENCH_results.json and BENCH_trace.jsonl");
+}

@@ -15,8 +15,13 @@ use storm_cloud::{Cloud, CloudConfig, VolumeHandle};
 use storm_core::{MbSpec, RelayMode, StormPlatform};
 use storm_net::AppId;
 use storm_services::EncryptionService;
+use storm_sim::trace::TraceHook;
 use storm_sim::{SimDuration, SimTime};
 use storm_workloads::{FioJob, FioWorkload};
+
+mod results;
+
+pub use results::{BenchResults, ScenarioResult};
 
 /// Which data path the experiment measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +58,10 @@ pub struct FioPoint {
     pub iops: f64,
     /// Mean I/O latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// Median I/O latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile I/O latency in milliseconds.
+    pub p99_ms: f64,
 }
 
 /// The shared testbed parameters (one place to calibrate).
@@ -156,7 +165,20 @@ pub fn fio_point(
     threads: usize,
     testbed: &Testbed,
 ) -> FioPoint {
+    fio_point_traced(mode, block_bytes, threads, testbed, TraceHook::none())
+}
+
+/// Like [`fio_point`], with a trace hook armed across the whole cloud
+/// before any volume is attached (pass `TraceHook::none()` to disable).
+pub fn fio_point_traced(
+    mode: PathMode,
+    block_bytes: usize,
+    threads: usize,
+    testbed: &Testbed,
+    hook: TraceHook,
+) -> FioPoint {
     let mut cloud = build_cloud(testbed.seed);
+    cloud.set_trace_hook(hook);
     let vol = cloud.create_volume(testbed.volume_bytes, 0);
     let job = FioJob::randrw(block_bytes, testbed.duration, vol.sectors).threads(threads);
     let app = attach_over_path(
@@ -176,10 +198,14 @@ pub fn fio_point(
     let ops = client.stats.ops();
     let iops = ops as f64 / testbed.duration.as_secs_f64();
     let mean_latency_ms = client.stats.latency.mean().as_nanos() as f64 / 1e6;
+    let p50_ms = client.stats.latency.percentile(50.0).as_nanos() as f64 / 1e6;
+    let p99_ms = client.stats.latency.percentile(99.0).as_nanos() as f64 / 1e6;
     FioPoint {
         ops,
         iops,
         mean_latency_ms,
+        p50_ms,
+        p99_ms,
     }
 }
 

@@ -1,0 +1,145 @@
+//! Machine-readable benchmark results (`BENCH_results.json`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::{FioPoint, PathMode};
+
+/// One measured scenario, ready for serialization.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name, e.g. `fig5.active.64k`.
+    pub name: String,
+    /// The data path measured.
+    pub mode: PathMode,
+    /// Request size in bytes.
+    pub block_bytes: usize,
+    /// Outstanding requests.
+    pub threads: usize,
+    /// The measured point.
+    pub point: FioPoint,
+}
+
+/// Accumulates scenario results and writes `BENCH_results.json`.
+///
+/// The JSON is hand-rolled with fixed key order and fixed-precision
+/// floats, so equal runs produce byte-identical files — the same contract
+/// as trace exports.
+#[derive(Debug, Clone, Default)]
+pub struct BenchResults {
+    scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchResults {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one measured scenario.
+    pub fn push(
+        &mut self,
+        name: &str,
+        mode: PathMode,
+        block_bytes: usize,
+        threads: usize,
+        point: FioPoint,
+    ) {
+        self.scenarios.push(ScenarioResult {
+            name: name.to_string(),
+            mode,
+            block_bytes,
+            threads,
+            point,
+        });
+    }
+
+    /// The accumulated scenarios.
+    pub fn scenarios(&self) -> &[ScenarioResult] {
+        &self.scenarios
+    }
+
+    /// Serializes all scenarios as JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let p = &s.point;
+            let throughput_mbps = p.iops * s.block_bytes as f64 / 1e6;
+            let _ = write!(
+                out,
+                "    {{\"name\":\"{}\",\"mode\":\"{}\",\"block_bytes\":{},\"threads\":{},\
+                 \"ops\":{},\"iops\":{:.1},\"throughput_mbps\":{:.2},\
+                 \"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                s.name,
+                s.mode,
+                s.block_bytes,
+                s.threads,
+                p.ops,
+                p.iops,
+                throughput_mbps,
+                p.mean_latency_ms,
+                p.p50_ms,
+                p.p99_ms
+            );
+            out.push_str(if i + 1 < self.scenarios.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = BenchResults::new();
+        r.push(
+            "fig4.legacy.4k",
+            PathMode::Legacy,
+            4096,
+            1,
+            FioPoint {
+                ops: 1000,
+                iops: 500.0,
+                mean_latency_ms: 1.25,
+                p50_ms: 1.0,
+                p99_ms: 3.5,
+            },
+        );
+        r.push(
+            "fig5.active.64k",
+            PathMode::MbActiveRelay,
+            65536,
+            1,
+            FioPoint {
+                ops: 100,
+                iops: 50.0,
+                mean_latency_ms: 20.0,
+                p50_ms: 19.0,
+                p99_ms: 40.0,
+            },
+        );
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"benchmarks\": [\n"));
+        assert!(json.contains("\"name\":\"fig4.legacy.4k\""));
+        assert!(json.contains("\"mode\":\"MB-ACTIVE-RELAY\""));
+        assert!(json.contains("\"throughput_mbps\":2.05"));
+        assert!(json.contains("\"p99_ms\":3.500"));
+        assert_eq!(r.scenarios().len(), 2);
+        // Two runs, same inputs -> identical bytes.
+        assert_eq!(json, r.clone().to_json());
+    }
+}

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use storm_iscsi::{Initiator, InitiatorConfig, InitiatorEvent, IoTag, ScsiStatus};
 use storm_net::{App, CloseReason, Cx, SendQueue, SockAddr, SockId};
 use storm_sim::metrics::{LatencyStats, Meter, Timeline};
+use storm_sim::trace::{req_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{SimDuration, SimRng, SimTime};
 
 /// A workload-chosen request identifier.
@@ -197,6 +198,9 @@ pub struct VolumeClientConfig {
     pub seed: u64,
     /// Record a per-second completion timeline.
     pub timeline: bool,
+    /// Telemetry hook; the guest initiator mints each request's
+    /// [`storm_sim::trace::ReqToken`] here (source port + ITT).
+    pub trace: TraceHook,
 }
 
 impl VolumeClientConfig {
@@ -209,6 +213,7 @@ impl VolumeClientConfig {
             per_io_cpu: SimDuration::from_micros(40),
             seed: 1,
             timeline: false,
+            trace: TraceHook::none(),
         }
     }
 }
@@ -307,6 +312,36 @@ impl VolumeClient {
         self.flush_out(cx);
     }
 
+    /// Mints the request's path-wide token: the session's source port
+    /// (stable across NAT and the relay's port-preserving reconnect) plus
+    /// the command's ITT.
+    fn req_token_of(&self, tag: IoTag) -> Option<storm_sim::trace::ReqToken> {
+        self.tuple.map(|t| req_token(t.src.port, tag.0))
+    }
+
+    /// Emits the issue-side trace events: the request's birth and the
+    /// guest's virtio/initiator CPU stage.
+    fn trace_issue(&self, now: SimTime, tag: IoTag, kind: u8, bytes: u32) {
+        if !self.cfg.trace.is_armed() {
+            return;
+        }
+        let Some(req) = self.req_token_of(tag) else {
+            return;
+        };
+        self.cfg
+            .trace
+            .emit(now, TraceEvent::Issue { req, kind, bytes });
+        self.cfg.trace.emit(
+            now,
+            TraceEvent::Stage {
+                req,
+                hop: Hop::Virtio,
+                id: 0,
+                dur: self.cfg.per_io_cpu,
+            },
+        );
+    }
+
     fn exec(&mut self, cx: &mut Cx<'_>, cmd: IoCmd) {
         if self.stopped {
             return;
@@ -318,6 +353,7 @@ impl VolumeClient {
                 }
                 let _ = cx.charge(self.cfg.per_io_cpu, &self.cfg.vm_label);
                 let tag = self.ini.read(lba, sectors);
+                self.trace_issue(cx.now(), tag, 0, sectors * 512);
                 self.pending
                     .insert(tag, (req, IoKind::Read, cx.now(), sectors as usize * 512));
             }
@@ -328,6 +364,7 @@ impl VolumeClient {
                 let _ = cx.charge(self.cfg.per_io_cpu, &self.cfg.vm_label);
                 let bytes = data.len();
                 let tag = self.ini.write(lba, data);
+                self.trace_issue(cx.now(), tag, 1, bytes as u32);
                 self.pending
                     .insert(tag, (req, IoKind::Write, cx.now(), bytes));
             }
@@ -336,6 +373,7 @@ impl VolumeClient {
                     return;
                 }
                 let tag = self.ini.flush();
+                self.trace_issue(cx.now(), tag, 2, 0);
                 self.pending.insert(tag, (req, IoKind::Flush, cx.now(), 0));
             }
             IoCmd::Timer { delay, token } => cx.set_timer(delay, token),
@@ -344,6 +382,27 @@ impl VolumeClient {
             }
             IoCmd::Stop => self.stopped = true,
         }
+    }
+
+    /// Emits the completion-side trace events: the guest's completion CPU
+    /// stage and the request's end-of-life marker.
+    fn trace_complete(&self, now: SimTime, tag: IoTag, ok: bool) {
+        if !self.cfg.trace.is_armed() {
+            return;
+        }
+        let Some(req) = self.req_token_of(tag) else {
+            return;
+        };
+        self.cfg.trace.emit(
+            now,
+            TraceEvent::Stage {
+                req,
+                hop: Hop::Virtio,
+                id: 0,
+                dur: self.cfg.per_io_cpu / 2,
+            },
+        );
+        self.cfg.trace.emit(now, TraceEvent::Complete { req, ok });
     }
 
     fn record(&mut self, cx: &Cx<'_>, kind: IoKind, bytes: usize, issued: SimTime, ok: bool) {
@@ -401,6 +460,7 @@ impl App for VolumeClient {
                     if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
                         let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
                         let ok = status == ScsiStatus::Good;
+                        self.trace_complete(cx.now(), tag, ok);
                         self.record(cx, kind, bytes, issued, ok);
                         let latency = cx.now().since(issued);
                         self.drive(cx, move |w, io| {
@@ -413,6 +473,7 @@ impl App for VolumeClient {
                     if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
                         let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
                         let ok = status == ScsiStatus::Good;
+                        self.trace_complete(cx.now(), tag, ok);
                         self.record(cx, kind, bytes, issued, ok);
                         let latency = cx.now().since(issued);
                         self.drive(cx, move |w, io| {

@@ -15,7 +15,8 @@ use storm_iscsi::{
     Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, ISCSI_PORT,
 };
 use storm_net::{App, CloseReason, Cx, FourTuple, SendQueue, SockId};
-use storm_sim::{FaultAction, FaultHook, FaultSite, SimDuration};
+use storm_sim::trace::{req_token, Hop, ReqToken, TraceEvent, TraceHook};
+use storm_sim::{FaultAction, FaultHook, FaultSite, SimDuration, SimTime};
 
 use crate::disk::{DiskModel, DiskSpec};
 
@@ -85,6 +86,8 @@ pub struct TargetHostApp {
     logins: Vec<(Iqn, FourTuple)>,
     fault: FaultHook,
     fault_host: u32,
+    trace: TraceHook,
+    trace_host: u32,
 }
 
 impl TargetHostApp {
@@ -101,6 +104,8 @@ impl TargetHostApp {
             logins: Vec::new(),
             fault: FaultHook::none(),
             fault_host: 0,
+            trace: TraceHook::none(),
+            trace_host: 0,
         }
     }
 
@@ -109,6 +114,57 @@ impl TargetHostApp {
     pub fn set_fault_hook(&mut self, hook: FaultHook, host: u32) {
         self.fault = hook;
         self.fault_host = host;
+    }
+
+    /// Arms this target's trace hook; `host` identifies this storage host
+    /// in [`Hop::TargetCpu`] / [`Hop::Disk`] stage events.
+    pub fn set_trace_hook(&mut self, hook: TraceHook, host: u32) {
+        self.trace = hook;
+        self.trace_host = host;
+    }
+
+    /// The request token for `itt` on session `sock`: the connection's
+    /// remote (initiator-side) source port plus the wire ITT — the same
+    /// token the guest minted, because splicing preserves source ports.
+    fn trace_req(&self, sock: SockId, itt: u32) -> Option<ReqToken> {
+        let t = self.sessions.get(&sock)?.tuple?;
+        Some(req_token(t.dst.port, itt))
+    }
+
+    /// Emits the target-side stages for one served request: request
+    /// parsing/copy CPU and the disk model's service time.
+    fn trace_serve(
+        &self,
+        now: SimTime,
+        sock: SockId,
+        itt: u32,
+        cpu: SimDuration,
+        disk: SimDuration,
+    ) {
+        if !self.trace.is_armed() {
+            return;
+        }
+        let Some(req) = self.trace_req(sock, itt) else {
+            return;
+        };
+        self.trace.emit(
+            now,
+            TraceEvent::Stage {
+                req,
+                hop: Hop::TargetCpu,
+                id: self.trace_host,
+                dur: cpu,
+            },
+        );
+        self.trace.emit(
+            now,
+            TraceEvent::Stage {
+                req,
+                hop: Hop::Disk,
+                id: self.trace_host,
+                dur: disk,
+            },
+        );
     }
 
     /// Exports `volume` under `iqn`.
@@ -173,10 +229,8 @@ impl TargetHostApp {
                 }
                 TargetEvent::ReadReady { itt, lba, sectors } => {
                     let now = cx.now();
-                    let _ = cx.charge(
-                        self.cfg.per_io_cpu + self.cfg.per_byte_cpu * (sectors as u64 * 512),
-                        "target",
-                    );
+                    let cpu = self.cfg.per_io_cpu + self.cfg.per_byte_cpu * (sectors as u64 * 512);
+                    let _ = cx.charge(cpu, "target");
                     let extra = match self.disk_verdict(now, false) {
                         FaultAction::Proceed => SimDuration::ZERO,
                         FaultAction::Delay(d) => d,
@@ -205,13 +259,12 @@ impl TargetHostApp {
                         },
                     );
                     cx.set_timer(done - now, token);
+                    self.trace_serve(now, sock, itt, cpu, done - now);
                 }
                 TargetEvent::WriteReady { itt, lba, data } => {
                     let now = cx.now();
-                    let _ = cx.charge(
-                        self.cfg.per_io_cpu + self.cfg.per_byte_cpu * data.len() as u64,
-                        "target",
-                    );
+                    let cpu = self.cfg.per_io_cpu + self.cfg.per_byte_cpu * data.len() as u64;
+                    let _ = cx.charge(cpu, "target");
                     // Functional write happens immediately; the response
                     // waits for the disk model.
                     let status = {
@@ -239,6 +292,7 @@ impl TargetHostApp {
                         let token = self.token();
                         self.pending.insert(token, PendingDisk::Write { sock, itt });
                         cx.set_timer(done - now, token);
+                        self.trace_serve(now, sock, itt, cpu, done - now);
                     } else if let Some(sess) = self.sessions.get_mut(&sock) {
                         sess.conn.complete_write(itt, status);
                         let out = sess.conn.take_output();
@@ -262,6 +316,7 @@ impl TargetHostApp {
                     let token = self.token();
                     self.pending.insert(token, PendingDisk::Flush { sock, itt });
                     cx.set_timer(done - now, token);
+                    self.trace_serve(now, sock, itt, SimDuration::ZERO, done - now);
                 }
                 TargetEvent::LoggedOut => {
                     // Keep the session until the TCP close arrives.

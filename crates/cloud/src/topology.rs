@@ -5,6 +5,7 @@ use std::net::Ipv4Addr;
 use storm_block::{SharedVolume, VolumeGroup, VolumeId};
 use storm_iscsi::{InitiatorConfig, Iqn, SessionParams, ISCSI_PORT};
 use storm_net::{AppId, HostId, IfaceId, LinkSpec, MacAddr, Network, PortNo, SockAddr, SwitchId};
+use storm_sim::trace::TraceHook;
 use storm_sim::SimDuration;
 
 use crate::client::{VolumeClient, VolumeClientConfig, Workload};
@@ -133,6 +134,7 @@ pub struct Cloud {
     vgs: Vec<VolumeGroup>,
     guest_count: u32,
     attachments: Vec<crate::attribution::AttachRecord>,
+    trace: TraceHook,
 }
 
 impl std::fmt::Debug for Cloud {
@@ -202,7 +204,28 @@ impl Cloud {
             vgs,
             guest_count: 0,
             attachments: Vec::new(),
+            trace: TraceHook::none(),
         }
+    }
+
+    /// Arms the whole cloud with a trace hook: the network fabric (forward
+    /// and tap stages), every storage target (target CPU and disk stages)
+    /// and every volume attached *after* this call (issue/complete events).
+    ///
+    /// Call before [`Cloud::attach_volume`] so guest initiators inherit the
+    /// hook. Middle-box apps deployed by the platform pick the hook up via
+    /// [`Cloud::trace_hook`].
+    pub fn set_trace_hook(&mut self, hook: TraceHook) {
+        self.trace = hook.clone();
+        self.net.set_trace_hook(hook.clone());
+        for i in 0..self.storages.len() {
+            self.target_mut(i).set_trace_hook(hook.clone(), i as u32);
+        }
+    }
+
+    /// The currently armed trace hook (unarmed by default).
+    pub fn trace_hook(&self) -> TraceHook {
+        self.trace.clone()
     }
 
     /// The build configuration.
@@ -274,6 +297,7 @@ impl Cloud {
         let mut cfg = VolumeClientConfig::new(volume.portal, initiator, vm_label);
         cfg.seed = seed;
         cfg.timeline = timeline;
+        cfg.trace = self.trace.clone();
         let host = self.computes[host_idx].host;
         let app = self
             .net

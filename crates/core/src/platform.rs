@@ -174,10 +174,9 @@ impl StormPlatform {
                 }
                 RelayMode::Passive => {
                     cloud.net.enable_forwarding(guest.node, self.forward_cost);
-                    let app = cloud.net.add_app(
-                        guest.node,
-                        Box::new(PassiveTap::new(PassiveTapConfig::default(), spec.services)),
-                    );
+                    let mut tap = PassiveTap::new(PassiveTapConfig::default(), spec.services);
+                    tap.set_trace_hook(cloud.trace_hook(), i as u32);
+                    let app = cloud.net.add_app(guest.node, Box::new(tap));
                     cloud.net.set_tap(
                         guest.node,
                         Some(TapConfig {
@@ -201,9 +200,9 @@ impl StormPlatform {
                     cfg.replicas = spec.replicas;
                     cfg.initiator_iqn = Iqn::for_host(&format!("mb{i}-t{}", self.tenant));
                     let listen_port = cfg.listen_port;
-                    let app = cloud
-                        .net
-                        .add_app(guest.node, Box::new(ActiveRelayMb::new(cfg, spec.services)));
+                    let mut relay = ActiveRelayMb::new(cfg, spec.services);
+                    relay.set_trace_hook(cloud.trace_hook(), i as u32);
+                    let app = cloud.net.add_app(guest.node, Box::new(relay));
                     // Redirect the steered flow to the pseudo-server.
                     cloud.net.add_dnat(
                         guest.node,

@@ -9,6 +9,7 @@ use storm_iscsi::{
     SessionParams,
 };
 use storm_net::{App, BusMsg, CloseReason, Cx, HostId, SendQueue, SockAddr, SockId};
+use storm_sim::trace::{flow_token, req_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{FaultAction, FaultHook, FaultSite, SerialResource, SimDuration, SimTime};
 
 use crate::service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};
@@ -121,6 +122,9 @@ enum Side {
 struct FlowPair {
     server: SockId,
     client: SockId,
+    /// The flow's original (initiator-side) source port — the request-token
+    /// prefix shared with the guest and the target.
+    src_port: u16,
     s_stream: PduStream,
     c_stream: PduStream,
     s_out: SendQueue,
@@ -184,6 +188,8 @@ pub struct ActiveRelayMb {
     crashed: bool,
     fault: FaultHook,
     fault_mb: u32,
+    trace: TraceHook,
+    trace_mb: u32,
 }
 
 impl ActiveRelayMb {
@@ -207,6 +213,8 @@ impl ActiveRelayMb {
             crashed: false,
             fault: FaultHook::none(),
             fault_mb: 0,
+            trace: TraceHook::none(),
+            trace_mb: 0,
         }
     }
 
@@ -215,6 +223,34 @@ impl ActiveRelayMb {
     pub fn set_fault_hook(&mut self, hook: FaultHook, mb: u32) {
         self.fault = hook;
         self.fault_mb = mb;
+    }
+
+    /// Arms this middle-box's trace hook; `mb` identifies it in
+    /// [`Hop::Relay`] stage events. Emits one [`TraceEvent::Meta`] per
+    /// chained service so the analyzer can label service stages by name.
+    pub fn set_trace_hook(&mut self, hook: TraceHook, mb: u32) {
+        self.trace = hook;
+        self.trace_mb = mb;
+        if self.trace.is_armed() {
+            self.trace.emit(
+                SimTime::ZERO,
+                TraceEvent::Meta {
+                    hop: Hop::Relay,
+                    id: mb,
+                    name: "active-relay".to_string(),
+                },
+            );
+            for (idx, svc) in self.services.iter().enumerate() {
+                self.trace.emit(
+                    SimTime::ZERO,
+                    TraceEvent::Meta {
+                        hop: Hop::Service,
+                        id: idx as u32,
+                        name: svc.name().to_string(),
+                    },
+                );
+            }
+        }
     }
 
     /// Whether the middle-box is currently crashed (fault injection).
@@ -250,7 +286,9 @@ impl ActiveRelayMb {
         t
     }
 
-    /// Runs a PDU through the chain, collecting outputs and costs.
+    /// Runs a PDU through the chain, collecting outputs and costs. The
+    /// final element attributes CPU charges to the service that emitted
+    /// them (index, total charge) for latency-attribution traces.
     #[allow(clippy::type_complexity)]
     fn run_chain(
         &mut self,
@@ -263,6 +301,7 @@ impl ActiveRelayMb {
         Vec<(usize, usize, ReplicaIo, u64)>,
         SimDuration,
         Vec<(usize, SimDuration, u64)>,
+        Vec<(usize, SimDuration)>,
     ) {
         let order: Vec<usize> = match dir {
             Dir::ToTarget => (0..self.services.len()).collect(),
@@ -273,8 +312,10 @@ impl ActiveRelayMb {
         let mut replica_ops = Vec::new();
         let mut cost = self.cfg.per_pdu_cost;
         let mut timers = Vec::new();
+        let mut svc_costs: Vec<(usize, SimDuration)> = Vec::new();
         for idx in order {
             let mut next = Vec::new();
+            let mut charged = SimDuration::ZERO;
             for p in frontier {
                 let mut cx = SvcCtx::new(now);
                 self.services[idx].on_pdu(&mut cx, dir, p);
@@ -286,14 +327,20 @@ impl ActiveRelayMb {
                             replica_ops.push((idx, replica, io, ctx))
                         }
                         SvcAction::Alert(msg) => self.alerts.push((now, msg)),
-                        SvcAction::Charge(c) => cost += c,
+                        SvcAction::Charge(c) => {
+                            cost += c;
+                            charged += c;
+                        }
                         SvcAction::Timer { delay, token } => timers.push((idx, delay, token)),
                     }
                 }
             }
+            if charged > SimDuration::ZERO {
+                svc_costs.push((idx, charged));
+            }
             frontier = next;
         }
-        (frontier, replies, replica_ops, cost, timers)
+        (frontier, replies, replica_ops, cost, timers, svc_costs)
     }
 
     /// Executes the actions a service emitted outside the data path
@@ -476,7 +523,13 @@ impl ActiveRelayMb {
             if side == Side::Server && !pair.paused && pair.buffered_in > self.cfg.buffer_cap {
                 pair.paused = true;
                 let s = pair.server;
+                let src_port = pair.src_port;
                 cx.pause(s);
+                self.trace.emit_with(now, || TraceEvent::Mark {
+                    req: flow_token(src_port),
+                    hop: Hop::Buffer,
+                    id: self.trace_mb,
+                });
             }
         }
         for pdu in pdus {
@@ -499,8 +552,33 @@ impl ActiveRelayMb {
                 }
                 FaultAction::Delay(d) => fault_delay = d,
             }
-            let (forwards, replies, replica_ops, cost, timers) = self.run_chain(now, dir, pdu);
+            let itt = pdu.itt();
+            let (forwards, replies, replica_ops, cost, timers, svc_costs) =
+                self.run_chain(now, dir, pdu);
             let cost = cost + fault_delay;
+            if self.trace.is_armed() {
+                let req = req_token(self.pairs[pair_idx].src_port, itt);
+                self.trace.emit(
+                    now,
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Relay,
+                        id: self.trace_mb,
+                        dur: self.cfg.per_pdu_cost,
+                    },
+                );
+                for (svc_idx, charged) in &svc_costs {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Stage {
+                            req,
+                            hop: Hop::Service,
+                            id: *svc_idx as u32,
+                            dur: *charged,
+                        },
+                    );
+                }
+            }
             for (svc_idx, delay, token) in timers {
                 let t = self.token();
                 self.svc_timers.insert(t, (svc_idx, token));
@@ -692,6 +770,10 @@ impl ActiveRelayMb {
             sess.up = false;
             sess.pending.drain().map(|(_, v)| (v.svc, v.ctx)).collect()
         };
+        self.trace.emit_with(cx.now(), || TraceEvent::ReplicaEvict {
+            mb: self.trace_mb,
+            replica: idx as u32,
+        });
         // Fail outstanding I/O back to the owning services, then tell
         // every service the replica is gone.
         for (svc_idx, ctx) in outstanding {
@@ -754,6 +836,7 @@ impl App for ActiveRelayMb {
         self.pairs.push(FlowPair {
             server: sock,
             client,
+            src_port: src_port.unwrap_or(0),
             s_stream: PduStream::new(),
             c_stream: PduStream::new(),
             s_out: SendQueue::new(),

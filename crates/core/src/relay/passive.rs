@@ -4,7 +4,8 @@ use std::collections::HashMap;
 
 use storm_iscsi::Cdb;
 use storm_net::{App, Cx, FourTuple, Frame, TapVerdict};
-use storm_sim::SimDuration;
+use storm_sim::trace::{flow_token, Hop, TraceEvent, TraceHook};
+use storm_sim::{SimDuration, SimTime};
 
 use crate::service::{Dir, StorageService};
 
@@ -187,6 +188,7 @@ pub struct PassiveTap {
     cmds: HashMap<FourTuple, HashMap<u32, u64>>,
     packets: u64,
     bytes_transformed: u64,
+    trace: TraceHook,
 }
 
 impl PassiveTap {
@@ -199,6 +201,34 @@ impl PassiveTap {
             cmds: HashMap::new(),
             packets: 0,
             bytes_transformed: 0,
+            trace: TraceHook::none(),
+        }
+    }
+
+    /// Arms this tap's trace hook; `mb` identifies the middle-box in
+    /// [`TraceEvent::Meta`] labels. Emits one `Meta` for the tap itself and
+    /// one per chained service so the analyzer can label service stages.
+    pub fn set_trace_hook(&mut self, hook: TraceHook, mb: u32) {
+        self.trace = hook;
+        if self.trace.is_armed() {
+            self.trace.emit(
+                SimTime::ZERO,
+                TraceEvent::Meta {
+                    hop: Hop::Relay,
+                    id: mb,
+                    name: "passive-tap".to_string(),
+                },
+            );
+            for (idx, svc) in self.services.iter().enumerate() {
+                self.trace.emit(
+                    SimTime::ZERO,
+                    TraceEvent::Meta {
+                        hop: Hop::Service,
+                        id: idx as u32,
+                        name: svc.name().to_string(),
+                    },
+                );
+            }
         }
     }
 
@@ -224,7 +254,7 @@ impl PassiveTap {
 }
 
 impl App for PassiveTap {
-    fn on_tap(&mut self, _cx: &mut Cx<'_>, frame: &mut Frame) -> TapVerdict {
+    fn on_tap(&mut self, cx: &mut Cx<'_>, frame: &mut Frame) -> TapVerdict {
         let Some((base_tuple, dir)) = self.flow_key(frame) else {
             return TapVerdict::Forward;
         };
@@ -233,6 +263,22 @@ impl App for PassiveTap {
             return TapVerdict::Forward;
         }
         let payload_len = frame.tcp.payload.len();
+        // Per-service per-byte work, attributed to the flow (the net layer
+        // separately charges the tap's fixed per-packet cost as Relay).
+        if self.trace.is_armed() {
+            let req = flow_token(base_tuple.src.port);
+            for (idx, svc) in self.services.iter().enumerate() {
+                self.trace.emit(
+                    cx.now(),
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Service,
+                        id: idx as u32,
+                        dur: svc.per_byte_cost() * payload_len as u64,
+                    },
+                );
+            }
+        }
         let cmds = self.cmds.entry(base_tuple).or_default();
         let tracker = self.trackers.entry((base_tuple, dir)).or_default();
         let runs = tracker.walk(&frame.tcp.payload, cmds);

@@ -11,6 +11,13 @@ use crate::pdu::{DataOut, LoginRequest, LogoutRequest, NopOut, Pdu, ScsiCommand}
 use crate::stream::PduStream;
 
 /// Identifies an outstanding I/O issued through [`Initiator`].
+///
+/// The tag becomes the initiator task tag (ITT) of the SCSI command PDU,
+/// so it is visible to every hop that parses the wire — middle-box relays
+/// and targets alike. Telemetry leans on this: a request token is the
+/// initiator's TCP source port combined with this tag, which lets the
+/// guest, the middle-box, and the target stamp trace spans for the same
+/// request without any side channel (`storm_sim::req_token`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IoTag(pub u32);
 

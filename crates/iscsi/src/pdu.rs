@@ -411,6 +411,12 @@ impl Pdu {
     }
 
     /// The initiator task tag.
+    ///
+    /// Unique per outstanding command within a session, echoed by every
+    /// PDU of the exchange. Combined with the initiator's TCP source port
+    /// it forms the request token that correlates trace spans across the
+    /// guest, middle-box, and target (`storm_sim::req_token`) — the ITT
+    /// survives relaying because active relays forward commands verbatim.
     pub fn itt(&self) -> u32 {
         match self {
             Pdu::LoginRequest(p) => p.itt,

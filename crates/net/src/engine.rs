@@ -11,6 +11,7 @@ use std::any::Any;
 
 use bytes::Bytes;
 
+use storm_sim::trace::{flow_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::addr::{FourTuple, SockAddr};
@@ -170,6 +171,7 @@ pub struct Network {
     rng: SimRng,
     mac_counter: u64,
     default_tcp: TcpConfig,
+    trace: TraceHook,
 }
 
 impl std::fmt::Debug for Network {
@@ -193,7 +195,15 @@ impl Network {
             rng: SimRng::seed_from_u64(seed),
             mac_counter: 1,
             default_tcp: TcpConfig::default(),
+            trace: TraceHook::none(),
         }
+    }
+
+    /// Arms the network's trace hook: every IP-forwarding hop (gateways,
+    /// MB-FWD middle-boxes) reports its per-packet cost as a flow-scoped
+    /// [`Hop::Forward`] stage. Unarmed, forwarding pays one branch.
+    pub fn set_trace_hook(&mut self, hook: TraceHook) {
+        self.trace = hook;
     }
 
     /// Sets the TCP configuration used by hosts added afterwards.
@@ -506,8 +516,10 @@ impl Network {
     fn forward(&mut self, host: HostId, mut frame: Frame) {
         // Tap (passive relay) first: it may modify or drop the frame.
         let mut tap_work = SimDuration::ZERO;
+        let mut tap_pp = SimDuration::ZERO;
         if let Some(tap) = self.hosts[host.0 as usize].tap {
             tap_work = tap.per_packet;
+            tap_pp = tap.per_packet;
             match self.dispatch_tap(host, tap.app, &mut frame) {
                 TapVerdict::Forward => {}
                 TapVerdict::ForwardAfter(d) => tap_work += d,
@@ -533,12 +545,40 @@ impl Network {
         // Tap processing serializes through the single interception
         // process (one kernel→user copy per packet — the paper's
         // passive-relay overhead).
+        let fwd_cost = h.forward_cost;
         let done = if tap_work > SimDuration::ZERO {
             let _ = h.cpu.run(self.now, tap_work, "tap");
             h.tap_queue.serve(done, tap_work)
         } else {
             done
         };
+        if self.trace.is_armed() {
+            // Attribution is flow-scoped: per-packet kernel work cannot be
+            // pinned to one command, so the analyzer amortizes it over the
+            // flow's requests. Ephemeral ports start at 40000, so the
+            // higher port of the pair is the initiator side.
+            let flow = flow_token(frame.tcp.src_port.max(frame.tcp.dst_port));
+            self.trace.emit(
+                self.now,
+                TraceEvent::Stage {
+                    req: flow,
+                    hop: Hop::Forward,
+                    id: host.0,
+                    dur: fwd_cost,
+                },
+            );
+            if tap_pp > SimDuration::ZERO {
+                self.trace.emit(
+                    self.now,
+                    TraceEvent::Stage {
+                        req: flow,
+                        hop: Hop::Relay,
+                        id: host.0,
+                        dur: tap_pp,
+                    },
+                );
+            }
+        }
         self.q.push(
             done,
             Ev::Egress {

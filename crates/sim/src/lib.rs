@@ -27,12 +27,16 @@
 mod cpu;
 mod event;
 pub mod fault;
+pub mod hist;
 pub mod metrics;
 mod rng;
 mod time;
+pub mod trace;
 
 pub use cpu::{CpuModel, SerialResource};
 pub use event::EventQueue;
 pub use fault::{FaultAction, FaultHook, FaultPoint, FaultSite};
+pub use hist::Histogram;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{flow_token, req_token, Hop, ReqToken, TraceEvent, TraceHook, TraceSink};

@@ -1,0 +1,292 @@
+//! The tracing hook shared by every layer of the stack.
+//!
+//! `storm-telemetry` arms a [`TraceSink`] implementation; the net, iscsi,
+//! cloud and core crates report span events through a [`TraceHook`] at
+//! their instrumentation sites. Like [`crate::FaultHook`], an unarmed hook
+//! is a `None` — the hot path pays one branch and nothing else.
+//!
+//! Request identity is a [`ReqToken`]: the flow's initiator-side TCP
+//! source port in the high 32 bits and the iSCSI initiator task tag (ITT)
+//! in the low 32. Both survive every hop of the spliced path — StorM's
+//! NAT rules never rewrite ports and the active relay's pseudo-client
+//! binds the flow's original source port upstream — so the same token is
+//! minted independently at the guest, the middle-box and the target, and
+//! the analyzer can stitch one request's events across all of them.
+//! Events whose ITT half is zero are flow-scoped (per-packet forwarding
+//! work that is not attributable to a single command).
+
+use std::sync::Arc;
+
+use crate::{SimDuration, SimTime};
+
+/// Identity of one I/O request across the whole path.
+pub type ReqToken = u64;
+
+/// Mints the canonical request token from the flow's initiator-side
+/// source port and the command's ITT.
+pub const fn req_token(src_port: u16, itt: u32) -> ReqToken {
+    ((src_port as u64) << 32) | itt as u64
+}
+
+/// Mints a flow-scoped token (ITT zero) for per-packet events.
+pub const fn flow_token(src_port: u16) -> ReqToken {
+    req_token(src_port, 0)
+}
+
+/// Where on the data path a span event happened.
+///
+/// The taxonomy follows the paper's Figure-10 cost centers: guest virtio
+/// work, kernel forwarding on gateways/FWD boxes, relay framework work,
+/// tenant service processing, target CPU and the disk itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Hop {
+    /// Guest virtio-blk + initiator CPU on the compute host.
+    Virtio,
+    /// Per-packet kernel forwarding (gateway namespaces, MB-FWD boxes).
+    Forward,
+    /// Relay framework work: per-PDU active-relay cost or the passive
+    /// tap's per-packet copy.
+    Relay,
+    /// A tenant service stage inside a middle-box (`id` = chain index).
+    Service,
+    /// Target-side request parsing and data copies.
+    TargetCpu,
+    /// Disk model service time (queueing + media).
+    Disk,
+    /// The active relay's persistence buffer.
+    Buffer,
+}
+
+impl Hop {
+    /// Stable lower-case label used in trace files.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Hop::Virtio => "virtio",
+            Hop::Forward => "forward",
+            Hop::Relay => "relay",
+            Hop::Service => "service",
+            Hop::TargetCpu => "target",
+            Hop::Disk => "disk",
+            Hop::Buffer => "buffer",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into a hop.
+    pub fn parse(s: &str) -> Option<Hop> {
+        Some(match s {
+            "virtio" => Hop::Virtio,
+            "forward" => Hop::Forward,
+            "relay" => Hop::Relay,
+            "service" => Hop::Service,
+            "target" => Hop::TargetCpu,
+            "disk" => Hop::Disk,
+            "buffer" => Hop::Buffer,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event.
+///
+/// Payloads are plain integers (plus the one setup-time name string) so
+/// no layer above `storm-sim` leaks its types downward, mirroring
+/// [`crate::FaultSite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The guest issued an I/O request.
+    Issue {
+        /// Request identity.
+        req: ReqToken,
+        /// 0 = read, 1 = write, 2 = flush.
+        kind: u8,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// The guest observed the completion.
+    Complete {
+        /// Request identity.
+        req: ReqToken,
+        /// Whether the SCSI status was GOOD.
+        ok: bool,
+    },
+    /// Time attributed to a hop on behalf of a request (or of a whole
+    /// flow when the token's ITT half is zero).
+    Stage {
+        /// Request or flow identity.
+        req: ReqToken,
+        /// The cost center.
+        hop: Hop,
+        /// Instance id: service chain index, middle-box id, storage host
+        /// index — whatever distinguishes same-hop instances.
+        id: u32,
+        /// Time spent.
+        dur: SimDuration,
+    },
+    /// A request passed a point of interest without a duration (e.g.
+    /// entered the persistence buffer).
+    Mark {
+        /// Request or flow identity.
+        req: ReqToken,
+        /// The location.
+        hop: Hop,
+        /// Instance id.
+        id: u32,
+    },
+    /// Declares a human-readable name for `(hop, id)` — emitted once at
+    /// arm time so hot-path events stay integer-only.
+    Meta {
+        /// The cost center being named.
+        hop: Hop,
+        /// Instance id.
+        id: u32,
+        /// Display name (e.g. a service's `name()`).
+        name: String,
+    },
+    /// A replica was evicted from a replication middle-box (Figure 13's
+    /// failover moment).
+    ReplicaEvict {
+        /// Middle-box id assigned at arm time.
+        mb: u32,
+        /// Replica session index.
+        replica: u32,
+    },
+}
+
+/// A sink consuming trace events as they happen.
+///
+/// Implementations must not reorder events: the simulator is
+/// single-threaded and event order is part of the deterministic trace
+/// contract (equal seeds ⇒ byte-identical exports).
+pub trait TraceSink: Send + Sync {
+    /// Records one event stamped at `now`.
+    fn record(&self, now: SimTime, ev: &TraceEvent);
+}
+
+/// A cheap, cloneable, optional handle to an armed [`TraceSink`].
+///
+/// The default (unarmed) hook discards everything; instrumented hot paths
+/// check a single `Option` discriminant.
+#[derive(Clone, Default)]
+pub struct TraceHook {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl TraceHook {
+    /// The unarmed hook: every event is discarded.
+    pub const fn none() -> Self {
+        TraceHook { sink: None }
+    }
+
+    /// Arms the hook with a recorder.
+    pub fn armed(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHook { sink: Some(sink) }
+    }
+
+    /// Whether a recorder is armed.
+    pub fn is_armed(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records an event, or does nothing when unarmed.
+    #[inline]
+    pub fn emit(&self, now: SimTime, ev: TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.record(now, &ev);
+        }
+    }
+
+    /// Records a lazily-built event; the closure only runs when armed.
+    /// Use at sites where building the event itself costs something.
+    #[inline]
+    pub fn emit_with(&self, now: SimTime, f: impl FnOnce() -> TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.record(now, &f());
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHook")
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Collect(Mutex<Vec<(SimTime, TraceEvent)>>);
+    impl TraceSink for Collect {
+        fn record(&self, now: SimTime, ev: &TraceEvent) {
+            self.0.lock().unwrap().push((now, ev.clone()));
+        }
+    }
+
+    #[test]
+    fn tokens_pack_port_and_itt() {
+        let t = req_token(40_000, 7);
+        assert_eq!(t >> 32, 40_000);
+        assert_eq!(t & 0xFFFF_FFFF, 7);
+        assert_eq!(flow_token(40_000), req_token(40_000, 0));
+    }
+
+    #[test]
+    fn unarmed_hook_discards() {
+        let hook = TraceHook::none();
+        assert!(!hook.is_armed());
+        hook.emit(
+            SimTime::ZERO,
+            TraceEvent::Mark {
+                req: 1,
+                hop: Hop::Relay,
+                id: 0,
+            },
+        );
+        let mut built = false;
+        hook.emit_with(SimTime::ZERO, || {
+            built = true;
+            TraceEvent::Complete { req: 1, ok: true }
+        });
+        assert!(!built, "closure must not run when unarmed");
+    }
+
+    #[test]
+    fn armed_hook_delivers_in_order() {
+        let sink = Arc::new(Collect::default());
+        let hook = TraceHook::armed(sink.clone());
+        assert!(hook.is_armed());
+        hook.emit(
+            SimTime::from_nanos(1),
+            TraceEvent::Complete { req: 9, ok: true },
+        );
+        hook.emit_with(SimTime::from_nanos(2), || TraceEvent::Mark {
+            req: 9,
+            hop: Hop::Disk,
+            id: 3,
+        });
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, SimTime::from_nanos(1));
+        assert!(matches!(got[1].1, TraceEvent::Mark { id: 3, .. }));
+    }
+
+    #[test]
+    fn hop_labels_round_trip() {
+        for hop in [
+            Hop::Virtio,
+            Hop::Forward,
+            Hop::Relay,
+            Hop::Service,
+            Hop::TargetCpu,
+            Hop::Disk,
+            Hop::Buffer,
+        ] {
+            assert_eq!(Hop::parse(hop.label()), Some(hop));
+        }
+        assert_eq!(Hop::parse("nope"), None);
+    }
+}

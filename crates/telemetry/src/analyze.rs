@@ -1,0 +1,400 @@
+//! Latency attribution: the software analogue of the paper's Figure 10.
+//!
+//! Given a trace, [`attribute`] computes how much of the end-to-end
+//! request time was spent at each hop of the I/O path. Per-request
+//! [`Stage`](TraceEvent::Stage) events are summed directly; flow-scoped
+//! stages (token with a zero ITT — per-packet forwarding and tap work)
+//! are charged to the flow they belong to and split evenly across that
+//! flow's completed requests. Whatever remains of the measured wall time
+//! after all stage charges is attributed to the network (propagation,
+//! serialization and queueing on links), so the reported shares always
+//! sum to ~100%.
+
+use std::collections::BTreeMap;
+
+use storm_sim::trace::{Hop, ReqToken, TraceEvent};
+use storm_sim::{SimDuration, SimTime};
+
+/// Initiator-side source port of a token (its flow).
+fn port_of(req: ReqToken) -> u16 {
+    (req >> 32) as u16
+}
+
+/// Whether the token is flow-scoped (ITT half zero).
+fn is_flow(req: ReqToken) -> bool {
+    req & 0xFFFF_FFFF == 0
+}
+
+/// One attribution row: a cost center and its aggregate time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRow {
+    /// Display label: the hop name, or `service:<name>` when a
+    /// [`TraceEvent::Meta`] named the service, or `network` for the
+    /// residual.
+    pub label: String,
+    /// Total time attributed to this row across all completed requests.
+    pub total: SimDuration,
+    /// Fraction of end-to-end time, in percent.
+    pub share: f64,
+}
+
+/// The attribution report over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// Rows sorted by descending share (ties broken by label).
+    pub rows: Vec<AttrRow>,
+    /// Requests that completed (have both issue and complete events).
+    pub requests: u64,
+    /// Requests that were issued but never completed.
+    pub incomplete: u64,
+    /// Summed end-to-end latency of completed requests.
+    pub wall: SimDuration,
+    /// Mean end-to-end latency of completed requests.
+    pub mean_latency: SimDuration,
+    /// The dominant row's label (empty when the trace has no requests).
+    pub dominant: String,
+    /// Replica evictions seen in the trace, as `(time, mb, replica)`.
+    pub evictions: Vec<(SimTime, u32, u32)>,
+}
+
+impl Attribution {
+    /// Renders the report as a fixed-width table, dominant hop flagged.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "requests: {} completed, {} incomplete; mean latency {}",
+            self.requests, self.incomplete, self.mean_latency
+        );
+        let _ = writeln!(out, "{:<24} {:>14} {:>8}", "hop", "total", "share");
+        for row in &self.rows {
+            let flag = if row.label == self.dominant {
+                "  <- dominant"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14} {:>7.1}%{}",
+                row.label,
+                row.total.to_string(),
+                row.share,
+                flag
+            );
+        }
+        for (t, mb, replica) in &self.evictions {
+            let _ = writeln!(out, "replica eviction: mb {mb} replica {replica} at {t}");
+        }
+        out
+    }
+}
+
+/// Computes the per-hop latency attribution of a trace.
+pub fn attribute(events: &[(SimTime, TraceEvent)]) -> Attribution {
+    // (hop, id) -> display name from Meta events.
+    let mut names: BTreeMap<(Hop, u32), String> = BTreeMap::new();
+    // Completed-request bookkeeping.
+    let mut issued: BTreeMap<ReqToken, SimTime> = BTreeMap::new();
+    let mut wall = SimDuration::ZERO;
+    let mut requests = 0u64;
+    // Direct (request-scoped) charges per row key.
+    let mut direct: BTreeMap<(Hop, u32), SimDuration> = BTreeMap::new();
+    // Flow-scoped charges per (port, row key).
+    let mut flow: BTreeMap<(u16, Hop, u32), SimDuration> = BTreeMap::new();
+    // Completed requests per flow port (to apportion flow charges).
+    let mut flow_requests: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut evictions = Vec::new();
+
+    for (t, ev) in events {
+        match ev {
+            TraceEvent::Meta { hop, id, name } => {
+                names.insert((*hop, *id), name.clone());
+            }
+            TraceEvent::Issue { req, .. } => {
+                issued.insert(*req, *t);
+            }
+            TraceEvent::Complete { req, .. } => {
+                if let Some(at) = issued.remove(req) {
+                    wall += *t - at;
+                    requests += 1;
+                    *flow_requests.entry(port_of(*req)).or_insert(0) += 1;
+                }
+            }
+            TraceEvent::Stage { req, hop, id, dur } => {
+                if is_flow(*req) {
+                    *flow
+                        .entry((port_of(*req), *hop, *id))
+                        .or_insert(SimDuration::ZERO) += *dur;
+                } else {
+                    *direct.entry((*hop, *id)).or_insert(SimDuration::ZERO) += *dur;
+                }
+            }
+            TraceEvent::Mark { .. } => {}
+            TraceEvent::ReplicaEvict { mb, replica } => {
+                evictions.push((*t, *mb, *replica));
+            }
+        }
+    }
+
+    // Fold flow-scoped work into the per-hop totals. A flow's per-packet
+    // work belongs to its own requests; flows with no completed request
+    // (e.g. login-only traffic) still contribute — their time is real CPU
+    // spent on the path — so they are folded in unconditionally.
+    let mut totals: BTreeMap<(Hop, u32), SimDuration> = direct;
+    for ((_, hop, id), d) in flow {
+        *totals.entry((hop, id)).or_insert(SimDuration::ZERO) += d;
+    }
+
+    // Label rows; same-label rows merge (e.g. forwarding on many hosts).
+    let mut by_label: BTreeMap<String, SimDuration> = BTreeMap::new();
+    for ((hop, id), d) in totals {
+        let label = match hop {
+            Hop::Service => match names.get(&(hop, id)) {
+                Some(n) => format!("service:{n}"),
+                None => format!("service:{id}"),
+            },
+            _ => hop.label().to_string(),
+        };
+        *by_label.entry(label).or_insert(SimDuration::ZERO) += d;
+    }
+
+    let explained: SimDuration = by_label.values().fold(SimDuration::ZERO, |a, &d| a + d);
+    // Residual end-to-end time is network (links, queueing). When stage
+    // charges exceed the measured wall time (overlapping pipelined work),
+    // shares are computed against the larger sum instead so they still
+    // total 100%.
+    let residual = if wall > explained {
+        wall - explained
+    } else {
+        SimDuration::ZERO
+    };
+    if requests > 0 && residual > SimDuration::ZERO {
+        *by_label
+            .entry("network".to_string())
+            .or_insert(SimDuration::ZERO) += residual;
+    }
+    let denom = if wall > explained { wall } else { explained };
+    let denom_ns = denom.as_nanos().max(1) as f64;
+
+    let mut rows: Vec<AttrRow> = by_label
+        .into_iter()
+        .map(|(label, total)| AttrRow {
+            share: total.as_nanos() as f64 / denom_ns * 100.0,
+            label,
+            total,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.label.cmp(&b.label)));
+    let dominant = rows.first().map(|r| r.label.clone()).unwrap_or_default();
+    let mean_latency = wall
+        .as_nanos()
+        .checked_div(requests)
+        .map(SimDuration::from_nanos)
+        .unwrap_or(SimDuration::ZERO);
+
+    Attribution {
+        rows,
+        requests,
+        incomplete: issued.len() as u64,
+        wall,
+        mean_latency,
+        dominant,
+        evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_sim::trace::{flow_token, req_token};
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn shares_sum_to_one_hundred() {
+        let req = req_token(40_000, 1);
+        let events = vec![
+            (
+                SimTime::ZERO,
+                TraceEvent::Issue {
+                    req,
+                    kind: 0,
+                    bytes: 4096,
+                },
+            ),
+            (
+                SimTime::from_nanos(10),
+                TraceEvent::Stage {
+                    req,
+                    hop: Hop::Virtio,
+                    id: 0,
+                    dur: ns(100),
+                },
+            ),
+            (
+                SimTime::from_nanos(20),
+                TraceEvent::Stage {
+                    req,
+                    hop: Hop::Disk,
+                    id: 0,
+                    dur: ns(500),
+                },
+            ),
+            (
+                SimTime::from_nanos(1_000),
+                TraceEvent::Complete { req, ok: true },
+            ),
+        ];
+        let a = attribute(&events);
+        assert_eq!(a.requests, 1);
+        assert_eq!(a.wall, ns(1_000));
+        let sum: f64 = a.rows.iter().map(|r| r.share).sum();
+        assert!((sum - 100.0).abs() < 1e-6, "shares sum to {sum}");
+        // Residual 400ns -> network row, disk dominant.
+        assert_eq!(a.dominant, "disk");
+        let net = a
+            .rows
+            .iter()
+            .find(|r| r.label == "network")
+            .expect("residual");
+        assert_eq!(net.total, ns(400));
+    }
+
+    #[test]
+    fn flow_scoped_stages_fold_into_totals() {
+        let req = req_token(40_000, 1);
+        let flow = flow_token(40_000);
+        let events = vec![
+            (
+                SimTime::ZERO,
+                TraceEvent::Issue {
+                    req,
+                    kind: 1,
+                    bytes: 512,
+                },
+            ),
+            (
+                SimTime::from_nanos(5),
+                TraceEvent::Stage {
+                    req: flow,
+                    hop: Hop::Forward,
+                    id: 7,
+                    dur: ns(300),
+                },
+            ),
+            (
+                SimTime::from_nanos(9),
+                TraceEvent::Stage {
+                    req: flow,
+                    hop: Hop::Forward,
+                    id: 8,
+                    dur: ns(300),
+                },
+            ),
+            (
+                SimTime::from_nanos(600),
+                TraceEvent::Complete { req, ok: true },
+            ),
+        ];
+        let a = attribute(&events);
+        let fwd = a.rows.iter().find(|r| r.label == "forward").expect("row");
+        assert_eq!(fwd.total, ns(600));
+        // Stages equal wall time: no network row, shares still 100%.
+        let sum: f64 = a.rows.iter().map(|r| r.share).sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn meta_names_service_rows_and_evictions_surface() {
+        let req = req_token(40_000, 2);
+        let events = vec![
+            (
+                SimTime::ZERO,
+                TraceEvent::Meta {
+                    hop: Hop::Service,
+                    id: 0,
+                    name: "encryption".into(),
+                },
+            ),
+            (
+                SimTime::ZERO,
+                TraceEvent::Issue {
+                    req,
+                    kind: 1,
+                    bytes: 4096,
+                },
+            ),
+            (
+                SimTime::from_nanos(3),
+                TraceEvent::Stage {
+                    req,
+                    hop: Hop::Service,
+                    id: 0,
+                    dur: ns(50),
+                },
+            ),
+            (
+                SimTime::from_nanos(100),
+                TraceEvent::Complete { req, ok: true },
+            ),
+            (
+                SimTime::from_nanos(200),
+                TraceEvent::ReplicaEvict { mb: 0, replica: 1 },
+            ),
+        ];
+        let a = attribute(&events);
+        assert!(a.rows.iter().any(|r| r.label == "service:encryption"));
+        assert_eq!(a.evictions, vec![(SimTime::from_nanos(200), 0, 1)]);
+        let table = a.table();
+        assert!(table.contains("service:encryption"));
+        assert!(table.contains("<- dominant"));
+        assert!(table.contains("replica eviction: mb 0 replica 1"));
+    }
+
+    #[test]
+    fn incomplete_requests_are_counted_not_charged() {
+        let done = req_token(40_000, 1);
+        let hung = req_token(40_000, 2);
+        let events = vec![
+            (
+                SimTime::ZERO,
+                TraceEvent::Issue {
+                    req: done,
+                    kind: 0,
+                    bytes: 512,
+                },
+            ),
+            (
+                SimTime::from_nanos(1),
+                TraceEvent::Issue {
+                    req: hung,
+                    kind: 0,
+                    bytes: 512,
+                },
+            ),
+            (
+                SimTime::from_nanos(50),
+                TraceEvent::Complete {
+                    req: done,
+                    ok: true,
+                },
+            ),
+        ];
+        let a = attribute(&events);
+        assert_eq!(a.requests, 1);
+        assert_eq!(a.incomplete, 1);
+        assert_eq!(a.wall, ns(50));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_report() {
+        let a = attribute(&[]);
+        assert_eq!(a.requests, 0);
+        assert!(a.rows.is_empty());
+        assert!(a.dominant.is_empty());
+        assert_eq!(a.mean_latency, SimDuration::ZERO);
+    }
+}

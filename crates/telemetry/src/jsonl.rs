@@ -1,0 +1,360 @@
+//! The JSONL trace codec: one event per line, fixed key order.
+//!
+//! Hand-rolled on purpose — the build environment vendors no JSON crate,
+//! and a fixed writer is what makes the byte-identical-trace guarantee
+//! auditable. The parser accepts exactly the flat objects the writer
+//! emits (numbers, strings, booleans; no nesting).
+
+use storm_sim::trace::{Hop, TraceEvent};
+use storm_sim::SimTime;
+
+/// Appends one event to `out` as a single JSON line (with trailing `\n`).
+///
+/// Key order is fixed per event kind so equal event sequences serialize to
+/// byte-identical files.
+pub(crate) fn write_event(out: &mut String, now: SimTime, ev: &TraceEvent) {
+    use std::fmt::Write as _;
+    let t = now.as_nanos();
+    match ev {
+        TraceEvent::Issue { req, kind, bytes } => {
+            let _ = writeln!(
+                out,
+                "{{\"t\":{t},\"ev\":\"issue\",\"req\":{req},\"kind\":{kind},\"bytes\":{bytes}}}"
+            );
+        }
+        TraceEvent::Complete { req, ok } => {
+            let _ = writeln!(
+                out,
+                "{{\"t\":{t},\"ev\":\"complete\",\"req\":{req},\"ok\":{ok}}}"
+            );
+        }
+        TraceEvent::Stage { req, hop, id, dur } => {
+            let _ = writeln!(
+                out,
+                "{{\"t\":{t},\"ev\":\"stage\",\"req\":{req},\"hop\":\"{}\",\"id\":{id},\"dur\":{}}}",
+                hop.label(),
+                dur.as_nanos()
+            );
+        }
+        TraceEvent::Mark { req, hop, id } => {
+            let _ = writeln!(
+                out,
+                "{{\"t\":{t},\"ev\":\"mark\",\"req\":{req},\"hop\":\"{}\",\"id\":{id}}}",
+                hop.label()
+            );
+        }
+        TraceEvent::Meta { hop, id, name } => {
+            let _ = write!(
+                out,
+                "{{\"t\":{t},\"ev\":\"meta\",\"hop\":\"{}\",\"id\":{id},\"name\":\"",
+                hop.label()
+            );
+            escape_into(out, name);
+            out.push_str("\"}\n");
+        }
+        TraceEvent::ReplicaEvict { mb, replica } => {
+            let _ = writeln!(
+                out,
+                "{{\"t\":{t},\"ev\":\"evict\",\"mb\":{mb},\"replica\":{replica}}}"
+            );
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A field value in a flat trace object.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Parses one JSONL trace line back into `(timestamp, event)`.
+///
+/// Returns `None` on anything the writer would not have produced.
+pub fn parse_line(line: &str) -> Option<(SimTime, TraceEvent)> {
+    let mut fields: Vec<(String, Val)> = Vec::with_capacity(6);
+    let b = line.trim();
+    let inner = b.strip_prefix('{')?.strip_suffix('}')?;
+    let mut chars = inner.char_indices().peekable();
+    // Flat scan: `"key":value` pairs separated by commas.
+    loop {
+        // Key.
+        let (key, rest_at) = parse_string_at(inner, &mut chars)?;
+        skip_char(&mut chars, ':')?;
+        // Value.
+        let val = match chars.peek().map(|&(_, c)| c)? {
+            '"' => {
+                let (s, _) = parse_string_at(inner, &mut chars)?;
+                Val::Str(s)
+            }
+            't' => {
+                eat_lit(inner, &mut chars, "true")?;
+                Val::Bool(true)
+            }
+            'f' => {
+                eat_lit(inner, &mut chars, "false")?;
+                Val::Bool(false)
+            }
+            _ => {
+                let mut n: u64 = 0;
+                let mut any = false;
+                while let Some(&(_, c)) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.checked_mul(10)?.checked_add(d as u64)?;
+                        any = true;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return None;
+                }
+                Val::Num(n)
+            }
+        };
+        let _ = rest_at;
+        fields.push((key, val));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            None => break,
+            Some(_) => return None,
+        }
+    }
+    build_event(&fields)
+}
+
+/// Parses a whole JSONL document, skipping blank lines; `None` if any
+/// non-blank line fails to parse.
+pub fn parse_jsonl(doc: &str) -> Option<Vec<(SimTime, TraceEvent)>> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line)?);
+    }
+    Some(out)
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_char(chars: &mut CharIter<'_>, want: char) -> Option<()> {
+    match chars.next() {
+        Some((_, c)) if c == want => Some(()),
+        _ => None,
+    }
+}
+
+fn eat_lit(src: &str, chars: &mut CharIter<'_>, lit: &str) -> Option<()> {
+    let start = chars.peek()?.0;
+    if src[start..].starts_with(lit) {
+        for _ in 0..lit.chars().count() {
+            chars.next();
+        }
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_string_at(_src: &str, chars: &mut CharIter<'_>) -> Option<(String, usize)> {
+    skip_char(chars, '"')?;
+    let mut s = String::new();
+    loop {
+        let (i, c) = chars.next()?;
+        match c {
+            '"' => return Some((s, i)),
+            '\\' => {
+                let (_, e) = chars.next()?;
+                match e {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next()?;
+                            code = code * 16 + h.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+fn get_num(fields: &[(String, Val)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        Val::Num(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn get_str<'a>(fields: &'a [(String, Val)], key: &str) -> Option<&'a str> {
+    fields.iter().find_map(|(k, v)| match v {
+        Val::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn get_bool(fields: &[(String, Val)], key: &str) -> Option<bool> {
+    fields.iter().find_map(|(k, v)| match v {
+        Val::Bool(b) if k == key => Some(*b),
+        _ => None,
+    })
+}
+
+fn build_event(fields: &[(String, Val)]) -> Option<(SimTime, TraceEvent)> {
+    use storm_sim::SimDuration;
+    let t = SimTime::from_nanos(get_num(fields, "t")?);
+    let ev = match get_str(fields, "ev")? {
+        "issue" => TraceEvent::Issue {
+            req: get_num(fields, "req")?,
+            kind: get_num(fields, "kind")? as u8,
+            bytes: get_num(fields, "bytes")? as u32,
+        },
+        "complete" => TraceEvent::Complete {
+            req: get_num(fields, "req")?,
+            ok: get_bool(fields, "ok")?,
+        },
+        "stage" => TraceEvent::Stage {
+            req: get_num(fields, "req")?,
+            hop: Hop::parse(get_str(fields, "hop")?)?,
+            id: get_num(fields, "id")? as u32,
+            dur: SimDuration::from_nanos(get_num(fields, "dur")?),
+        },
+        "mark" => TraceEvent::Mark {
+            req: get_num(fields, "req")?,
+            hop: Hop::parse(get_str(fields, "hop")?)?,
+            id: get_num(fields, "id")? as u32,
+        },
+        "meta" => TraceEvent::Meta {
+            hop: Hop::parse(get_str(fields, "hop")?)?,
+            id: get_num(fields, "id")? as u32,
+            name: get_str(fields, "name")?.to_string(),
+        },
+        "evict" => TraceEvent::ReplicaEvict {
+            mb: get_num(fields, "mb")? as u32,
+            replica: get_num(fields, "replica")? as u32,
+        },
+        _ => return None,
+    };
+    Some((t, ev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_sim::trace::req_token;
+    use storm_sim::SimDuration;
+
+    fn round_trip(now: SimTime, ev: TraceEvent) {
+        let mut s = String::new();
+        write_event(&mut s, now, &ev);
+        assert!(s.ends_with('\n'));
+        let (t2, ev2) = parse_line(s.trim_end()).expect("parse back");
+        assert_eq!(t2, now);
+        assert_eq!(ev2, ev);
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let req = req_token(40_001, 9);
+        round_trip(
+            SimTime::from_nanos(5),
+            TraceEvent::Issue {
+                req,
+                kind: 1,
+                bytes: 4096,
+            },
+        );
+        round_trip(
+            SimTime::from_nanos(6),
+            TraceEvent::Complete { req, ok: false },
+        );
+        round_trip(
+            SimTime::from_nanos(7),
+            TraceEvent::Stage {
+                req,
+                hop: Hop::Service,
+                id: 2,
+                dur: SimDuration::from_nanos(123),
+            },
+        );
+        round_trip(
+            SimTime::ZERO,
+            TraceEvent::Mark {
+                req,
+                hop: Hop::Buffer,
+                id: 0,
+            },
+        );
+        round_trip(
+            SimTime::ZERO,
+            TraceEvent::Meta {
+                hop: Hop::Service,
+                id: 0,
+                name: "enc \"aes\"\\x".into(),
+            },
+        );
+        round_trip(
+            SimTime::from_nanos(1 << 40),
+            TraceEvent::ReplicaEvict { mb: 1, replica: 2 },
+        );
+    }
+
+    #[test]
+    fn writer_emits_fixed_key_order() {
+        let mut s = String::new();
+        write_event(
+            &mut s,
+            SimTime::from_nanos(42),
+            &TraceEvent::Stage {
+                req: req_token(40_000, 1),
+                hop: Hop::Disk,
+                id: 0,
+                dur: SimDuration::from_nanos(10),
+            },
+        );
+        assert_eq!(
+            s,
+            format!(
+                "{{\"t\":42,\"ev\":\"stage\",\"req\":{},\"hop\":\"disk\",\"id\":0,\"dur\":10}}\n",
+                req_token(40_000, 1)
+            )
+        );
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("{}").is_none());
+        assert!(parse_line("{\"t\":1,\"ev\":\"nope\"}").is_none());
+        assert!(parse_line("not json").is_none());
+        assert!(parse_jsonl("{\"t\":1,\"ev\":\"complete\",\"req\":1,\"ok\":true}\nbad").is_none());
+    }
+}

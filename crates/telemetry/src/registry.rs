@@ -1,0 +1,136 @@
+//! A named-metric registry: counters, gauges and latency histograms.
+
+use std::collections::BTreeMap;
+
+use storm_sim::{Histogram, SimDuration};
+
+/// Deterministic registry of named metrics.
+///
+/// Names are free-form dotted paths (`"client.vm0.reads"`). Storage is a
+/// `BTreeMap`, so [`report`](MetricsRegistry::report) iterates in a stable
+/// order regardless of registration order — registry output is part of the
+/// reproducibility contract, like trace files.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `d` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.hists.entry(name.to_string()).or_default().record(d);
+    }
+
+    /// Merges `other` histogram into histogram `name`.
+    pub fn merge_histogram(&mut self, name: &str, other: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().merge(other);
+    }
+
+    /// Current value of counter `name`, zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Renders every metric as stable, diff-friendly text: one line per
+    /// metric, sorted by name; histograms report count/mean/p50/p99/max.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist {name} count={} mean={} p50={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.inc("io.reads", 1);
+        r.inc("io.reads", 2);
+        r.set_gauge("queue.depth", 7);
+        for i in 1..=10 {
+            r.observe("lat", SimDuration::from_micros(i * 100));
+        }
+        assert_eq!(r.counter("io.reads"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("queue.depth"), Some(7));
+        assert_eq!(r.gauge("missing"), None);
+        let h = r.histogram("lat").expect("present");
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn report_is_sorted_and_stable() {
+        let mut a = MetricsRegistry::new();
+        a.inc("z.last", 1);
+        a.inc("a.first", 2);
+        a.set_gauge("m.mid", -3);
+        a.observe("lat", SimDuration::from_millis(5));
+        let mut b = MetricsRegistry::new();
+        b.observe("lat", SimDuration::from_millis(5));
+        b.set_gauge("m.mid", -3);
+        b.inc("a.first", 2);
+        b.inc("z.last", 1);
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.report().lines().count(), 4);
+        assert!(a.report().starts_with("counter a.first 2\n"));
+    }
+
+    #[test]
+    fn merge_histogram_accumulates() {
+        let mut ext = Histogram::new();
+        ext.record(SimDuration::from_micros(10));
+        ext.record(SimDuration::from_micros(20));
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", SimDuration::from_micros(30));
+        r.merge_histogram("lat", &ext);
+        assert_eq!(r.histogram("lat").unwrap().count(), 3);
+    }
+}

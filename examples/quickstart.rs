@@ -5,10 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use storm::cloud::{Cloud, CloudConfig, IoCtx, IoKind, IoResult, ReqId, Workload};
 use storm::core::{MbSpec, RelayMode, ServiceSpec, StormPlatform, TenantPolicy, VolumePolicy};
 use storm::services::EncryptionService;
+use storm::telemetry::{analyze, MetricsRegistry, Recorder};
 use storm_block::BlockDevice;
 use storm_sim::SimTime;
 
@@ -58,8 +61,11 @@ fn main() {
         policy.volumes[0].vm
     );
 
-    // 2. The provider builds the cloud and deploys the chain.
+    // 2. The provider builds the cloud and deploys the chain, with the
+    //    telemetry recorder armed across every layer.
     let mut cloud = Cloud::build(CloudConfig::default());
+    let recorder = Arc::new(Recorder::new());
+    cloud.set_trace_hook(Recorder::hook(&recorder));
     let platform = StormPlatform::default();
     let volume = cloud.create_volume(1 << 30, 0);
     let key = [0x42u8; 64];
@@ -100,5 +106,19 @@ fn main() {
     volume.shared.clone().read(128, &mut at_rest).unwrap();
     assert_ne!(at_rest, secret, "the volume must hold ciphertext");
     println!("[volume] at-rest bytes differ from plaintext: encryption is transparent to the VM");
+
+    // 5. Telemetry: registry counters plus the per-hop trace breakdown.
+    let mut registry = MetricsRegistry::new();
+    let client = cloud.client_mut(0, app);
+    registry.inc("vm.web-1.reads", client.stats.reads.count());
+    registry.inc("vm.web-1.writes", client.stats.writes.count());
+    registry.merge_histogram("vm.web-1.latency", client.stats.latency.histogram());
+    print!("[metrics]\n{}", registry.report());
+    let report = analyze::attribute(&recorder.events());
+    print!(
+        "[trace] {} events recorded\n{}",
+        recorder.len(),
+        report.table()
+    );
     println!("quickstart complete");
 }

@@ -13,10 +13,13 @@
 //! cargo run --release --example service_chain
 //! ```
 
+use std::sync::Arc;
+
 use storm::cloud::{Cloud, CloudConfig};
 use storm::core::relay::ActiveRelayMb;
 use storm::core::{MbSpec, Reconstructor, RelayMode, StormPlatform};
 use storm::services::{EncryptionService, MonitorConfig, MonitorService};
+use storm::telemetry::{analyze, MetricsRegistry, Recorder};
 use storm::workloads::postmark::install_image;
 use storm::workloads::{OpClass, OpGroup, TraceWorkload};
 use storm_block::{MemDisk, RecordingDevice};
@@ -38,6 +41,8 @@ fn main() {
     let mut image = fs.into_device().unwrap().into_inner();
 
     let mut cloud = Cloud::build(CloudConfig::default());
+    let recorder = Arc::new(Recorder::new());
+    cloud.set_trace_hook(Recorder::hook(&recorder));
     let platform = StormPlatform::default();
     let volume = cloud.create_volume(128 << 20, 0);
     install_image(&mut image, &mut volume.shared.clone());
@@ -107,6 +112,20 @@ fn main() {
         .unwrap();
     let (enc_bytes, _) = enc.counters();
     println!("\nstage 2 — encryption: {enc_bytes} bytes encrypted on the write path");
+
+    // Telemetry: per-stage counters and the chain's latency attribution.
+    // The Meta events the relay emitted at arm time label the service
+    // rows by name (service:monitor, service:encryption).
+    let mut registry = MetricsRegistry::new();
+    registry.inc("mb0.alerts", relay.alerts().len() as u64);
+    registry.inc("mb0.pdus_forwarded", relay.pdus_forwarded());
+    registry.inc("mb0.enc_bytes", enc_bytes);
+    let client = cloud.client_mut(0, app);
+    registry.inc("vm.erp.ops", client.stats.ops());
+    registry.merge_histogram("vm.erp.latency", client.stats.latency.histogram());
+    print!("\n[metrics]\n{}", registry.report());
+    let report = analyze::attribute(&recorder.events());
+    print!("\n[trace] {} events\n{}", recorder.len(), report.table());
 
     // ...while the volume holds ciphertext.
     let mut fs_check = ExtFs::mount(volume.shared.clone());

@@ -15,4 +15,5 @@ pub use storm_iscsi as iscsi;
 pub use storm_net as net;
 pub use storm_services as services;
 pub use storm_sim as sim;
+pub use storm_telemetry as telemetry;
 pub use storm_workloads as workloads;

@@ -9,9 +9,12 @@
 //! its unfinished reads; the database keeps running with zero lost reads
 //! and throughput dips then recovers on the surviving lanes.
 
+use std::sync::Arc;
+
 use storm::cloud::{Cloud, CloudConfig};
 use storm::core::relay::{ActiveRelayMb, ReplicaTarget};
 use storm::core::{MbSpec, RelayMode, StormPlatform};
+use storm::telemetry::{analyze, Recorder};
 use storm_faults::{Fault, FaultPlan, FaultRunner};
 use storm_services::ReplicationService;
 use storm_sim::{SimDuration, SimTime};
@@ -31,6 +34,10 @@ fn replica_goes_mute_mid_workload_and_is_evicted() {
     // where read striping (and losing a stripe lane) matters.
     cfg.target.disk.cache_blocks = 32_768;
     let mut cloud = Cloud::build(cfg);
+    // Record the telemetry trace alongside the fault trace: the eviction
+    // must be visible to an observability consumer, not just test hooks.
+    let recorder = Arc::new(Recorder::new());
+    cloud.set_trace_hook(Recorder::hook(&recorder));
     let platform = StormPlatform::default();
     let vol = cloud.create_volume(1 << 30, 0);
     let rep1 = cloud.create_volume(1 << 30, 1);
@@ -147,5 +154,31 @@ fn replica_goes_mute_mid_workload_and_is_evicted() {
     assert!(
         trace.iter().any(|l| l.contains("TargetRespond")),
         "{trace:?}"
+    );
+
+    // The telemetry trace carries the eviction too, after the fail mark,
+    // naming the muted replica (index 0 = rep1).
+    let report = analyze::attribute(&recorder.events());
+    assert_eq!(
+        report.evictions.len(),
+        1,
+        "exactly one replica eviction in the trace"
+    );
+    let (at, mb, replica) = report.evictions[0];
+    assert_eq!(mb, 0);
+    assert_eq!(
+        replica, 0,
+        "the muted replica (rep1) must be the one evicted"
+    );
+    assert!(
+        at >= SimTime::from_secs(FAIL_AT_SECS),
+        "eviction {at} must follow the fail mark"
+    );
+    // The failover run still yields a coherent attribution table.
+    assert!(report.requests > 0);
+    let share_sum: f64 = report.rows.iter().map(|r| r.share).sum();
+    assert!(
+        (share_sum - 100.0).abs() < 0.5,
+        "shares sum to {share_sum}%"
     );
 }
