@@ -77,7 +77,7 @@ fn bench_flow_table(c: &mut Criterion) {
             ack: 0,
             flags: TcpFlags::ACK,
             wnd: 0,
-            payload: Bytes::new(),
+            payload: Bytes::new().into(),
         },
         hops: 0,
     };

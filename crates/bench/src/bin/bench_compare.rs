@@ -1,0 +1,180 @@
+//! Compares a bench run against a committed baseline and fails on
+//! regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <results.json>
+//! ```
+//!
+//! For every scenario in the baseline, the run must contain a scenario
+//! with the same name whose `p99_ms` and `bytes_copied_per_pdu` (when the
+//! baseline records one) are no more than [`TOLERANCE`] above the
+//! baseline value. A zero baseline (the zero-copy invariant) admits no
+//! increase at all: any copied data byte is a regression, not noise.
+//!
+//! The parser is deliberately tied to the fixed key order emitted by
+//! [`storm_bench::results`] — one JSON object per line, no escaping in
+//! names — so the comparison needs no JSON dependency.
+
+use std::process::ExitCode;
+
+/// Allowed fractional increase over the baseline before failing.
+const TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, results_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <results.json>");
+        return ExitCode::from(2);
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let results = match std::fs::read_to_string(results_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read {results_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match compare(&baseline, &results) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprint!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fields compared against the baseline. `p99_ms` guards tail latency;
+/// `bytes_copied_per_pdu` guards the zero-copy relay invariant.
+const GUARDED: [&str; 2] = ["p99_ms", "bytes_copied_per_pdu"];
+
+/// Compares two result files; `Ok` is the pass report, `Err` the failure
+/// report.
+fn compare(baseline: &str, results: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut failures = 0;
+    let mut checked = 0;
+    for (name, base_line) in scenarios(baseline) {
+        let Some(run_line) = scenarios(results).find(|(n, _)| *n == name).map(|(_, l)| l) else {
+            out.push_str(&format!("FAIL {name}: missing from results\n"));
+            failures += 1;
+            continue;
+        };
+        for field in GUARDED {
+            let Some(base) = field_value(base_line, field) else {
+                continue; // baseline does not guard this field for this scenario
+            };
+            let Some(run) = field_value(run_line, field) else {
+                out.push_str(&format!("FAIL {name}: results lack \"{field}\"\n"));
+                failures += 1;
+                continue;
+            };
+            checked += 1;
+            // A zero baseline tolerates zero: 10% of nothing is nothing.
+            let limit = base * (1.0 + TOLERANCE);
+            if run > limit + f64::EPSILON {
+                out.push_str(&format!(
+                    "FAIL {name}: {field} {run:.3} exceeds baseline {base:.3} by more than {:.0}%\n",
+                    TOLERANCE * 100.0
+                ));
+                failures += 1;
+            } else {
+                out.push_str(&format!(
+                    "ok   {name}: {field} {run:.3} (baseline {base:.3})\n"
+                ));
+            }
+        }
+    }
+    if checked == 0 {
+        return Err(format!("{out}FAIL: no guarded fields compared\n"));
+    }
+    if failures > 0 {
+        Err(format!("{out}{failures} regression(s) against baseline\n"))
+    } else {
+        Ok(format!(
+            "{out}all {checked} checks within {:.0}% of baseline\n",
+            TOLERANCE * 100.0
+        ))
+    }
+}
+
+/// Yields `(name, line)` for each scenario object in a results file.
+fn scenarios(json: &str) -> impl Iterator<Item = (&str, &str)> {
+    json.lines().filter_map(|line| {
+        let line = line.trim().trim_end_matches(',');
+        let rest = line.strip_prefix("{\"name\":\"")?;
+        let end = rest.find('"')?;
+        Some((&rest[..end], line))
+    })
+}
+
+/// Extracts a numeric field from a scenario line.
+fn field_value(line: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != 'e')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"a","mode":"LEGACY","block_bytes":65536,"threads":1,"ops":10,"iops":10.0,"throughput_mbps":1.00,"mean_ms":1.000,"p50_ms":1.000,"p99_ms":1.000},
+    {"name":"z","mode":"MB-ACTIVE-RELAY","block_bytes":65536,"threads":1,"ops":10,"iops":10.0,"throughput_mbps":1.00,"mean_ms":1.000,"p50_ms":1.000,"p99_ms":1.000,"bytes_copied_per_pdu":0.000}
+  ]
+}"#;
+
+    fn run(p99_a: f64, p99_z: f64, copied: f64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"benchmarks\": [\n",
+                "    {{\"name\":\"a\",\"p99_ms\":{:.3}}},\n",
+                "    {{\"name\":\"z\",\"p99_ms\":{:.3},\"bytes_copied_per_pdu\":{:.3}}}\n",
+                "  ]\n}}"
+            ),
+            p99_a, p99_z, copied
+        )
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        assert!(compare(BASE, &run(1.05, 1.09, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn p99_regression_fails() {
+        let err = compare(BASE, &run(1.2, 1.0, 0.0)).unwrap_err();
+        assert!(err.contains("FAIL a: p99_ms"), "{err}");
+    }
+
+    #[test]
+    fn zero_baseline_admits_no_copies() {
+        let err = compare(BASE, &run(1.0, 1.0, 0.5)).unwrap_err();
+        assert!(err.contains("FAIL z: bytes_copied_per_pdu"), "{err}");
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let only_a = "{\"name\":\"a\",\"p99_ms\":1.000}";
+        assert!(compare(BASE, only_a).is_err());
+    }
+
+    #[test]
+    fn improvement_passes() {
+        assert!(compare(BASE, &run(0.5, 0.9, 0.0)).is_ok());
+    }
+}

@@ -9,9 +9,11 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use storm_bench::{fio_point, fio_point_traced, BenchResults, PathMode, Testbed};
+use storm_bench::{
+    fio_point, fio_point_traced, passthrough_point, BenchResults, PathMode, Testbed,
+};
 use storm_sim::SimDuration;
-use storm_telemetry::{analyze, Recorder};
+use storm_telemetry::{analyze, names, MetricsRegistry, Recorder};
 
 fn main() {
     let testbed = Testbed {
@@ -50,6 +52,50 @@ fn main() {
         p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
     );
     results.push("fig5.active.64k", PathMode::MbActiveRelay, block, 1, p);
+
+    // Zero-copy acceptance: an active relay with an empty chain must
+    // forward every data segment verbatim — 0 data bytes copied per PDU.
+    let pt = passthrough_point(block, 1, &testbed);
+    let mut metrics = MetricsRegistry::new();
+    metrics.inc(names::RELAY_BYTES_COPIED, pt.copy.data_bytes_copied);
+    metrics.inc(
+        names::RELAY_HEADER_BYTES_COPIED,
+        pt.copy.header_bytes_copied,
+    );
+    metrics.inc(names::RELAY_VERBATIM_FORWARDS, pt.copy.verbatim_forwards);
+    metrics.inc(names::RELAY_PDUS_FORWARDED, pt.pdus_forwarded);
+    println!(
+        "zerocopy.passthrough.64k: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
+         {:.3} data bytes copied/pdu ({} pdus, {} verbatim)",
+        pt.point.ops,
+        pt.point.p50_ms,
+        pt.point.p99_ms,
+        pt.bytes_copied_per_pdu(),
+        pt.pdus_forwarded,
+        pt.copy.verbatim_forwards
+    );
+    print!("{}", metrics.report());
+    assert_eq!(
+        pt.copy.data_bytes_copied, 0,
+        "passthrough chain must not copy data segments"
+    );
+    results.push_with_extras(
+        "zerocopy.passthrough.64k",
+        PathMode::MbActiveRelay,
+        block,
+        1,
+        pt.point,
+        vec![
+            (
+                "bytes_copied_per_pdu".to_string(),
+                pt.bytes_copied_per_pdu(),
+            ),
+            (
+                "verbatim_forwards".to_string(),
+                pt.copy.verbatim_forwards as f64,
+            ),
+        ],
+    );
 
     results
         .write(Path::new("BENCH_results.json"))

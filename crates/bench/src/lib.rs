@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use storm_cloud::{Cloud, CloudConfig, VolumeHandle};
-use storm_core::{MbSpec, RelayMode, StormPlatform};
+use storm_core::{ActiveRelayMb, MbSpec, RelayCopyStats, RelayMode, StormPlatform};
 use storm_net::AppId;
 use storm_services::EncryptionService;
 use storm_sim::trace::TraceHook;
@@ -206,6 +206,90 @@ pub fn fio_point_traced(
         mean_latency_ms,
         p50_ms,
         p99_ms,
+    }
+}
+
+/// Result of one passthrough-chain run: the fio point plus the relay's
+/// memcpy accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct PassthroughPoint {
+    /// The measured latency/throughput point.
+    pub point: FioPoint,
+    /// PDUs forwarded through the (empty) service chain.
+    pub pdus_forwarded: u64,
+    /// Raw copy counters read back from the relay.
+    pub copy: RelayCopyStats,
+}
+
+impl PassthroughPoint {
+    /// Data-segment bytes copied per forwarded PDU — the zero-copy
+    /// acceptance metric. 0.0 when nothing was forwarded.
+    pub fn bytes_copied_per_pdu(&self) -> f64 {
+        if self.pdus_forwarded == 0 {
+            return 0.0;
+        }
+        self.copy.data_bytes_copied as f64 / self.pdus_forwarded as f64
+    }
+}
+
+/// Runs the zero-copy acceptance scenario: an active relay with an
+/// **empty** service chain (pure passthrough), then reads the relay's
+/// [`RelayCopyStats`] back out of the middle-box app.
+///
+/// On this path every data PDU must take the verbatim fast path, so
+/// `copy.data_bytes_copied` stays 0 — only fixed 48-byte header copies
+/// are allowed.
+pub fn passthrough_point(
+    block_bytes: usize,
+    threads: usize,
+    testbed: &Testbed,
+) -> PassthroughPoint {
+    let mut cloud = build_cloud(testbed.seed);
+    let vol = cloud.create_volume(testbed.volume_bytes, 0);
+    let platform = StormPlatform::default();
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Active)],
+    );
+    let job = FioJob::randrw(block_bytes, testbed.duration, vol.sectors).threads(threads);
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:tenant",
+        &vol,
+        Box::new(FioWorkload::new(job)),
+        testbed.seed,
+        false,
+    );
+    let start = cloud.net.now();
+    let end = start + testbed.duration + SimDuration::from_secs(2);
+    cloud.net.run_until(SimTime::from_nanos(end.as_nanos()));
+    let client = cloud.client_mut(0, app);
+    assert!(client.is_ready(), "login failed on passthrough path");
+    assert_eq!(client.stats.errors, 0, "I/O errors on passthrough path");
+    let ops = client.stats.ops();
+    let point = FioPoint {
+        ops,
+        iops: ops as f64 / testbed.duration.as_secs_f64(),
+        mean_latency_ms: client.stats.latency.mean().as_nanos() as f64 / 1e6,
+        p50_ms: client.stats.latency.percentile(50.0).as_nanos() as f64 / 1e6,
+        p99_ms: client.stats.latency.percentile(99.0).as_nanos() as f64 / 1e6,
+    };
+    let node = deployment.mb_nodes[0].node;
+    let mb_app = deployment.mb_apps[0].expect("active relay has an app");
+    let relay = cloud
+        .net
+        .app_mut(node, mb_app)
+        .expect("middle-box app present")
+        .downcast_ref::<ActiveRelayMb>()
+        .expect("app is an ActiveRelayMb");
+    PassthroughPoint {
+        point,
+        pdus_forwarded: relay.pdus_forwarded(),
+        copy: relay.copy_stats(),
     }
 }
 

@@ -18,6 +18,10 @@ pub struct ScenarioResult {
     pub threads: usize,
     /// The measured point.
     pub point: FioPoint,
+    /// Extra scenario-specific metrics, serialized after `p99_ms` in
+    /// insertion order (e.g. `bytes_copied_per_pdu` for the zero-copy
+    /// passthrough scenario).
+    pub extras: Vec<(String, f64)>,
 }
 
 /// Accumulates scenario results and writes `BENCH_results.json`.
@@ -45,12 +49,26 @@ impl BenchResults {
         threads: usize,
         point: FioPoint,
     ) {
+        self.push_with_extras(name, mode, block_bytes, threads, point, Vec::new());
+    }
+
+    /// Adds one measured scenario with extra named metrics.
+    pub fn push_with_extras(
+        &mut self,
+        name: &str,
+        mode: PathMode,
+        block_bytes: usize,
+        threads: usize,
+        point: FioPoint,
+        extras: Vec<(String, f64)>,
+    ) {
         self.scenarios.push(ScenarioResult {
             name: name.to_string(),
             mode,
             block_bytes,
             threads,
             point,
+            extras,
         });
     }
 
@@ -70,7 +88,7 @@ impl BenchResults {
                 out,
                 "    {{\"name\":\"{}\",\"mode\":\"{}\",\"block_bytes\":{},\"threads\":{},\
                  \"ops\":{},\"iops\":{:.1},\"throughput_mbps\":{:.2},\
-                 \"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                 \"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3}",
                 s.name,
                 s.mode,
                 s.block_bytes,
@@ -82,6 +100,10 @@ impl BenchResults {
                 p.p50_ms,
                 p.p99_ms
             );
+            for (key, value) in &s.extras {
+                let _ = write!(out, ",\"{key}\":{value:.3}");
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.scenarios.len() {
                 ",\n"
             } else {
@@ -119,7 +141,7 @@ mod tests {
                 p99_ms: 3.5,
             },
         );
-        r.push(
+        r.push_with_extras(
             "fig5.active.64k",
             PathMode::MbActiveRelay,
             65536,
@@ -131,6 +153,7 @@ mod tests {
                 p50_ms: 19.0,
                 p99_ms: 40.0,
             },
+            vec![("bytes_copied_per_pdu".to_string(), 0.0)],
         );
         let json = r.to_json();
         assert!(json.starts_with("{\n  \"benchmarks\": [\n"));
@@ -138,6 +161,8 @@ mod tests {
         assert!(json.contains("\"mode\":\"MB-ACTIVE-RELAY\""));
         assert!(json.contains("\"throughput_mbps\":2.05"));
         assert!(json.contains("\"p99_ms\":3.500"));
+        // Extras append after p99_ms inside the same object.
+        assert!(json.contains("\"p99_ms\":40.000,\"bytes_copied_per_pdu\":0.000}"));
         assert_eq!(r.scenarios().len(), 2);
         // Two runs, same inputs -> identical bytes.
         assert_eq!(json, r.clone().to_json());

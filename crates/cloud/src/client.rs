@@ -280,12 +280,10 @@ impl VolumeClient {
 
     fn flush_out(&mut self, cx: &mut Cx<'_>) {
         if let Some(sock) = self.sock {
-            let out = self.ini.take_output();
-            if !out.is_empty() {
-                self.sendq.send(cx, sock, &out);
-            } else {
-                self.sendq.pump(cx, sock);
+            for c in self.ini.take_wire() {
+                self.sendq.push_bytes(c);
             }
+            self.sendq.pump(cx, sock);
         }
     }
 
@@ -446,7 +444,7 @@ impl App for VolumeClient {
     }
 
     fn on_data(&mut self, cx: &mut Cx<'_>, _sock: SockId, data: Bytes) {
-        let events = self.ini.feed(&data);
+        let events = self.ini.feed_bytes(data);
         for ev in events {
             match ev {
                 InitiatorEvent::LoginComplete => {

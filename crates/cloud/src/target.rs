@@ -295,8 +295,10 @@ impl TargetHostApp {
                         self.trace_serve(now, sock, itt, cpu, done - now);
                     } else if let Some(sess) = self.sessions.get_mut(&sock) {
                         sess.conn.complete_write(itt, status);
-                        let out = sess.conn.take_output();
-                        sess.sendq.send(cx, sock, &out);
+                        for c in sess.conn.take_wire() {
+                            sess.sendq.push_bytes(c);
+                        }
+                        sess.sendq.pump(cx, sock);
                     }
                 }
                 TargetEvent::FlushReady { itt } => {
@@ -330,12 +332,10 @@ impl TargetHostApp {
             }
         }
         if let Some(sess) = self.sessions.get_mut(&sock) {
-            let out = sess.conn.take_output();
-            if !out.is_empty() {
-                sess.sendq.send(cx, sock, &out);
-            } else {
-                sess.sendq.pump(cx, sock);
+            for c in sess.conn.take_wire() {
+                sess.sendq.push_bytes(c);
             }
+            sess.sendq.pump(cx, sock);
         }
     }
 }
@@ -389,7 +389,7 @@ impl App for TargetHostApp {
             }
         }
         let events = match self.sessions.get_mut(&sock) {
-            Some(sess) => sess.conn.feed(&data),
+            Some(sess) => sess.conn.feed_bytes(data),
             None => return,
         };
         self.handle_events(cx, sock, events);
@@ -445,8 +445,10 @@ impl App for TargetHostApp {
                         }
                     };
                     sess.conn.complete_read(itt, Bytes::from(buf), status);
-                    let out = sess.conn.take_output();
-                    sess.sendq.send(cx, sock, &out);
+                    for c in sess.conn.take_wire() {
+                        sess.sendq.push_bytes(c);
+                    }
+                    sess.sendq.pump(cx, sock);
                 }
             }
             PendingDisk::Write { sock, itt } => {
@@ -457,8 +459,10 @@ impl App for TargetHostApp {
                         ScsiStatus::Good
                     };
                     sess.conn.complete_write(itt, status);
-                    let out = sess.conn.take_output();
-                    sess.sendq.send(cx, sock, &out);
+                    for c in sess.conn.take_wire() {
+                        sess.sendq.push_bytes(c);
+                    }
+                    sess.sendq.pump(cx, sock);
                 }
             }
             PendingDisk::Flush { sock, itt } => {
@@ -475,8 +479,10 @@ impl App for TargetHostApp {
                         }
                     };
                     sess.conn.complete_flush(itt, status);
-                    let out = sess.conn.take_output();
-                    sess.sendq.send(cx, sock, &out);
+                    for c in sess.conn.take_wire() {
+                        sess.sendq.push_bytes(c);
+                    }
+                    sess.sendq.pump(cx, sock);
                 }
             }
         }

@@ -38,7 +38,8 @@ pub mod splice;
 pub use platform::{ChainDeployment, MbSpec, RelayMode, StormPlatform};
 pub use policy::{ServiceSpec, TenantPolicy, VolumePolicy};
 pub use relay::{
-    ActiveRelayConfig, ActiveRelayMb, MbControl, PassiveTap, PassiveTapConfig, RetryPolicy,
+    ActiveRelayConfig, ActiveRelayMb, MbControl, PassiveTap, PassiveTapConfig, RelayCopyStats,
+    RetryPolicy,
 };
 pub use semantics::{FsAccess, FsOp, FsTargetKind, Reconstructor};
 pub use service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};

@@ -19,5 +19,7 @@
 mod active;
 mod passive;
 
-pub use active::{ActiveRelayConfig, ActiveRelayMb, MbControl, ReplicaTarget, RetryPolicy};
+pub use active::{
+    ActiveRelayConfig, ActiveRelayMb, MbControl, RelayCopyStats, ReplicaTarget, RetryPolicy,
+};
 pub use passive::{PassiveTap, PassiveTapConfig, WireTracker};

@@ -6,7 +6,7 @@ use bytes::Bytes;
 
 use storm_iscsi::{
     Initiator, InitiatorConfig, InitiatorEvent, IoTag, Iqn, Pdu, PduStream, ScsiStatus,
-    SessionParams,
+    SessionParams, SHARE_THRESHOLD,
 };
 use storm_net::{App, BusMsg, CloseReason, Cx, HostId, SendQueue, SockAddr, SockId};
 use storm_sim::trace::{flow_token, req_token, Hop, TraceEvent, TraceHook};
@@ -137,12 +137,15 @@ struct FlowPair {
 }
 
 /// One in-flight replica request: the owning service, its completion
-/// context, the request itself (kept for retries) and the attempt count.
+/// context, the request itself (kept for retries), the attempt count, and
+/// the flow pair whose PDU triggered it (side actions the completion
+/// produces route back to that pair, not to an arbitrary open flow).
 struct PendingIo {
     svc: usize,
     ctx: u64,
     io: ReplicaIo,
     attempts: u32,
+    origin: Option<usize>,
 }
 
 struct ReplicaSession {
@@ -150,22 +153,46 @@ struct ReplicaSession {
     sock: Option<SockId>,
     sendq: SendQueue,
     pending: HashMap<IoTag, PendingIo>,
-    deferred: Vec<(usize, ReplicaIo, u64)>,
+    deferred: Vec<(usize, ReplicaIo, u64, Option<usize>)>,
     up: bool,
     failed: bool,
     /// Consecutive request timeouts (reset by any completion).
     timeouts: u32,
 }
 
+/// A PDU headed for a send queue: either the original received wire bytes
+/// (the verbatim-forward fast path — nothing is re-encoded or copied) or a
+/// PDU the chain produced/modified, encoded on release.
+enum PduOut {
+    Verbatim(Vec<Bytes>),
+    Encode(Pdu),
+}
+
 enum Deferred {
     Release {
         pair: usize,
-        forwards: Vec<Pdu>,
+        forwards: Vec<PduOut>,
         replies: Vec<Pdu>,
         dir: Dir,
         replica_ops: Vec<(usize, usize, ReplicaIo, u64)>,
         input_bytes: usize,
     },
+}
+
+/// Memcpy accounting for the relay datapath (see
+/// [`ActiveRelayMb::copy_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayCopyStats {
+    /// Data-segment bytes copied anywhere on the relay path: stream
+    /// reassembly plus small-segment batching on encode. Zero for a
+    /// passthrough chain.
+    pub data_bytes_copied: u64,
+    /// 48-byte BHS copies (decode scratch) — the allowed fixed-size
+    /// header copies.
+    pub header_bytes_copied: u64,
+    /// PDUs that took the verbatim fast path (original wire bytes
+    /// forwarded, no re-encode).
+    pub verbatim_forwards: u64,
 }
 
 /// The active-relay middle-box application.
@@ -185,6 +212,10 @@ pub struct ActiveRelayMb {
     next_token: u64,
     alerts: Vec<(SimTime, String)>,
     pdus_forwarded: u64,
+    verbatim_forwards: u64,
+    encode_bytes_copied: u64,
+    /// Copy counters of streams whose pairs were dropped by a crash.
+    retired_copy_stats: RelayCopyStats,
     crashed: bool,
     fault: FaultHook,
     fault_mb: u32,
@@ -210,6 +241,9 @@ impl ActiveRelayMb {
             next_token: 1,
             alerts: Vec::new(),
             pdus_forwarded: 0,
+            verbatim_forwards: 0,
+            encode_bytes_copied: 0,
+            retired_copy_stats: RelayCopyStats::default(),
             crashed: false,
             fault: FaultHook::none(),
             fault_mb: 0,
@@ -266,6 +300,36 @@ impl ActiveRelayMb {
     /// PDUs forwarded through the chain.
     pub fn pdus_forwarded(&self) -> u64 {
         self.pdus_forwarded
+    }
+
+    /// Memcpy accounting across the relay's datapath: reassembly copies
+    /// on both flow streams plus small-segment batching on encode. Feeds
+    /// the `relay.bytes_copied` metric and the zero-copy acceptance test.
+    pub fn copy_stats(&self) -> RelayCopyStats {
+        let mut s = self.retired_copy_stats;
+        s.data_bytes_copied += self.encode_bytes_copied;
+        s.verbatim_forwards += self.verbatim_forwards;
+        for p in &self.pairs {
+            s.data_bytes_copied += p.s_stream.bytes_copied() + p.c_stream.bytes_copied();
+            s.header_bytes_copied +=
+                p.s_stream.header_bytes_copied() + p.c_stream.header_bytes_copied();
+        }
+        s
+    }
+
+    /// Encodes a PDU onto a send queue as chunks: the header (and a small
+    /// data segment, counted) by copy; a large data segment as a shared
+    /// view of the service's buffer.
+    fn queue_pdu(encode_bytes_copied: &mut u64, q: &mut SendQueue, pdu: &Pdu) {
+        let w = pdu.wire_chunks();
+        q.push(&w.header);
+        if w.data.len() >= SHARE_THRESHOLD {
+            q.push_bytes(w.data);
+        } else {
+            *encode_bytes_copied += w.data.len() as u64;
+            q.push(&w.data);
+        }
+        q.push(w.pad);
     }
 
     /// Access a service by index (use
@@ -343,39 +407,65 @@ impl ActiveRelayMb {
         (frontier, replies, replica_ops, cost, timers, svc_costs)
     }
 
+    /// The flow pair side actions should route to: the originating pair
+    /// when known and still open, otherwise the first open pair (timers
+    /// and other flow-less contexts).
+    fn route_pair(&self, origin: Option<usize>) -> Option<usize> {
+        match origin {
+            Some(i) if i < self.pairs.len() && !self.pairs[i].closed => Some(i),
+            _ => self.pairs.iter().position(|p| !p.closed),
+        }
+    }
+
     /// Executes the actions a service emitted outside the data path
-    /// (replica completions, timers).
-    fn run_side_actions(&mut self, cx: &mut Cx<'_>, svc_idx: usize, mut scx: SvcCtx) {
+    /// (replica completions, timers). `origin` is the flow pair whose PDU
+    /// led here, when there is one.
+    fn run_side_actions(
+        &mut self,
+        cx: &mut Cx<'_>,
+        svc_idx: usize,
+        mut scx: SvcCtx,
+        origin: Option<usize>,
+    ) {
         let actions = scx.take_actions();
         let now = cx.now();
         for action in actions {
             match action {
                 SvcAction::Reply(p) => {
                     // Side-context replies flow back towards the initiator
-                    // (e.g. replication serving a read from a replica).
-                    if let Some(pair) = self.pairs.iter_mut().find(|p| !p.closed) {
-                        pair.s_out.push(&p.encode());
-                        let server = pair.server;
-                        pair.s_out.pump(cx, server);
+                    // (e.g. replication serving a read from a replica) —
+                    // on the flow the request came in on.
+                    if let Some(i) = self.route_pair(origin) {
+                        Self::queue_pdu(
+                            &mut self.encode_bytes_copied,
+                            &mut self.pairs[i].s_out,
+                            &p,
+                        );
+                        let server = self.pairs[i].server;
+                        self.pairs[i].s_out.pump(cx, server);
                         self.pdus_forwarded += 1;
                     }
                 }
                 SvcAction::Forward(p) => {
                     // Side-context forwards continue upstream (e.g. a
                     // failed replica read re-dispatched to the primary).
-                    if let Some(pair) = self.pairs.iter_mut().find(|p| !p.closed) {
-                        pair.c_out.push(&p.encode());
-                        let client = pair.client;
-                        pair.c_out.pump(cx, client);
+                    if let Some(i) = self.route_pair(origin) {
+                        Self::queue_pdu(
+                            &mut self.encode_bytes_copied,
+                            &mut self.pairs[i].c_out,
+                            &p,
+                        );
+                        let client = self.pairs[i].client;
+                        self.pairs[i].c_out.pump(cx, client);
                         self.pdus_forwarded += 1;
                     }
                 }
                 SvcAction::Replica { replica, io, ctx } => {
-                    self.issue_replica(cx, svc_idx, replica, io, ctx);
+                    self.issue_replica(cx, svc_idx, replica, io, ctx, origin);
                 }
                 SvcAction::Alert(msg) => self.alerts.push((now, msg)),
                 SvcAction::Charge(c) => {
-                    let _ = cx.charge(c, &self.cfg.label.clone());
+                    let _ = cx.charge(c, &self.cfg.label);
                 }
                 SvcAction::Timer { delay, token } => {
                     let t = self.token();
@@ -393,6 +483,7 @@ impl ActiveRelayMb {
         replica: usize,
         io: ReplicaIo,
         ctx: u64,
+        origin: Option<usize>,
     ) {
         self.issue_replica_attempt(
             cx,
@@ -402,6 +493,7 @@ impl ActiveRelayMb {
                 ctx,
                 io,
                 attempts: 0,
+                origin,
             },
         );
     }
@@ -411,14 +503,14 @@ impl ActiveRelayMb {
             return;
         };
         if sess.failed {
-            let (svc, ctx) = (req.svc, req.ctx);
+            let (svc, ctx, origin) = (req.svc, req.ctx, req.origin);
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
-            self.run_side_actions(cx, svc, scx);
+            self.run_side_actions(cx, svc, scx, origin);
             return;
         }
         if !sess.up {
-            sess.deferred.push((req.svc, req.io, req.ctx));
+            sess.deferred.push((req.svc, req.io, req.ctx, req.origin));
             return;
         }
         let tag = match &req.io {
@@ -427,8 +519,10 @@ impl ActiveRelayMb {
         };
         sess.pending.insert(tag, req);
         if let Some(sock) = sess.sock {
-            let out = sess.ini.take_output();
-            sess.sendq.send(cx, sock, &out);
+            for c in sess.ini.take_wire() {
+                sess.sendq.push_bytes(c);
+            }
+            sess.sendq.pump(cx, sock);
         }
         // Arm the request watchdog.
         if let Some(policy) = self.cfg.retry {
@@ -454,13 +548,13 @@ impl ActiveRelayMb {
         };
         sess.timeouts += 1;
         if sess.timeouts >= policy.fail_threshold {
-            let (svc, ctx) = (req.svc, req.ctx);
+            let (svc, ctx, origin) = (req.svc, req.ctx, req.origin);
             self.fail_replica(cx, replica);
             // `fail_replica` drained the remaining pending requests; this
             // one was removed above, so report it failed separately.
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
-            self.run_side_actions(cx, svc, scx);
+            self.run_side_actions(cx, svc, scx, origin);
             return;
         }
         if req.attempts < policy.max_retries {
@@ -471,22 +565,20 @@ impl ActiveRelayMb {
             cx.set_timer(backoff, token);
         } else {
             // Out of retries: this request alone is failed to its service.
-            let (svc, ctx) = (req.svc, req.ctx);
+            let (svc, ctx, origin) = (req.svc, req.ctx, req.origin);
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc].on_replica_done(&mut scx, replica, ctx, false, Bytes::new());
-            self.run_side_actions(cx, svc, scx);
+            self.run_side_actions(cx, svc, scx, origin);
         }
     }
 
     fn flush_replica(&mut self, cx: &mut Cx<'_>, idx: usize) {
         if let Some(sess) = self.replicas.get_mut(idx) {
             if let Some(sock) = sess.sock {
-                let out = sess.ini.take_output();
-                if !out.is_empty() {
-                    sess.sendq.send(cx, sock, &out);
-                } else {
-                    sess.sendq.pump(cx, sock);
+                for c in sess.ini.take_wire() {
+                    sess.sendq.push_bytes(c);
                 }
+                sess.sendq.pump(cx, sock);
             }
         }
     }
@@ -506,7 +598,7 @@ impl ActiveRelayMb {
                 Side::Server => &mut pair.s_stream,
                 Side::Client => &mut pair.c_stream,
             };
-            match stream.feed(&data) {
+            match stream.feed_bytes(data) {
                 Ok(p) => p,
                 Err(_) => {
                     let (s, c) = (pair.server, pair.client);
@@ -532,8 +624,8 @@ impl ActiveRelayMb {
                 });
             }
         }
-        for pdu in pdus {
-            let input_bytes = pdu.wire_len();
+        for pw in pdus {
+            let input_bytes = pw.pdu.wire_len();
             // Fault injection: an armed plan may drop or slow PDU
             // processing inside the middle-box.
             let mut fault_delay = SimDuration::ZERO;
@@ -552,10 +644,25 @@ impl ActiveRelayMb {
                 }
                 FaultAction::Delay(d) => fault_delay = d,
             }
-            let itt = pdu.itt();
+            let itt = pw.pdu.itt();
+            let (in_bhs, in_data, in_wire) = (pw.bhs, pw.data, pw.wire);
             let (forwards, replies, replica_ops, cost, timers, svc_costs) =
-                self.run_chain(now, dir, pdu);
+                self.run_chain(now, dir, pw.pdu);
             let cost = cost + fault_delay;
+            // Verbatim-forward fast path: the chain emitted exactly the
+            // PDU it was given (same header bytes, same data storage), so
+            // the original wire image is forwarded and nothing re-encodes.
+            // The storage-identity check makes this O(header): a service
+            // that rewrote the payload necessarily produced new storage.
+            let forwards = if forwards.len() == 1
+                && forwards[0].encode_bhs() == in_bhs
+                && forwards[0].data().same_storage(&in_data)
+            {
+                self.verbatim_forwards += 1;
+                vec![PduOut::Verbatim(in_wire)]
+            } else {
+                forwards.into_iter().map(PduOut::Encode).collect()
+            };
             if self.trace.is_armed() {
                 let req = req_token(self.pairs[pair_idx].src_port, itt);
                 self.trace.emit(
@@ -585,7 +692,7 @@ impl ActiveRelayMb {
                 cx.set_timer(delay, t);
             }
             // Account CPU and serialize processing per flow.
-            let _ = cx.charge(cost, &self.cfg.label.clone());
+            let _ = cx.charge(cost, &self.cfg.label);
             let done = self.pairs[pair_idx].proc.serve(now, cost);
             let token = self.token();
             self.deferred.insert(
@@ -616,22 +723,32 @@ impl ActiveRelayMb {
             return;
         }
         for (svc_idx, replica, io, ctx) in replica_ops {
-            self.issue_replica(cx, svc_idx, replica, io, ctx);
+            self.issue_replica(cx, svc_idx, replica, io, ctx, Some(pair));
         }
+        let copied = &mut self.encode_bytes_copied;
         let p = &mut self.pairs[pair];
         for f in forwards {
             self.pdus_forwarded += 1;
-            match dir {
-                Dir::ToTarget => p.c_out.push(&f.encode()),
-                Dir::ToInitiator => p.s_out.push(&f.encode()),
+            let q = match dir {
+                Dir::ToTarget => &mut p.c_out,
+                Dir::ToInitiator => &mut p.s_out,
+            };
+            match f {
+                PduOut::Verbatim(chunks) => {
+                    for c in chunks {
+                        q.push_bytes(c);
+                    }
+                }
+                PduOut::Encode(pdu) => Self::queue_pdu(copied, q, &pdu),
             }
         }
         for r in replies {
             self.pdus_forwarded += 1;
-            match dir {
-                Dir::ToTarget => p.s_out.push(&r.encode()),
-                Dir::ToInitiator => p.c_out.push(&r.encode()),
-            }
+            let q = match dir {
+                Dir::ToTarget => &mut p.s_out,
+                Dir::ToInitiator => &mut p.c_out,
+            };
+            Self::queue_pdu(copied, q, &r);
         }
         let (server, client) = (p.server, p.client);
         p.buffered_in = p.buffered_in.saturating_sub(input_bytes);
@@ -656,8 +773,8 @@ impl ActiveRelayMb {
                         sess.up = true;
                         std::mem::take(&mut sess.deferred)
                     };
-                    for (svc_idx, io, ctx) in deferred {
-                        self.issue_replica(cx, svc_idx, idx, io, ctx);
+                    for (svc_idx, io, ctx, origin) in deferred {
+                        self.issue_replica(cx, svc_idx, idx, io, ctx, origin);
                     }
                 }
                 InitiatorEvent::LoginFailed { .. } => self.fail_replica(cx, idx),
@@ -674,7 +791,7 @@ impl ActiveRelayMb {
                             ok,
                             Bytes::new(),
                         );
-                        self.run_side_actions(cx, req.svc, scx);
+                        self.run_side_actions(cx, req.svc, scx, req.origin);
                     }
                 }
                 InitiatorEvent::ReadComplete { tag, status, data } => {
@@ -683,7 +800,7 @@ impl ActiveRelayMb {
                         let ok = status == ScsiStatus::Good;
                         let mut scx = SvcCtx::new(cx.now());
                         self.services[req.svc].on_replica_done(&mut scx, idx, req.ctx, ok, data);
-                        self.run_side_actions(cx, req.svc, scx);
+                        self.run_side_actions(cx, req.svc, scx, req.origin);
                     }
                 }
                 InitiatorEvent::LoggedOut => self.fail_replica(cx, idx),
@@ -697,11 +814,12 @@ impl ActiveRelayMb {
     fn connect_replicas(&mut self, cx: &mut Cx<'_>) {
         self.replicas.clear();
         self.replica_socks.clear();
-        for target in self.cfg.replicas.clone() {
-            let sock = cx.connect(target.portal);
+        for i in 0..self.cfg.replicas.len() {
+            let portal = self.cfg.replicas[i].portal;
+            let sock = cx.connect(portal);
             let ini = Initiator::new(InitiatorConfig {
                 initiator_iqn: self.cfg.initiator_iqn.clone(),
-                target_iqn: target.iqn.clone(),
+                target_iqn: self.cfg.replicas[i].iqn.clone(),
                 params: SessionParams::default(),
                 isid: [0x80, 0, 0, 0x10, 0, self.replicas.len() as u8],
             });
@@ -733,6 +851,10 @@ impl ActiveRelayMb {
                 cx.abort(pair.server);
                 cx.abort(pair.client);
             }
+            self.retired_copy_stats.data_bytes_copied +=
+                pair.s_stream.bytes_copied() + pair.c_stream.bytes_copied();
+            self.retired_copy_stats.header_bytes_copied +=
+                pair.s_stream.header_bytes_copied() + pair.c_stream.header_bytes_copied();
         }
         self.pairs.clear();
         self.by_sock.clear();
@@ -761,14 +883,17 @@ impl ActiveRelayMb {
     }
 
     fn fail_replica(&mut self, cx: &mut Cx<'_>, idx: usize) {
-        let outstanding: Vec<(usize, u64)> = {
+        let outstanding: Vec<(usize, u64, Option<usize>)> = {
             let sess = &mut self.replicas[idx];
             if sess.failed {
                 return;
             }
             sess.failed = true;
             sess.up = false;
-            sess.pending.drain().map(|(_, v)| (v.svc, v.ctx)).collect()
+            sess.pending
+                .drain()
+                .map(|(_, v)| (v.svc, v.ctx, v.origin))
+                .collect()
         };
         self.trace.emit_with(cx.now(), || TraceEvent::ReplicaEvict {
             mb: self.trace_mb,
@@ -776,15 +901,15 @@ impl ActiveRelayMb {
         });
         // Fail outstanding I/O back to the owning services, then tell
         // every service the replica is gone.
-        for (svc_idx, ctx) in outstanding {
+        for (svc_idx, ctx, origin) in outstanding {
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc_idx].on_replica_done(&mut scx, idx, ctx, false, Bytes::new());
-            self.run_side_actions(cx, svc_idx, scx);
+            self.run_side_actions(cx, svc_idx, scx, origin);
         }
         for svc_idx in 0..self.services.len() {
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc_idx].on_replica_failed(&mut scx, idx);
-            self.run_side_actions(cx, svc_idx, scx);
+            self.run_side_actions(cx, svc_idx, scx, None);
         }
     }
 }
@@ -852,7 +977,7 @@ impl App for ActiveRelayMb {
 
     fn on_data(&mut self, cx: &mut Cx<'_>, sock: SockId, data: Bytes) {
         if let Some(&idx) = self.replica_socks.get(&sock) {
-            let events = self.replicas[idx].ini.feed(&data);
+            let events = self.replicas[idx].ini.feed_bytes(data);
             self.handle_replica_events(cx, idx, events);
             return;
         }
@@ -887,7 +1012,7 @@ impl App for ActiveRelayMb {
         } else if let Some((svc_idx, user_token)) = self.svc_timers.remove(&token) {
             let mut scx = SvcCtx::new(cx.now());
             self.services[svc_idx].on_timer(&mut scx, user_token);
-            self.run_side_actions(cx, svc_idx, scx);
+            self.run_side_actions(cx, svc_idx, scx, None);
         } else if let Some((replica, tag)) = self.watchdogs.remove(&token) {
             self.handle_replica_timeout(cx, replica, tag);
         } else if let Some((replica, req)) = self.retries.remove(&token) {

@@ -98,9 +98,8 @@ impl WireTracker {
                     pos += take;
                     if self.hdr.len() == 48 {
                         self.pdus += 1;
-                        let dsl = ((self.hdr[5] as usize) << 16)
-                            | ((self.hdr[6] as usize) << 8)
-                            | self.hdr[7] as usize;
+                        let dsl = storm_iscsi::data_segment_length(&self.hdr)
+                            .expect("hdr is exactly BHS_LEN bytes");
                         let pad = dsl.div_ceil(4) * 4 - dsl;
                         let ctx = self.classify_header(shared_cmds);
                         self.hdr.clear();
@@ -281,20 +280,24 @@ impl App for PassiveTap {
         }
         let cmds = self.cmds.entry(base_tuple).or_default();
         let tracker = self.trackers.entry((base_tuple, dir)).or_default();
-        let runs = tracker.walk(&frame.tcp.payload, cmds);
+        // The tap copies the packet to user space anyway, so flattening a
+        // scatter-gather payload here models the passive approach's cost,
+        // not an accident of the simulator.
+        let flat = frame.tcp.payload.to_bytes();
+        let runs = tracker.walk(&flat, cmds);
         let mut per_byte = SimDuration::ZERO;
         for svc in &self.services {
             per_byte += svc.per_byte_cost();
         }
         if !runs.is_empty() {
-            let mut data = frame.tcp.payload.to_vec();
+            let mut data = flat.to_vec();
             for (range, vol_offset) in &runs {
                 for svc in &mut self.services {
                     svc.transform(dir, *vol_offset, &mut data[range.clone()]);
                 }
                 self.bytes_transformed += range.len() as u64;
             }
-            frame.tcp.payload = data.into();
+            frame.tcp.payload = bytes::Bytes::from(data).into();
         }
         // The whole payload is copied to user space (one syscall per
         // packet); processing cost scales with payload bytes.

@@ -8,7 +8,7 @@ use crate::cdb::{Cdb, ScsiStatus};
 use crate::iqn::Iqn;
 use crate::params::{decode_text, encode_text, SessionParams};
 use crate::pdu::{DataOut, LoginRequest, LogoutRequest, NopOut, Pdu, ScsiCommand};
-use crate::stream::PduStream;
+use crate::stream::{PduStream, WireBuf};
 
 /// Identifies an outstanding I/O issued through [`Initiator`].
 ///
@@ -110,7 +110,7 @@ pub struct Initiator {
     params: SessionParams,
     state: State,
     stream: PduStream,
-    out: Vec<u8>,
+    out: WireBuf,
     next_itt: u32,
     cmd_sn: u32,
     exp_stat_sn: u32,
@@ -126,7 +126,7 @@ impl Initiator {
             params,
             state: State::Idle,
             stream: PduStream::new(),
-            out: Vec::new(),
+            out: WireBuf::new(),
             next_itt: 1,
             cmd_sn: 1,
             exp_stat_sn: 0,
@@ -149,9 +149,28 @@ impl Initiator {
         self.pending.len()
     }
 
-    /// Drains the bytes this machine wants to put on the wire.
+    /// Drains the bytes this machine wants to put on the wire (flat copy;
+    /// see [`Initiator::take_wire`] for the zero-copy chunk form).
     pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.out)
+        self.out.take_output()
+    }
+
+    /// Drains the queued wire bytes as refcounted chunks: large data
+    /// segments are views of the caller's write buffers, so replica
+    /// fan-out and the simulated TCP stack share one allocation.
+    pub fn take_wire(&mut self) -> Vec<bytes::Bytes> {
+        self.out.take_chunks()
+    }
+
+    /// Whether any output bytes are queued.
+    pub fn has_output(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Data-segment bytes memcpy'd on the encode path (small segments
+    /// batched into scratch allocations).
+    pub fn bytes_copied(&self) -> u64 {
+        self.out.bytes_copied()
     }
 
     /// Queues the login request.
@@ -177,7 +196,7 @@ impl Initiator {
             exp_stat_sn: self.exp_stat_sn,
             data: encode_text(&keys).into(),
         });
-        self.out.extend(pdu.encode());
+        self.out.push_pdu(&pdu);
         self.state = State::LoginSent;
     }
 
@@ -217,7 +236,7 @@ impl Initiator {
             cdb: Cdb::Read { lba, sectors }.to_bytes(),
             data: Bytes::new(),
         });
-        self.out.extend(pdu.encode());
+        self.out.push_pdu(&pdu);
         IoTag(itt)
     }
 
@@ -259,7 +278,7 @@ impl Initiator {
             cdb: Cdb::Write { lba, sectors }.to_bytes(),
             data: data.slice(..imm),
         });
-        self.out.extend(pdu.encode());
+        self.out.push_pdu(&pdu);
         // InitialR2T=No: the rest of the first burst flows as unsolicited
         // Data-Out (ttt = 0xffffffff) without waiting for an R2T.
         if !self.params.initial_r2t {
@@ -278,7 +297,7 @@ impl Initiator {
                     buffer_offset: off as u32,
                     data: data.slice(off..end),
                 });
-                self.out.extend(out.encode());
+                self.out.push_pdu(&out);
                 data_sn += 1;
                 off = end;
             }
@@ -309,7 +328,7 @@ impl Initiator {
             cdb: Cdb::SynchronizeCache.to_bytes(),
             data: Bytes::new(),
         });
-        self.out.extend(pdu.encode());
+        self.out.push_pdu(&pdu);
         IoTag(itt)
     }
 
@@ -326,7 +345,7 @@ impl Initiator {
             cmd_sn: self.bump_cmd_sn(),
             exp_stat_sn: self.exp_stat_sn,
         });
-        self.out.extend(pdu.encode());
+        self.out.push_pdu(&pdu);
         self.state = State::LogoutSent;
     }
 
@@ -338,13 +357,19 @@ impl Initiator {
 
     /// Feeds received bytes; returns completed events.
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<InitiatorEvent> {
-        let pdus = match self.stream.feed(bytes) {
+        self.feed_bytes(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Feeds a received chunk by reference (no copy into the
+    /// reassembler); returns completed events.
+    pub fn feed_bytes(&mut self, bytes: Bytes) -> Vec<InitiatorEvent> {
+        let pdus = match self.stream.feed_bytes(bytes) {
             Ok(p) => p,
             Err(e) => return vec![InitiatorEvent::ProtocolError(e.to_string())],
         };
         let mut events = Vec::new();
-        for pdu in pdus {
-            self.handle(pdu, &mut events);
+        for pw in pdus {
+            self.handle(pw.pdu, &mut events);
         }
         events
     }
@@ -433,7 +458,7 @@ impl Initiator {
                         buffer_offset: off as u32,
                         data: data.slice(off..chunk_end),
                     });
-                    self.out.extend(pdu.encode());
+                    self.out.push_pdu(&pdu);
                     data_sn += 1;
                     off = chunk_end;
                 }
@@ -470,7 +495,7 @@ impl Initiator {
                         exp_stat_sn: self.exp_stat_sn,
                         data: n.data,
                     });
-                    self.out.extend(pong.encode());
+                    self.out.push_pdu(&pong);
                 }
             }
             Pdu::LogoutResponse(_) => {

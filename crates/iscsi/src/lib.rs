@@ -72,10 +72,11 @@ pub use initiator::{Initiator, InitiatorConfig, InitiatorEvent, IoTag};
 pub use iqn::Iqn;
 pub use params::SessionParams;
 pub use pdu::{
-    DataIn, DataOut, LoginRequest, LoginResponse, LogoutRequest, LogoutResponse, NopIn, NopOut,
-    Pdu, PduError, R2t, ScsiCommand, ScsiResponse, TextRequest, TextResponse,
+    data_segment_length, DataIn, DataOut, LoginRequest, LoginResponse, LogoutRequest,
+    LogoutResponse, NopIn, NopOut, Pdu, PduError, R2t, ScsiCommand, ScsiResponse, TextRequest,
+    TextResponse, WireChunks, BHS_LEN,
 };
-pub use stream::PduStream;
+pub use stream::{PduStream, PduWire, WireBuf, SHARE_THRESHOLD};
 pub use target::{TargetConfig, TargetConn, TargetEvent};
 
 /// The IANA-assigned iSCSI target port.

@@ -382,13 +382,59 @@ fn put_dsl(b: &mut [u8], len: usize) {
 }
 
 /// Extracts the data segment length from a BHS.
-pub fn data_segment_length(bhs: &[u8]) -> usize {
-    ((bhs[5] as usize) << 16) | ((bhs[6] as usize) << 8) | bhs[7] as usize
+///
+/// # Errors
+///
+/// [`PduError::Truncated`] when `bhs` is shorter than a full header —
+/// a short or garbled reassembly buffer must surface as a protocol error,
+/// never as a panic in the relay hot path.
+pub fn data_segment_length(bhs: &[u8]) -> Result<usize, PduError> {
+    if bhs.len() < BHS_LEN {
+        return Err(PduError::Truncated);
+    }
+    Ok(((bhs[5] as usize) << 16) | ((bhs[6] as usize) << 8) | bhs[7] as usize)
 }
 
 /// Pads a length to the 4-byte PDU boundary.
 pub fn padded(len: usize) -> usize {
     len.div_ceil(4) * 4
+}
+
+/// Zero padding source for [`WireChunks::pad`].
+static ZERO_PAD: [u8; 4] = [0; 4];
+
+/// Scatter-gather view of one encoded PDU: the stack-built header, the
+/// data segment *shared* with the PDU (refcounted, never copied), and a
+/// static zero-pad slice to the 4-byte boundary.
+///
+/// This is the zero-copy alternative to [`Pdu::encode`]: senders push the
+/// three chunks into a chunked send queue and the data segment travels by
+/// reference all the way into TCP segments.
+#[derive(Debug, Clone)]
+pub struct WireChunks {
+    /// The 48-byte basic header segment, data-segment length filled in.
+    pub header: [u8; BHS_LEN],
+    /// The data segment, sharing the PDU's storage.
+    pub data: Bytes,
+    /// Zero padding to the 4-byte boundary (0–3 bytes).
+    pub pad: &'static [u8],
+}
+
+impl WireChunks {
+    /// Total encoded length (header + data + pad).
+    pub fn wire_len(&self) -> usize {
+        BHS_LEN + self.data.len() + self.pad.len()
+    }
+
+    /// Flattens the view into contiguous wire bytes (copies — for tests
+    /// and non-vectored senders).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(self.pad);
+        out
+    }
 }
 
 impl Pdu {
@@ -440,10 +486,37 @@ impl Pdu {
         BHS_LEN + padded(self.data().len())
     }
 
-    /// Serializes to wire bytes.
+    /// Serializes to wire bytes (thin wrapper over [`Pdu::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = bytes::BytesMut::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out.to_vec()
+    }
+
+    /// Serializes into `out`, appending header, data segment and padding.
+    pub fn encode_into(&self, out: &mut bytes::BytesMut) {
+        let w = self.wire_chunks();
+        out.extend_from_slice(&w.header);
+        out.extend_from_slice(&w.data);
+        out.extend_from_slice(w.pad);
+    }
+
+    /// The zero-copy scatter-gather encoding: header on the stack, data
+    /// segment shared by reference, static pad.
+    pub fn wire_chunks(&self) -> WireChunks {
         let data = self.data().clone();
-        let mut b = vec![0u8; BHS_LEN];
+        let pad = &ZERO_PAD[..padded(data.len()) - data.len()];
+        WireChunks {
+            header: self.encode_bhs(),
+            data,
+            pad,
+        }
+    }
+
+    /// Builds the 48-byte basic header segment (data-segment length
+    /// included) without touching the data segment.
+    pub fn encode_bhs(&self) -> [u8; BHS_LEN] {
+        let mut b = [0u8; BHS_LEN];
         match self {
             Pdu::LoginRequest(p) => {
                 b[0] = OP_LOGIN_REQ | 0x40; // login is always immediate
@@ -583,9 +656,7 @@ impl Pdu {
                 put_u32(&mut b, 32, p.max_cmd_sn);
             }
         }
-        put_dsl(&mut b, data.len());
-        b.extend_from_slice(&data);
-        b.resize(BHS_LEN + padded(data.len()), 0);
+        put_dsl(&mut b, self.data().len());
         b
     }
 
@@ -746,11 +817,17 @@ mod tests {
     fn round_trip(pdu: Pdu) {
         let wire = pdu.encode();
         assert_eq!(wire.len(), pdu.wire_len());
-        let dsl = data_segment_length(&wire);
+        let dsl = data_segment_length(&wire).unwrap();
         assert_eq!(dsl, pdu.data().len());
         let data = Bytes::copy_from_slice(&wire[BHS_LEN..BHS_LEN + dsl]);
         let decoded = Pdu::decode(&wire[..BHS_LEN], data).unwrap();
         assert_eq!(decoded, pdu);
+        // The scatter-gather view flattens to the same bytes, and the data
+        // chunk shares storage with the PDU (no copy during encode).
+        let w = pdu.wire_chunks();
+        assert_eq!(w.to_vec(), wire);
+        assert_eq!(w.wire_len(), wire.len());
+        assert!(w.data.same_storage(pdu.data()));
     }
 
     #[test]
@@ -922,6 +999,11 @@ mod tests {
             Pdu::decode(&bhs[..10], Bytes::new()),
             Err(PduError::Truncated)
         );
+        // Short header slices surface as Truncated, never a panic.
+        for cut in [0, 1, 7, 8, 47] {
+            assert_eq!(data_segment_length(&bhs[..cut]), Err(PduError::Truncated));
+        }
+        assert_eq!(data_segment_length(&bhs), Ok(0));
     }
 
     #[test]

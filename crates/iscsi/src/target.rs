@@ -13,7 +13,7 @@ use crate::cdb::{Cdb, ScsiStatus};
 use crate::iqn::Iqn;
 use crate::params::{decode_text, encode_text, SessionParams};
 use crate::pdu::{DataIn, LoginResponse, LogoutResponse, NopIn, Pdu, R2t, ScsiResponse};
-use crate::stream::PduStream;
+use crate::stream::{PduStream, WireBuf};
 
 /// Target-side configuration.
 #[derive(Debug, Clone)]
@@ -97,7 +97,7 @@ pub struct TargetConn {
     cfg: TargetConfig,
     params: SessionParams,
     stream: PduStream,
-    out: Vec<u8>,
+    out: WireBuf,
     stat_sn: u32,
     exp_cmd_sn: u32,
     logged_in: bool,
@@ -114,7 +114,7 @@ impl TargetConn {
             cfg,
             params,
             stream: PduStream::new(),
-            out: Vec::new(),
+            out: WireBuf::new(),
             stat_sn: 1,
             exp_cmd_sn: 1,
             logged_in: false,
@@ -134,9 +134,27 @@ impl TargetConn {
         self.logged_in
     }
 
-    /// Drains bytes to put on the wire.
+    /// Drains bytes to put on the wire (flat copy; see
+    /// [`TargetConn::take_wire`] for the zero-copy chunk form).
     pub fn take_output(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.out)
+        self.out.take_output()
+    }
+
+    /// Drains the queued wire bytes as refcounted chunks: Data-In
+    /// payloads are views of the disk read buffer, not copies.
+    pub fn take_wire(&mut self) -> Vec<bytes::Bytes> {
+        self.out.take_chunks()
+    }
+
+    /// Whether any output bytes are queued.
+    pub fn has_output(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Data-segment bytes memcpy'd on the encode path (small segments
+    /// batched into scratch allocations).
+    pub fn bytes_copied(&self) -> u64 {
+        self.out.bytes_copied()
     }
 
     fn bump_stat_sn(&mut self) -> u32 {
@@ -147,13 +165,19 @@ impl TargetConn {
 
     /// Feeds received bytes; returns events for the hosting app.
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<TargetEvent> {
-        let pdus = match self.stream.feed(bytes) {
+        self.feed_bytes(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Feeds a received chunk by reference (no copy into the
+    /// reassembler); returns events for the hosting app.
+    pub fn feed_bytes(&mut self, bytes: Bytes) -> Vec<TargetEvent> {
+        let pdus = match self.stream.feed_bytes(bytes) {
             Ok(p) => p,
             Err(e) => return vec![TargetEvent::ProtocolError(e.to_string())],
         };
         let mut events = Vec::new();
-        for pdu in pdus {
-            self.handle(pdu, &mut events);
+        for pw in pdus {
+            self.handle(pw.pdu, &mut events);
         }
         events
     }
@@ -181,7 +205,7 @@ impl TargetConn {
                     status_detail: 0,
                     data: encode_text(&keys).into(),
                 });
-                self.out.extend(resp.encode());
+                self.out.push_pdu(&resp);
                 self.logged_in = true;
                 events.push(TargetEvent::LoggedIn { initiator_name });
             }
@@ -321,7 +345,7 @@ impl TargetConn {
                         max_cmd_sn: self.exp_cmd_sn.wrapping_add(64),
                         data: n.data,
                     });
-                    self.out.extend(pong.encode());
+                    self.out.push_pdu(&pong);
                 }
             }
             Pdu::LogoutRequest(r) => {
@@ -332,7 +356,7 @@ impl TargetConn {
                     exp_cmd_sn: self.exp_cmd_sn,
                     max_cmd_sn: self.exp_cmd_sn.wrapping_add(64),
                 });
-                self.out.extend(resp.encode());
+                self.out.push_pdu(&resp);
                 self.logged_in = false;
                 events.push(TargetEvent::LoggedOut);
             }
@@ -360,7 +384,7 @@ impl TargetConn {
             desired_length: burst as u32,
         });
         xfer.next_ttt += 1;
-        self.out.extend(r2t.encode());
+        self.out.push_pdu(&r2t);
     }
 
     fn scsi_response(&mut self, itt: u32, status: ScsiStatus) {
@@ -374,7 +398,7 @@ impl TargetConn {
             residual: 0,
             data: Bytes::new(),
         });
-        self.out.extend(resp.encode());
+        self.out.push_pdu(&resp);
     }
 
     /// Sends read payload as Data-In PDUs with phase-collapsed status on
@@ -406,7 +430,7 @@ impl TargetConn {
                 residual: 0,
                 data: data.slice(off..end),
             });
-            self.out.extend(pdu.encode());
+            self.out.push_pdu(&pdu);
             if last {
                 break;
             }

@@ -3,9 +3,225 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use storm_iscsi::{
-    Cdb, DataOut, Initiator, InitiatorConfig, InitiatorEvent, NopOut, Pdu, PduStream, ScsiStatus,
-    TargetConfig, TargetConn, TargetEvent,
+    data_segment_length, Cdb, DataIn, DataOut, Initiator, InitiatorConfig, InitiatorEvent,
+    LoginRequest, LoginResponse, LogoutRequest, LogoutResponse, NopIn, NopOut, Pdu, PduError,
+    PduStream, R2t, ScsiCommand, ScsiResponse, ScsiStatus, TargetConfig, TargetConn, TargetEvent,
+    TextRequest, TextResponse, BHS_LEN,
 };
+
+/// A data segment deliberately biased toward non-4-byte-aligned lengths,
+/// so padding paths get exercised on every run.
+fn seg() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(any::<u8>(), 0..259).prop_map(Bytes::from)
+}
+
+fn isid() -> impl Strategy<Value = [u8; 6]> {
+    any::<u64>().prop_map(|v| v.to_be_bytes()[2..8].try_into().expect("6 bytes"))
+}
+
+fn cdb16() -> impl Strategy<Value = [u8; 16]> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| {
+        let mut c = [0u8; 16];
+        c[..8].copy_from_slice(&a.to_be_bytes());
+        c[8..].copy_from_slice(&b.to_be_bytes());
+        c
+    })
+}
+
+fn arbitrary_status() -> impl Strategy<Value = ScsiStatus> {
+    prop_oneof![
+        Just(ScsiStatus::Good),
+        Just(ScsiStatus::CheckCondition),
+        Just(ScsiStatus::Busy),
+    ]
+}
+
+/// Every one of the 13 PDU variants, fields fully randomized.
+fn any_variant() -> impl Strategy<Value = Pdu> {
+    let login_req =
+        (any::<u32>(), isid(), any::<u16>(), seg()).prop_map(|(itt, isid, tsih, data)| {
+            Pdu::LoginRequest(LoginRequest {
+                transit: true,
+                csg: 1,
+                nsg: 3,
+                isid,
+                tsih,
+                itt,
+                cid: 0,
+                cmd_sn: 1,
+                exp_stat_sn: 1,
+                data,
+            })
+        });
+    let login_resp =
+        (any::<u32>(), isid(), any::<u8>(), seg()).prop_map(|(itt, isid, detail, data)| {
+            Pdu::LoginResponse(LoginResponse {
+                transit: true,
+                csg: 1,
+                nsg: 3,
+                isid,
+                tsih: 1,
+                itt,
+                stat_sn: 1,
+                exp_cmd_sn: 2,
+                max_cmd_sn: 34,
+                status_class: 0,
+                status_detail: detail,
+                data,
+            })
+        });
+    let cmd = (any::<u32>(), any::<u64>(), cdb16(), seg()).prop_map(|(itt, lun, cdb, data)| {
+        Pdu::ScsiCommand(ScsiCommand {
+            immediate: false,
+            final_pdu: true,
+            read: false,
+            write: true,
+            lun,
+            itt,
+            edtl: data.len() as u32,
+            cmd_sn: 7,
+            exp_stat_sn: 3,
+            cdb,
+            data,
+        })
+    });
+    let resp = (any::<u32>(), any::<u32>(), arbitrary_status(), seg()).prop_map(
+        |(itt, residual, status, data)| {
+            Pdu::ScsiResponse(ScsiResponse {
+                itt,
+                response: 0,
+                status,
+                stat_sn: 9,
+                exp_cmd_sn: 10,
+                max_cmd_sn: 42,
+                residual,
+                data,
+            })
+        },
+    );
+    let data_out =
+        (any::<u32>(), any::<u32>(), any::<u32>(), seg()).prop_map(|(itt, ttt, off, data)| {
+            Pdu::DataOut(DataOut {
+                final_pdu: true,
+                lun: 1,
+                itt,
+                ttt,
+                exp_stat_sn: 1,
+                data_sn: 0,
+                buffer_offset: off,
+                data,
+            })
+        });
+    let data_in = (any::<u32>(), any::<u32>(), arbitrary_status(), seg()).prop_map(
+        |(itt, off, status, data)| {
+            Pdu::DataIn(DataIn {
+                final_pdu: true,
+                status_present: true,
+                status,
+                lun: 1,
+                itt,
+                ttt: 0xFFFF_FFFF,
+                stat_sn: 4,
+                exp_cmd_sn: 5,
+                max_cmd_sn: 36,
+                data_sn: 2,
+                buffer_offset: off,
+                residual: 0,
+                data,
+            })
+        },
+    );
+    let r2t = (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+        |(itt, ttt, off, want)| {
+            Pdu::R2t(R2t {
+                lun: 0,
+                itt,
+                ttt,
+                stat_sn: 1,
+                exp_cmd_sn: 2,
+                max_cmd_sn: 33,
+                r2t_sn: 0,
+                buffer_offset: off,
+                desired_length: want,
+            })
+        },
+    );
+    let nop_out = (any::<u32>(), any::<u32>(), seg()).prop_map(|(itt, ttt, data)| {
+        Pdu::NopOut(NopOut {
+            itt,
+            ttt,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            data,
+        })
+    });
+    let nop_in = (any::<u32>(), any::<u32>(), seg()).prop_map(|(itt, ttt, data)| {
+        Pdu::NopIn(NopIn {
+            itt,
+            ttt,
+            stat_sn: 1,
+            exp_cmd_sn: 2,
+            max_cmd_sn: 33,
+            data,
+        })
+    });
+    let text_req = (any::<u32>(), any::<u32>(), seg()).prop_map(|(itt, ttt, data)| {
+        Pdu::TextRequest(TextRequest {
+            final_pdu: true,
+            itt,
+            ttt,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+            data,
+        })
+    });
+    let text_resp = (any::<u32>(), any::<u32>(), seg()).prop_map(|(itt, ttt, data)| {
+        Pdu::TextResponse(TextResponse {
+            final_pdu: true,
+            itt,
+            ttt,
+            stat_sn: 1,
+            exp_cmd_sn: 2,
+            max_cmd_sn: 33,
+            data,
+        })
+    });
+    // The wire shares byte 1 between the reason code and the mandatory
+    // final bit, so only 7 bits of the reason survive a round trip.
+    let logout_req = (any::<u32>(), any::<u16>(), 0u8..0x80).prop_map(|(itt, cid, reason)| {
+        Pdu::LogoutRequest(LogoutRequest {
+            reason,
+            itt,
+            cid,
+            cmd_sn: 1,
+            exp_stat_sn: 1,
+        })
+    });
+    let logout_resp = (any::<u32>(), any::<u8>()).prop_map(|(itt, response)| {
+        Pdu::LogoutResponse(LogoutResponse {
+            response,
+            itt,
+            stat_sn: 1,
+            exp_cmd_sn: 2,
+            max_cmd_sn: 33,
+        })
+    });
+    prop_oneof![
+        login_req,
+        login_resp,
+        cmd,
+        resp,
+        data_out,
+        data_in,
+        r2t,
+        nop_out,
+        nop_in,
+        text_req,
+        text_resp,
+        logout_req,
+        logout_resp,
+    ]
+}
 
 fn arbitrary_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
@@ -136,5 +352,73 @@ proptest! {
         prop_assert!(done, "I/O did not complete");
         prop_assert_eq!(&read_back.unwrap()[..], &data[..]);
         prop_assert_eq!(ini.in_flight(), 0);
+    }
+}
+
+mod zero_copy {
+    use super::*;
+
+    proptest! {
+        /// All three encoders — `encode`, `encode_into`, and the zero-copy
+        /// `wire_chunks` scatter-gather view — must produce identical wire
+        /// bytes for every PDU variant, including non-4-byte-aligned data
+        /// segments, and the chunked view must share (not copy) the data.
+        #[test]
+        fn zero_copy_encoders_match_legacy(pdu in any_variant()) {
+            let legacy = pdu.encode();
+            prop_assert_eq!(legacy.len() % 4, 0, "wire image must be padded");
+            prop_assert_eq!(legacy.len(), pdu.wire_len());
+
+            let mut buf = bytes::BytesMut::new();
+            pdu.encode_into(&mut buf);
+            prop_assert_eq!(&buf.to_vec(), &legacy);
+
+            let w = pdu.wire_chunks();
+            prop_assert_eq!(w.wire_len(), legacy.len());
+            prop_assert_eq!(&w.to_vec(), &legacy);
+            prop_assert_eq!(&w.header[..], &legacy[..BHS_LEN]);
+            prop_assert!(w.pad.len() < 4);
+            prop_assert!(w.pad.iter().all(|&b| b == 0));
+            if !pdu.data().is_empty() {
+                prop_assert!(
+                    w.data.same_storage(pdu.data()),
+                    "data chunk must share the PDU's storage, not copy it"
+                );
+            }
+            // The header carries the real (unpadded) data-segment length.
+            prop_assert_eq!(data_segment_length(&w.header).unwrap(), pdu.data().len());
+
+            // And the stream decodes it all back to the same PDU.
+            let mut s = PduStream::new();
+            let got = s.feed(&legacy).unwrap();
+            prop_assert_eq!(got, vec![pdu]);
+        }
+
+        /// `data_segment_length` rejects every truncated header instead of
+        /// panicking — short reassembly buffers must surface as protocol
+        /// errors in the relay hot path.
+        #[test]
+        fn truncated_headers_are_rejected(len in 0usize..BHS_LEN, fill in any::<u8>()) {
+            let short = vec![fill; len];
+            prop_assert_eq!(data_segment_length(&short), Err(PduError::Truncated));
+        }
+
+        /// Feeding arbitrary garbage to the stream never panics: it either
+        /// parses, waits for more bytes, or reports a decode error.
+        #[test]
+        fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+            let mut s = PduStream::new();
+            match s.feed(&bytes) {
+                Ok(pdus) => {
+                    // Whatever parsed must re-encode to a prefix of the input.
+                    let mut wire = Vec::new();
+                    for p in &pdus {
+                        wire.extend(p.encode());
+                    }
+                    prop_assert_eq!(&bytes[..wire.len()], &wire[..]);
+                }
+                Err(PduError::UnknownOpcode(_)) | Err(PduError::Truncated) => {}
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! transmission over the fabric.
 
 use std::any::Any;
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 
@@ -813,6 +814,33 @@ impl<'a> Cx<'a> {
     /// should be retried from [`App::on_writable`]).
     pub fn send(&mut self, sock: SockId, data: &[u8]) -> usize {
         let (n, segs) = self.net.hosts[self.host.0 as usize].tcp.send(sock, data);
+        for seg in segs {
+            self.net.host_output(self.host, seg);
+        }
+        n
+    }
+
+    /// Queues a refcounted chunk on a socket without copying its bytes;
+    /// returns how many were accepted (see
+    /// [`crate::tcp::TcpStack::send_bytes`]).
+    pub fn send_bytes(&mut self, sock: SockId, data: Bytes) -> usize {
+        let (n, segs) = self.net.hosts[self.host.0 as usize]
+            .tcp
+            .send_bytes(sock, data);
+        for seg in segs {
+            self.net.host_output(self.host, seg);
+        }
+        n
+    }
+
+    /// Queues chunks on a socket in one batch (single segmentation pass —
+    /// see [`crate::tcp::TcpStack::send_chunks`]); drains accepted chunks
+    /// from the front of `chunks` and returns how many bytes were
+    /// accepted.
+    pub fn send_chunks(&mut self, sock: SockId, chunks: &mut VecDeque<Bytes>) -> usize {
+        let (n, segs) = self.net.hosts[self.host.0 as usize]
+            .tcp
+            .send_chunks(sock, chunks);
         for seg in segs {
             self.net.host_output(self.host, seg);
         }

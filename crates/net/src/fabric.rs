@@ -343,7 +343,7 @@ mod tests {
                 ack: 0,
                 flags: TcpFlags::ACK,
                 wnd: 0,
-                payload: Bytes::from(vec![0u8; bytes]),
+                payload: Bytes::from(vec![0u8; bytes]).into(),
             },
             hops: 0,
         }

@@ -199,7 +199,7 @@ mod tests {
                 ack: 0,
                 flags: TcpFlags::ACK,
                 wnd: 0,
-                payload: Bytes::new(),
+                payload: Bytes::new().into(),
             },
             hops: 0,
         }

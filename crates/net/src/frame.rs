@@ -57,6 +57,117 @@ impl TcpFlags {
     };
 }
 
+/// Scatter-gather segment payload: an ordered list of refcounted chunks.
+///
+/// Real zero-copy stacks hand the NIC an iovec per frame; modelling the
+/// same shape lets one full-MSS segment carry a PDU header chunk plus a
+/// slice of a shared data segment without copying either. The receiver
+/// sees each chunk with its original backing storage, so stream
+/// reassembly can re-join slices of one allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Payload {
+    chunks: Vec<Bytes>,
+    len: usize,
+}
+
+impl Payload {
+    /// A payload with no bytes.
+    pub const fn empty() -> Self {
+        Payload {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Appends a chunk (empty chunks are dropped).
+    pub fn push(&mut self, chunk: Bytes) {
+        if !chunk.is_empty() {
+            self.len += chunk.len();
+            self.chunks.push(chunk);
+        }
+    }
+
+    /// Total payload bytes across chunks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The chunks, in wire order.
+    pub fn chunks(&self) -> &[Bytes] {
+        &self.chunks
+    }
+
+    /// Consumes the payload into its chunks.
+    pub fn into_chunks(self) -> Vec<Bytes> {
+        self.chunks
+    }
+
+    /// The payload with the first `n` bytes dropped (chunks stay views).
+    pub fn skip(&self, n: usize) -> Payload {
+        let mut out = Payload::empty();
+        let mut n = n.min(self.len);
+        for c in &self.chunks {
+            if n >= c.len() {
+                n -= c.len();
+            } else {
+                out.push(c.slice(n..));
+                n = 0;
+            }
+        }
+        out
+    }
+
+    /// Flattens to contiguous bytes — zero-copy for a single chunk, a
+    /// copy otherwise (passive taps that parse in place use this).
+    pub fn to_bytes(&self) -> Bytes {
+        match self.chunks.len() {
+            0 => Bytes::new(),
+            1 => self.chunks[0].clone(),
+            _ => {
+                let mut flat = Vec::with_capacity(self.len);
+                for c in &self.chunks {
+                    flat.extend_from_slice(c);
+                }
+                Bytes::from(flat)
+            }
+        }
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(chunk: Bytes) -> Self {
+        let mut p = Payload::empty();
+        p.push(chunk);
+        p
+    }
+}
+
+/// Logical-bytes equality: chunk boundaries don't affect what's on the
+/// wire.
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mut a = self.chunks.iter().flat_map(|c| c.iter());
+        let mut b = other.chunks.iter().flat_map(|c| c.iter());
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (x, y) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Eq for Payload {}
+
 /// A TCP segment with byte-granularity sequence numbers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpSegment {
@@ -73,8 +184,8 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Advertised receive window in bytes.
     pub wnd: u32,
-    /// Payload bytes.
-    pub payload: Bytes,
+    /// Payload bytes (scatter-gather).
+    pub payload: Payload,
 }
 
 /// An Ethernet frame wrapping an IPv4/TCP packet.
@@ -144,7 +255,7 @@ mod tests {
                 ack: 0,
                 flags: TcpFlags::ACK,
                 wnd: 65535,
-                payload: Bytes::from_static(b"hello"),
+                payload: Bytes::from_static(b"hello").into(),
             },
             hops: 0,
         }

@@ -83,7 +83,7 @@ pub use addr::{FourTuple, MacAddr, SockAddr};
 pub use engine::{App, BusMsg, Cx, Ev, Network, TapVerdict};
 pub use fabric::{Endpoint, Fabric, LinkId, LinkSpec};
 pub use flow::{FlowAction, FlowMatch, FlowRule, FlowTable};
-pub use frame::{Frame, TcpFlags, TcpSegment};
+pub use frame::{Frame, Payload, TcpFlags, TcpSegment};
 pub use host::{AppId, CloseReason, Host, HostId, Iface, IfaceId, Route, SteerRule, TapConfig};
 pub use nat::{DnatRule, Nat, SnatRule};
 pub use switch::{steering_rule, PortNo, SwitchId, VirtualSwitch};

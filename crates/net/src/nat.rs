@@ -35,8 +35,9 @@ impl DnatRule {
 }
 
 /// A source-NAT rule (POSTROUTING): rewrite where a flow appears to come
-/// from. `to_ip` with port `None` preserves the source port (IP
-/// masquerading).
+/// from. `to_ip` with port `None` preserves the source port when it can
+/// (IP masquerading); a port that would collide with another tracked
+/// flow's translated tuple is reallocated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnatRule {
     /// Match: destination IP after DNAT (`None` = any).
@@ -147,6 +148,14 @@ impl Nat {
             }
         }
         if out != tuple {
+            // Unique-tuple enforcement, as netfilter's MASQUERADE does: two
+            // initiators behind one masquerade can pick the same ephemeral
+            // port, and preserving it would collapse their flows into one
+            // translated tuple — replies would then un-NAT to whichever
+            // flow registered first. Allocate the next free source port.
+            while self.reply.contains_key(&out.reversed()) {
+                out.src.port = out.src.port.wrapping_add(1).max(1024);
+            }
             let entry = NatEntry {
                 orig: tuple,
                 xlat: out,
@@ -234,6 +243,38 @@ mod tests {
         // Round trip through the reply direction restores everything.
         let back = nat.translate(fwd.reversed(), false);
         assert_eq!(back, orig.reversed());
+    }
+
+    #[test]
+    fn masquerade_collision_allocates_fresh_port() {
+        let mut nat = Nat::new();
+        nat.add_dnat(DnatRule {
+            match_dst_ip: Ipv4Addr::new(10, 0, 0, 9),
+            match_dst_port: Some(3260),
+            match_src_ip: None,
+            to: sa(7, 3260),
+        });
+        nat.add_snat(SnatRule {
+            match_dst_ip: Some(Ipv4Addr::new(10, 0, 0, 7)),
+            match_dst_port: Some(3260),
+            to_ip: Ipv4Addr::new(10, 0, 0, 5),
+            to_port: None,
+        });
+        // Two initiators on different hosts, same ephemeral port.
+        let a = FourTuple::new(sa(1, 40000), sa(9, 3260));
+        let b = FourTuple::new(sa(2, 40000), sa(9, 3260));
+        let fwd_a = nat.translate(a, true);
+        let fwd_b = nat.translate(b, true);
+        assert_eq!(fwd_a, FourTuple::new(sa(5, 40000), sa(7, 3260)));
+        assert_ne!(
+            fwd_a, fwd_b,
+            "colliding masqueraded flows must get distinct tuples"
+        );
+        assert_eq!(fwd_b.src.ip, Ipv4Addr::new(10, 0, 0, 5));
+        // Replies on each translated tuple un-NAT to their own flow.
+        assert_eq!(nat.translate(fwd_a.reversed(), false), a.reversed());
+        assert_eq!(nat.translate(fwd_b.reversed(), false), b.reversed());
+        assert_eq!(nat.conntrack_len(), 2);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::fmt;
 use bytes::Bytes;
 
 use crate::addr::{FourTuple, SockAddr};
-use crate::frame::{TcpFlags, TcpSegment};
+use crate::frame::{Payload, TcpFlags, TcpSegment};
 use crate::host::AppId;
 
 /// Per-host socket identifier.
@@ -123,12 +123,13 @@ struct Tcb {
     // Send side.
     snd_una: u64,
     snd_nxt: u64,
-    snd_buf: VecDeque<u8>,
+    snd_buf: VecDeque<Bytes>,
+    snd_buf_len: usize,
     peer_wnd: u32,
     wants_writable: bool,
     // Receive side.
     rcv_nxt: u64,
-    ooo: BTreeMap<u64, Bytes>,
+    ooo: BTreeMap<u64, Payload>,
     paused: bool,
     rcv_buf: VecDeque<Bytes>,
     rcv_buf_len: usize,
@@ -274,6 +275,7 @@ impl TcpStack {
             snd_una: 0,
             snd_nxt: 0,
             snd_buf: VecDeque::new(),
+            snd_buf_len: 0,
             peer_wnd: self.config.rcv_wnd,
             wants_writable: false,
             rcv_nxt: 0,
@@ -295,7 +297,7 @@ impl TcpStack {
                 ack: 0,
                 flags: TcpFlags::SYN,
                 wnd: self.config.rcv_wnd,
-                payload: Bytes::new(),
+                payload: Payload::empty(),
             },
         };
         (SockId(sid), syn)
@@ -316,8 +318,21 @@ impl TcpStack {
     }
 
     /// Queues up to `data.len()` bytes for sending; returns `(accepted,
-    /// segments to transmit)`.
+    /// segments to transmit)`. Copying wrapper over
+    /// [`TcpStack::send_bytes`].
     pub fn send(&mut self, sock: SockId, data: &[u8]) -> (usize, Vec<OutSeg>) {
+        self.send_bytes(sock, Bytes::copy_from_slice(data))
+    }
+
+    /// Queues a refcounted chunk for sending without copying; returns
+    /// `(accepted, segments to transmit)`.
+    ///
+    /// The accepted prefix is stored as a view of `data`'s backing
+    /// storage; segments are cut at chunk boundaries so their payloads
+    /// stay views too. This is the zero-copy half of the split-TCP relay:
+    /// forwarded PDUs travel from the receive side's reassembler to the
+    /// peer's receive buffer as slices of one allocation.
+    pub fn send_bytes(&mut self, sock: SockId, data: Bytes) -> (usize, Vec<OutSeg>) {
         let Some(tcb) = self.conns.get_mut(&sock.0) else {
             return (0, Vec::new());
         };
@@ -327,9 +342,16 @@ impl TcpStack {
         ) {
             return (0, Vec::new());
         }
-        let space = self.config.snd_buf.saturating_sub(tcb.snd_buf.len());
+        let space = self.config.snd_buf.saturating_sub(tcb.snd_buf_len);
         let n = space.min(data.len());
-        tcb.snd_buf.extend(&data[..n]);
+        if n > 0 {
+            let chunk = data.slice(..n);
+            tcb.snd_buf_len += n;
+            match tcb.snd_buf.back_mut().and_then(|b| b.try_join(&chunk)) {
+                Some(joined) => *tcb.snd_buf.back_mut().expect("non-empty") = joined,
+                None => tcb.snd_buf.push_back(chunk),
+            }
+        }
         if n < data.len() {
             tcb.wants_writable = true;
         }
@@ -341,20 +363,74 @@ impl TcpStack {
         (n, out)
     }
 
+    /// Drains as many whole or partial chunks from `chunks` into the send
+    /// buffer as there is space, then pumps **once**; returns `(accepted,
+    /// segments to transmit)`.
+    ///
+    /// Batching matters for packetization: queueing a PDU's header chunk
+    /// and data chunk before cutting segments lets one full-MSS frame
+    /// carry both (scatter-gather), instead of flushing the 48-byte
+    /// header as its own packet.
+    pub fn send_chunks(
+        &mut self,
+        sock: SockId,
+        chunks: &mut VecDeque<Bytes>,
+    ) -> (usize, Vec<OutSeg>) {
+        let Some(tcb) = self.conns.get_mut(&sock.0) else {
+            return (0, Vec::new());
+        };
+        if !matches!(
+            tcb.state,
+            State::Established | State::SynSent | State::SynRcvd
+        ) {
+            return (0, Vec::new());
+        }
+        let mut accepted = 0;
+        loop {
+            let space = self.config.snd_buf.saturating_sub(tcb.snd_buf_len);
+            if space == 0 {
+                break;
+            }
+            let Some(front) = chunks.front_mut() else {
+                break;
+            };
+            let chunk = if front.len() <= space {
+                chunks.pop_front().expect("front exists")
+            } else {
+                let c = front.slice(..space);
+                front.advance(space);
+                c
+            };
+            let n = chunk.len();
+            tcb.snd_buf_len += n;
+            accepted += n;
+            match tcb.snd_buf.back_mut().and_then(|b| b.try_join(&chunk)) {
+                Some(joined) => *tcb.snd_buf.back_mut().expect("non-empty") = joined,
+                None => tcb.snd_buf.push_back(chunk),
+            }
+        }
+        if !chunks.is_empty() {
+            tcb.wants_writable = true;
+        }
+        let out = if tcb.state == State::Established {
+            Self::pump(&mut self.counters, self.config, tcb)
+        } else {
+            Vec::new() // flushed when the handshake completes
+        };
+        (accepted, out)
+    }
+
     /// Free space in the send buffer.
     pub fn send_capacity(&self, sock: SockId) -> usize {
         self.conns
             .get(&sock.0)
-            .map(|t| self.config.snd_buf.saturating_sub(t.snd_buf.len()))
+            .map(|t| self.config.snd_buf.saturating_sub(t.snd_buf_len))
             .unwrap_or(0)
     }
 
     /// Bytes accepted but not yet acknowledged by the peer.
     pub fn unacked(&self, sock: SockId) -> usize {
-        self.conns
-            .get(&sock.0)
-            .map(|t| t.snd_buf.len())
-            .unwrap_or(0)
+        self.conns.get(&sock.0).map(|t| t.snd_buf_len).unwrap_or(0)
     }
 
     /// Stops delivering received data to the app; incoming bytes accumulate
@@ -402,7 +478,7 @@ impl TcpStack {
                 ack: tcb.rcv_nxt,
                 flags: TcpFlags::FIN_ACK,
                 wnd: Self::adv_wnd(tcb, self.config.rcv_wnd),
-                payload: Bytes::new(),
+                payload: Payload::empty(),
             },
         };
         vec![fin]
@@ -426,7 +502,7 @@ impl TcpStack {
                 ack: tcb.rcv_nxt,
                 flags: TcpFlags::RST,
                 wnd: 0,
-                payload: Bytes::new(),
+                payload: Payload::empty(),
             },
         }]
     }
@@ -446,12 +522,39 @@ impl TcpStack {
                 ack: tcb.rcv_nxt,
                 flags: TcpFlags::ACK,
                 wnd: Self::adv_wnd(tcb, cap),
-                payload: Bytes::new(),
+                payload: Payload::empty(),
             },
         }
     }
 
-    /// Emits as many data segments as the peer window allows.
+    /// Returns the segment payload starting at send-buffer offset
+    /// `start`, exactly `max` bytes, gathered across chunk boundaries:
+    /// each gathered piece is a refcounted view of the chunk the app
+    /// queued, so data bytes are not copied here and full-MSS frames are
+    /// emitted regardless of how the app chunked its writes.
+    fn unsent_payload(tcb: &Tcb, start: usize, max: usize) -> Payload {
+        let mut payload = Payload::empty();
+        let mut off = 0;
+        let mut need = max;
+        for c in &tcb.snd_buf {
+            if need == 0 {
+                break;
+            }
+            if start + (max - need) < off + c.len() {
+                let lo = start + (max - need) - off;
+                let hi = (lo + need).min(c.len());
+                payload.push(c.slice(lo..hi));
+                need -= hi - lo;
+            }
+            off += c.len();
+        }
+        debug_assert_eq!(payload.len(), max, "send buffer holds the range");
+        payload
+    }
+
+    /// Emits as many data segments as the peer window allows. Payloads
+    /// are scatter-gather lists of refcounted send-buffer views, so data
+    /// bytes are not copied here.
     fn pump(counters: &mut TcpCounters, config: TcpConfig, tcb: &mut Tcb) -> Vec<OutSeg> {
         let mss = config.mss;
         let mut out = Vec::new();
@@ -459,19 +562,12 @@ impl TcpStack {
             let inflight = tcb.inflight();
             let usable = (tcb.peer_wnd as u64).saturating_sub(inflight) as usize;
             let unsent_off = inflight as usize;
-            let avail = tcb.snd_buf.len().saturating_sub(unsent_off);
+            let avail = tcb.snd_buf_len.saturating_sub(unsent_off);
             let n = usable.min(avail).min(mss);
             if n == 0 {
                 break;
             }
-            let payload: Bytes = tcb
-                .snd_buf
-                .iter()
-                .skip(unsent_off)
-                .take(n)
-                .copied()
-                .collect::<Vec<u8>>()
-                .into();
+            let payload = Self::unsent_payload(tcb, unsent_off, n);
             counters.segs_out += 1;
             out.push(OutSeg {
                 tuple: tcb.key(),
@@ -519,6 +615,7 @@ impl TcpStack {
                             snd_una: 0,
                             snd_nxt: 1, // our SYN occupies seq 0
                             snd_buf: VecDeque::new(),
+                            snd_buf_len: 0,
                             peer_wnd: seg.wnd,
                             wants_writable: false,
                             rcv_nxt: 1, // their SYN occupied seq 0
@@ -539,7 +636,7 @@ impl TcpStack {
                                 ack: 1,
                                 flags: TcpFlags::SYN_ACK,
                                 wnd: self.config.rcv_wnd,
-                                payload: Bytes::new(),
+                                payload: Payload::empty(),
                             },
                         });
                     } else {
@@ -555,7 +652,7 @@ impl TcpStack {
                                 ack: seg.seq + 1,
                                 flags: TcpFlags::RST,
                                 wnd: 0,
-                                payload: Bytes::new(),
+                                payload: Payload::empty(),
                             },
                         });
                     }
@@ -572,7 +669,7 @@ impl TcpStack {
                             ack: 0,
                             flags: TcpFlags::RST,
                             wnd: 0,
-                            payload: Bytes::new(),
+                            payload: Payload::empty(),
                         },
                     });
                 }
@@ -634,14 +731,25 @@ impl TcpStack {
                         if seg.flags.ack {
                             let fin_adj = if tcb.state == State::FinSent { 1 } else { 0 };
                             if seg.ack > tcb.snd_una && seg.ack <= tcb.snd_nxt + fin_adj {
-                                let advance = (seg.ack.min(tcb.snd_nxt) - tcb.snd_una) as usize;
-                                tcb.snd_buf.drain(..advance);
+                                let mut advance = (seg.ack.min(tcb.snd_nxt) - tcb.snd_una) as usize;
+                                tcb.snd_buf_len -= advance;
+                                while advance > 0 {
+                                    let front =
+                                        tcb.snd_buf.front_mut().expect("acked bytes buffered");
+                                    if front.len() <= advance {
+                                        advance -= front.len();
+                                        tcb.snd_buf.pop_front();
+                                    } else {
+                                        front.advance(advance);
+                                        advance = 0;
+                                    }
+                                }
                                 tcb.snd_una = seg.ack.min(tcb.snd_nxt);
                             }
                             tcb.peer_wnd = seg.wnd;
                             let had_backlog = tcb.wants_writable;
                             out.extend(Self::pump(&mut self.counters, self.config, tcb));
-                            if had_backlog && tcb.snd_buf.len() < self.config.snd_buf {
+                            if had_backlog && tcb.snd_buf_len < self.config.snd_buf {
                                 tcb.wants_writable = false;
                                 events.push((tcb.app, TcpEvent::Writable(sock)));
                             }
@@ -678,7 +786,7 @@ impl TcpStack {
                                         ack: tcb.rcv_nxt,
                                         flags: TcpFlags::FIN_ACK,
                                         wnd: Self::adv_wnd(tcb, self.config.rcv_wnd),
-                                        payload: Bytes::new(),
+                                        payload: Payload::empty(),
                                     },
                                 });
                             }
@@ -740,9 +848,10 @@ impl TcpStack {
             out.push(Self::bare_ack(counters, tcb, config.rcv_wnd));
             return;
         }
-        // Trim any already-received prefix.
+        // Trim any already-received prefix. Each scatter-gather piece is
+        // delivered as its own chunk, preserving its backing storage.
         let skip = (tcb.rcv_nxt - seg.seq) as usize;
-        let mut chunks = vec![seg.payload.slice(skip..)];
+        let mut chunks = seg.payload.skip(skip).into_chunks();
         tcb.rcv_nxt += (seg.payload.len() - skip) as u64;
         // Drain contiguous out-of-order segments.
         while let Some((&s, _)) = tcb.ooo.first_key_value() {
@@ -755,7 +864,7 @@ impl TcpStack {
             }
             let skip = (tcb.rcv_nxt - s) as usize;
             tcb.rcv_nxt += (data.len() - skip) as u64;
-            chunks.push(data.slice(skip..));
+            chunks.extend(data.skip(skip).into_chunks());
         }
         for chunk in chunks {
             if tcb.paused {
@@ -987,7 +1096,7 @@ mod tests {
             ack: 5,
             flags: TcpFlags::ACK,
             wnd: 0,
-            payload: Bytes::from_static(b"zz"),
+            payload: Bytes::from_static(b"zz").into(),
         };
         let (out, ev) = b.input(tuple, seg);
         assert!(ev.is_empty());

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use bytes::Bytes;
+
 use crate::engine::Cx;
 use crate::tcp::SockId;
 
@@ -11,9 +13,17 @@ use crate::tcp::SockId;
 /// multi-megabyte Data-In trains, relays) queue their output here and
 /// drain it as the socket accepts bytes (continuing from
 /// [`crate::App::on_writable`]).
+///
+/// The queue holds refcounted [`Bytes`] chunks rather than flat bytes:
+/// [`push_bytes`](SendQueue::push_bytes) enqueues a shared view without
+/// copying, and [`pump`](SendQueue::pump) hands chunks to TCP via
+/// [`Cx::send_bytes`], so a relay forwarding received wire bytes never
+/// duplicates the payload. [`push`](SendQueue::push) remains the copying
+/// path for plain slices.
 #[derive(Debug, Default)]
 pub struct SendQueue {
-    buf: VecDeque<u8>,
+    chunks: VecDeque<Bytes>,
+    len: usize,
     sent: u64,
 }
 
@@ -23,30 +33,39 @@ impl SendQueue {
         Self::default()
     }
 
-    /// Appends bytes to the queue (does not transmit).
+    /// Appends bytes to the queue by copy (does not transmit).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend(bytes);
+        if !bytes.is_empty() {
+            self.push_bytes(Bytes::copy_from_slice(bytes));
+        }
+    }
+
+    /// Appends a refcounted chunk to the queue without copying (does not
+    /// transmit). Chunks that continue the previous chunk's backing
+    /// storage re-join for free.
+    pub fn push_bytes(&mut self, bytes: Bytes) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        if let Some(last) = self.chunks.back_mut() {
+            if let Some(joined) = last.try_join(&bytes) {
+                *last = joined;
+                return;
+            }
+        }
+        self.chunks.push_back(bytes);
     }
 
     /// Sends as much queued data as the socket accepts; returns the number
-    /// of bytes handed to TCP.
+    /// of bytes handed to TCP. All queued chunks are enqueued in one batch
+    /// before TCP cuts segments, so a PDU's header and data chunks share
+    /// full-MSS frames instead of flushing one packet per chunk.
     pub fn pump(&mut self, cx: &mut Cx<'_>, sock: SockId) -> usize {
-        let mut total = 0;
-        while !self.buf.is_empty() {
-            let chunk: Vec<u8> = {
-                let (a, _) = self.buf.as_slices();
-                let n = a.len().min(64 * 1024);
-                a[..n].to_vec()
-            };
-            let n = cx.send(sock, &chunk);
-            total += n;
-            self.buf.drain(..n);
-            if n < chunk.len() {
-                break;
-            }
-        }
-        self.sent += total as u64;
-        total
+        let n = cx.send_chunks(sock, &mut self.chunks);
+        self.len -= n;
+        self.sent += n as u64;
+        n
     }
 
     /// Pushes then pumps in one call.
@@ -57,12 +76,12 @@ impl SendQueue {
 
     /// Bytes still queued (not yet accepted by TCP).
     pub fn backlog(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     /// Whether everything has been handed to TCP.
     pub fn is_drained(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
     }
 
     /// Total bytes successfully handed to TCP.
@@ -84,5 +103,16 @@ mod tests {
         assert_eq!(q.backlog(), 4);
         assert!(!q.is_drained());
         assert_eq!(q.total_sent(), 0);
+    }
+
+    #[test]
+    fn push_bytes_joins_adjacent_views() {
+        let whole = Bytes::from(vec![1u8, 2, 3, 4, 5, 6]);
+        let mut q = SendQueue::new();
+        q.push_bytes(whole.slice(..3));
+        q.push_bytes(whole.slice(3..));
+        assert_eq!(q.backlog(), 6);
+        assert_eq!(q.chunks.len(), 1, "adjacent slices re-join");
+        assert!(q.chunks[0].same_storage(&whole));
     }
 }

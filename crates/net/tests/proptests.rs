@@ -2,7 +2,6 @@
 
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
 use proptest::prelude::*;
 use storm_net::tcp::{TcpConfig, TcpStack};
 use storm_net::{AppId, DnatRule, FlowMatch, FourTuple, Nat, SnatRule, SockAddr};
@@ -68,7 +67,7 @@ proptest! {
                 ack: 0,
                 flags: TcpFlags::ACK,
                 wnd: 0,
-                payload: Bytes::new(),
+                payload: storm_net::Payload::empty(),
             },
             hops: 0,
         };

@@ -47,6 +47,7 @@
 
 pub mod analyze;
 mod jsonl;
+pub mod names;
 mod recorder;
 mod registry;
 

@@ -1,0 +1,24 @@
+//! Canonical metric names shared by producers and dashboards.
+//!
+//! `storm-core` sits below this crate in the dependency graph, so the
+//! relay exports raw counters (e.g. `ActiveRelayMb::copy_stats` in
+//! `storm-core`) and harnesses publish them into a
+//! [`MetricsRegistry`](crate::MetricsRegistry) under these names. Keeping
+//! the strings here — rather than scattered across benches and tests —
+//! makes registry reports and `BENCH_results.json` extras greppable from
+//! one place.
+
+/// Data-segment bytes memcpy'd on the relay datapath (reassembly plus
+/// small-segment batching on encode). A passthrough chain must report 0.
+pub const RELAY_BYTES_COPIED: &str = "relay.bytes_copied";
+
+/// Fixed-size 48-byte header copies on the relay datapath — the allowed
+/// decode-scratch copies, reported separately from data bytes.
+pub const RELAY_HEADER_BYTES_COPIED: &str = "relay.header_bytes_copied";
+
+/// PDUs forwarded through the relay on the verbatim fast path (original
+/// wire bytes, no re-encode).
+pub const RELAY_VERBATIM_FORWARDS: &str = "relay.verbatim_forwards";
+
+/// Total PDUs forwarded through the relay's service chain.
+pub const RELAY_PDUS_FORWARDED: &str = "relay.pdus_forwarded";

@@ -176,7 +176,7 @@ fn tenant_tags_isolate_guest_traffic() {
             ack: 0,
             flags: TcpFlags::ACK,
             wnd: 0,
-            payload: Bytes::new(),
+            payload: Bytes::new().into(),
         },
         hops: 0,
     };

@@ -121,6 +121,45 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.chunk().to_vec()
     }
+
+    /// Whether `other` is the same window of the same backing storage.
+    ///
+    /// This is *identity*, not equality: two views holding equal bytes in
+    /// different allocations compare `false`. Zero-copy datapaths use it
+    /// to prove a value was moved, not re-materialized. Empty views are
+    /// all identical.
+    pub fn same_storage(&self, other: &Bytes) -> bool {
+        if self.is_empty() && other.is_empty() {
+            return true;
+        }
+        match (&self.data, &other.data) {
+            (Some(a), Some(b)) => {
+                Arc::ptr_eq(a, b) && self.start == other.start && self.end == other.end
+            }
+            _ => false,
+        }
+    }
+
+    /// Attempts to extend this view with `next` without copying: succeeds
+    /// when `next` is the continuation of `self` in the same backing
+    /// storage (or when either side is empty). Returns the merged view,
+    /// or `None` when the two views are not contiguous.
+    pub fn try_join(&self, next: &Bytes) -> Option<Bytes> {
+        if next.is_empty() {
+            return Some(self.clone());
+        }
+        if self.is_empty() {
+            return Some(next.clone());
+        }
+        match (&self.data, &next.data) {
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) && self.end == next.start => Some(Bytes {
+                data: Some(a.clone()),
+                start: self.start,
+                end: next.end,
+            }),
+            _ => None,
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -446,5 +485,31 @@ mod tests {
         assert_eq!(b, Bytes::copy_from_slice(b"abc"));
         assert_eq!(b, *b"abc");
         assert_eq!(b, b"abc".to_vec());
+    }
+
+    #[test]
+    fn same_storage_is_identity_not_equality() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert!(a.same_storage(&b));
+        assert!(!a.same_storage(&a.slice(0..3)));
+        assert!(!a.same_storage(&Bytes::from(vec![1, 2, 3, 4])));
+        assert!(Bytes::new().same_storage(&Bytes::from(Vec::new())));
+    }
+
+    #[test]
+    fn try_join_merges_adjacent_views() {
+        let whole = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let head = whole.slice(..3);
+        let tail = whole.slice(3..);
+        let joined = head.try_join(&tail).expect("contiguous");
+        assert!(joined.same_storage(&whole));
+        assert_eq!(joined, whole);
+        // Non-contiguous windows and foreign storage do not join.
+        assert!(whole.slice(..2).try_join(&whole.slice(3..)).is_none());
+        assert!(head.try_join(&Bytes::from(vec![3, 4])).is_none());
+        // Empty sides join onto anything.
+        assert!(head.try_join(&Bytes::new()).unwrap().same_storage(&head));
+        assert!(Bytes::new().try_join(&tail).unwrap().same_storage(&tail));
     }
 }
