@@ -1,6 +1,6 @@
 //! The storage host's disk service model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use storm_sim::{SerialResource, SimDuration, SimTime};
 
@@ -46,8 +46,10 @@ impl Default for DiskSpec {
 pub struct DiskModel {
     spec: DiskSpec,
     queue: SerialResource,
-    // LRU cache over 4 KiB-aligned block numbers.
-    cache: HashMap<u64, u64>, // block -> last-use stamp
+    // LRU cache over 4 KiB-aligned block numbers. BTreeMap so the
+    // eviction sweep visits blocks in a fixed order: with a HashMap, an
+    // LRU tie would evict whichever entry the hasher served first.
+    cache: BTreeMap<u64, u64>, // block -> last-use stamp
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -59,7 +61,7 @@ impl DiskModel {
         DiskModel {
             spec,
             queue: SerialResource::new(),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             stamp: 0,
             hits: 0,
             misses: 0,

@@ -1,6 +1,6 @@
 //! The active relay: split-TCP store-and-forward middle-box engine.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
@@ -152,8 +152,11 @@ struct ReplicaSession {
     ini: Initiator,
     sock: Option<SockId>,
     sendq: SendQueue,
-    pending: HashMap<IoTag, PendingIo>,
-    deferred: Vec<(usize, ReplicaIo, u64, Option<usize>)>,
+    // BTreeMap: on replica failure every outstanding request is failed
+    // back to its service, and that sweep must run in tag order — with a
+    // HashMap the eviction trace depended on hasher state.
+    pending: BTreeMap<IoTag, PendingIo>,
+    parked: Vec<(usize, ReplicaIo, u64, Option<usize>)>,
     up: bool,
     failed: bool,
     /// Consecutive request timeouts (reset by any completion).
@@ -510,7 +513,7 @@ impl ActiveRelayMb {
             return;
         }
         if !sess.up {
-            sess.deferred.push((req.svc, req.io, req.ctx, req.origin));
+            sess.parked.push((req.svc, req.io, req.ctx, req.origin));
             return;
         }
         let tag = match &req.io {
@@ -768,12 +771,12 @@ impl ActiveRelayMb {
         for ev in events {
             match ev {
                 InitiatorEvent::LoginComplete => {
-                    let deferred = {
+                    let parked = {
                         let sess = &mut self.replicas[idx];
                         sess.up = true;
-                        std::mem::take(&mut sess.deferred)
+                        std::mem::take(&mut sess.parked)
                     };
-                    for (svc_idx, io, ctx, origin) in deferred {
+                    for (svc_idx, io, ctx, origin) in parked {
                         self.issue_replica(cx, svc_idx, idx, io, ctx, origin);
                     }
                 }
@@ -828,8 +831,8 @@ impl ActiveRelayMb {
                 ini,
                 sock: Some(sock),
                 sendq: SendQueue::new(),
-                pending: HashMap::new(),
-                deferred: Vec::new(),
+                pending: BTreeMap::new(),
+                parked: Vec::new(),
                 up: false,
                 failed: false,
                 timeouts: 0,
@@ -890,9 +893,9 @@ impl ActiveRelayMb {
             }
             sess.failed = true;
             sess.up = false;
-            sess.pending
-                .drain()
-                .map(|(_, v)| (v.svc, v.ctx, v.origin))
+            std::mem::take(&mut sess.pending)
+                .into_values()
+                .map(|v| (v.svc, v.ctx, v.origin))
                 .collect()
         };
         self.trace.emit_with(cx.now(), || TraceEvent::ReplicaEvict {

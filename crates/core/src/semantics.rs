@@ -15,7 +15,7 @@
 //!    and higher-level [`FsEvent`]s (create/unlink) for the monitor's
 //!    analysis phase.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use storm_block::BlockDevice;
 use storm_extfs::{
@@ -143,7 +143,9 @@ pub struct Reconstructor {
     mount: String,
     inodes: HashMap<u32, InodeLite>,
     paths: HashMap<u32, String>,
-    children: HashMap<u32, HashMap<String, u32>>,
+    // The per-directory name table is a BTreeMap: directory diffs iterate
+    // it, and unlink events must come out in name order, not hasher order.
+    children: HashMap<u32, BTreeMap<String, u32>>,
     owner: HashMap<u64, BlockRole>,
     events: Vec<FsEvent>,
     /// Recent data-region writes whose owner was unknown at write time.
@@ -552,7 +554,7 @@ impl Reconstructor {
     fn update_directory(&mut self, dir_ino: u32, block: &[u8]) {
         let parent_path = self.display_path(dir_ino);
         let entries = parse_dirents(block);
-        let fresh: HashMap<String, u32> = entries
+        let fresh: BTreeMap<String, u32> = entries
             .iter()
             .filter(|e| e.name != "." && e.name != "..")
             .map(|e| (e.name.clone(), e.inode))

@@ -16,6 +16,11 @@ pub enum PduError {
     UnknownOpcode(u8),
     /// Header too short (framing bug).
     Truncated,
+    /// Stream reassembly accounting desynchronized (buffered-length
+    /// bookkeeping disagrees with the chunk list). Connection-fatal, like
+    /// the other variants, but reported instead of panicking: a relay
+    /// must drop the connection, not abort the process.
+    Desync,
 }
 
 impl std::fmt::Display for PduError {
@@ -23,6 +28,7 @@ impl std::fmt::Display for PduError {
         match self {
             PduError::UnknownOpcode(op) => write!(f, "unknown iscsi opcode {op:#04x}"),
             PduError::Truncated => write!(f, "truncated pdu header"),
+            PduError::Desync => write!(f, "pdu stream accounting desynchronized"),
         }
     }
 }

@@ -65,6 +65,8 @@ impl PduStream {
     /// unusable afterwards (callers drop the connection, as a real
     /// initiator/target would).
     pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Pdu>, PduError> {
+        // storm-lint: allow(no-hot-path-copy): documented copying
+        // convenience wrapper; hot callers use feed_bytes.
         let out = self.feed_bytes(Bytes::copy_from_slice(bytes))?;
         Ok(out.into_iter().map(|p| p.pdu).collect())
     }
@@ -128,6 +130,8 @@ impl PduStream {
                 break;
             }
             let take = (dst.len() - off).min(c.len());
+            // storm-lint: allow(no-hot-path-copy): the 48-byte header
+            // decode copy, permitted by design and counted separately.
             dst[off..off + take].copy_from_slice(&c.chunk()[..take]);
             off += take;
         }
@@ -135,14 +139,27 @@ impl PduStream {
     }
 
     /// Pops the next `total` bytes off the stream as wire chunks.
-    fn take_wire(&mut self, mut total: usize) -> Vec<Bytes> {
+    ///
+    /// # Errors
+    ///
+    /// [`PduError::Desync`] if the chunk list runs dry before `total`
+    /// bytes — `len` accounting no longer matches the buffered chunks.
+    /// The caller checks `len` first, so this only fires on an internal
+    /// bookkeeping bug; reporting it (instead of panicking) lets a relay
+    /// drop the one poisoned connection and keep serving the rest.
+    fn take_wire(&mut self, mut total: usize) -> Result<Vec<Bytes>, PduError> {
         let mut wire = Vec::with_capacity(1);
         while total > 0 {
-            let front = self.chunks.front_mut().expect("enough buffered");
+            let Some(front) = self.chunks.front_mut() else {
+                return Err(PduError::Desync);
+            };
             if front.len() <= total {
                 total -= front.len();
                 self.len -= front.len();
-                wire.push(self.chunks.pop_front().expect("non-empty"));
+                match self.chunks.pop_front() {
+                    Some(c) => wire.push(c),
+                    None => return Err(PduError::Desync),
+                }
             } else {
                 let head = front.slice(..total);
                 *front = front.slice(total..);
@@ -151,7 +168,7 @@ impl PduStream {
                 total = 0;
             }
         }
-        wire
+        Ok(wire)
     }
 
     /// Extracts `[start, start+len)` of the wire image as one `Bytes`:
@@ -176,6 +193,8 @@ impl PduStream {
             let c_start = start.max(off);
             let c_end = (start + len).min(off + c.len());
             if c_start < c_end {
+                // storm-lint: allow(no-hot-path-copy): counted slow path
+                // (bytes_copied above); zero on the relay fast path.
                 buf.extend_from_slice(&c.chunk()[c_start - off..c_end - off]);
             }
             off += c.len();
@@ -195,7 +214,7 @@ impl PduStream {
         if self.len < total {
             return Ok(None);
         }
-        let wire = self.take_wire(total);
+        let wire = self.take_wire(total)?;
         let data = self.extract(&wire, BHS_LEN, dsl);
         let pdu = Pdu::decode(&bhs, data.clone())?;
         self.pdus_out += 1;
@@ -263,6 +282,9 @@ impl WireBuf {
     /// Appends raw bytes by copy (headers, handshake payloads).
     pub fn push_slice(&mut self, bytes: &[u8]) {
         self.len += bytes.len();
+        // storm-lint: allow(no-hot-path-copy): header/pad scratch batch;
+        // data segments above SHARE_THRESHOLD never take this path, and
+        // push_pdu counts every data byte that does.
         self.scratch.extend_from_slice(bytes);
     }
 
@@ -309,6 +331,8 @@ impl WireBuf {
     pub fn take_output(&mut self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len);
         for c in self.take_chunks() {
+            // storm-lint: allow(no-hot-path-copy): flattening
+            // compatibility path for tests and non-hot callers.
             out.extend_from_slice(&c);
         }
         out

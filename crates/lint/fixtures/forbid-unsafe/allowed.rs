@@ -1,0 +1,2 @@
+// storm-lint: allow(forbid-unsafe): FFI shim crate with audited unsafe
+pub fn noop() {}

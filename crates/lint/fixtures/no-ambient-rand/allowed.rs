@@ -1,0 +1,6 @@
+pub fn entropy_probe() -> u64 {
+    // storm-lint: allow(no-ambient-rand): diagnostic CLI only, not
+    // part of any simulated experiment
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..1000)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

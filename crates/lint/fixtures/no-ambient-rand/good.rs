@@ -1,0 +1,3 @@
+pub fn jitter(rng: &mut storm_sim::SimRng) -> u64 {
+    rng.next_u64() % 1000
+}

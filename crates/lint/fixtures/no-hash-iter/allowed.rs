@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub fn count(m: &HashMap<u32, u32>) -> u32 {
+    // storm-lint: allow(no-hash-iter): order-insensitive fold
+    m.values().sum()
+}

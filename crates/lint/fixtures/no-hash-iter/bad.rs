@@ -1,0 +1,17 @@
+use std::collections::HashMap;
+
+pub fn total(busy: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_, v) in busy.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn names(set: &std::collections::HashSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in set {
+        out.push(k.clone());
+    }
+    out
+}

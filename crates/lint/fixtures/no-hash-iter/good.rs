@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn total(busy: &BTreeMap<String, u64>) -> u64 {
+    busy.values().sum()
+}

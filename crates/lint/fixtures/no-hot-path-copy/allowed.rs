@@ -1,0 +1,5 @@
+pub fn snapshot(payload: &[u8]) -> Vec<u8> {
+    // storm-lint: allow(no-hot-path-copy): counted slow path; the
+    // copy is attributed to bytes_copied in the relay metrics
+    payload.to_vec()
+}

@@ -1,0 +1,11 @@
+pub fn flatten(chunks: &[&[u8]]) -> Vec<u8> {
+    let mut flat = Vec::new();
+    for c in chunks {
+        flat.extend_from_slice(c);
+    }
+    flat
+}
+
+pub fn dup(payload: &[u8]) -> Vec<u8> {
+    payload.to_vec()
+}

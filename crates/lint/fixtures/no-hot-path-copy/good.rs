@@ -1,0 +1,5 @@
+use bytes::Bytes;
+
+pub fn split(payload: &Bytes, at: usize) -> (Bytes, Bytes) {
+    (payload.slice(..at), payload.slice(at..))
+}

@@ -1,0 +1,5 @@
+pub fn checked(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // storm-lint: allow(no-panic): guarded by the assert above
+    *v.first().unwrap()
+}

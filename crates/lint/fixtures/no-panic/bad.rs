@@ -1,0 +1,9 @@
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("invariant violated");
+    }
+}

@@ -1,0 +1,3 @@
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

@@ -1,0 +1,6 @@
+pub fn boot_banner() -> String {
+    // storm-lint: allow(no-wall-clock): one-time boot banner; never
+    // reaches traces or metrics
+    let t = std::time::SystemTime::now();
+    format!("{t:?}")
+}

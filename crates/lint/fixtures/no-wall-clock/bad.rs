@@ -1,0 +1,6 @@
+use std::time::{Duration, Instant};
+
+pub fn stamp() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

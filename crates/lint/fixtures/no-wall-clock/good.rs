@@ -1,0 +1,3 @@
+pub fn stamp(now_nanos: u64, start_nanos: u64) -> u64 {
+    now_nanos.saturating_sub(start_nanos)
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn mix(m: &HashMap<u32, u32>) -> u64 {
+    let t = std::time::Instant::now();
+    let r: u32 = rand::random();
+    let mut total = u64::from(r);
+    for v in m.values() {
+        total += u64::from(*v);
+    }
+    total + t.elapsed().as_nanos() as u64
+}

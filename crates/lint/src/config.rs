@@ -1,0 +1,134 @@
+//! Scope and allowlist configuration.
+//!
+//! The scopes are part of the invariant story, so they live in code
+//! (reviewed like any other change) rather than in a config file:
+//!
+//! - **Determinism rules** cover every crate whose state feeds the
+//!   simulation, traces or metrics.
+//! - **Datapath rules** cover the modules on the relay fast path, where
+//!   PR 3's `bytes_copied_per_pdu = 0` result and the no-abort
+//!   guarantee are measured.
+
+use crate::rules::Rule;
+
+/// How a scanned file is classified. Paths are workspace-relative with
+/// `/` separators (`crates/net/src/tcp.rs`).
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Short crate name: `net`, `sim`, ... (`storm` for the root crate).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// True for `src/lib.rs` of a workspace crate.
+    pub is_crate_root: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path.
+    pub fn from_rel_path(rel_path: &str) -> FileClass {
+        let rel = rel_path.replace('\\', "/");
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("storm")
+            .to_string();
+        let is_crate_root = rel.ends_with("src/lib.rs");
+        FileClass {
+            crate_name,
+            rel_path: rel,
+            is_crate_root,
+        }
+    }
+}
+
+/// Lint configuration: rule scopes and per-rule path allowlists.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose code must be deterministic (wall-clock, ambient
+    /// randomness and hash-order rules).
+    pub determinism_crates: Vec<String>,
+    /// Path suffixes of zero-copy / no-panic datapath modules.
+    pub datapath_files: Vec<String>,
+    /// `(rule, path suffix)` pairs exempting whole files from a rule.
+    pub allow_paths: Vec<(Rule, String)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            determinism_crates: ["sim", "net", "core", "cloud", "telemetry", "faults"]
+                .map(String::from)
+                .to_vec(),
+            datapath_files: [
+                "crates/core/src/relay/active.rs",
+                "crates/iscsi/src/stream.rs",
+                "crates/net/src/tcp.rs",
+                "crates/net/src/frame.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            allow_paths: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Whether determinism rules apply to `class`.
+    pub fn is_determinism_scoped(&self, class: &FileClass) -> bool {
+        self.determinism_crates
+            .iter()
+            .any(|c| c == &class.crate_name)
+    }
+
+    /// Whether `class` is a datapath module (zero-copy + panic rules).
+    pub fn is_datapath(&self, class: &FileClass) -> bool {
+        self.datapath_files
+            .iter()
+            .any(|f| class.rel_path.ends_with(f.as_str()))
+    }
+
+    /// Whether `rule` is allowlisted for this file by configuration.
+    pub fn is_path_allowed(&self, rule: Rule, class: &FileClass) -> bool {
+        self.allow_paths
+            .iter()
+            .any(|(r, p)| *r == rule && class.rel_path.ends_with(p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_and_root() {
+        let c = FileClass::from_rel_path("crates/net/src/tcp.rs");
+        assert_eq!(c.crate_name, "net");
+        assert!(!c.is_crate_root);
+        let r = FileClass::from_rel_path("crates/sim/src/lib.rs");
+        assert!(r.is_crate_root);
+        let top = FileClass::from_rel_path("src/lib.rs");
+        assert_eq!(top.crate_name, "storm");
+        assert!(top.is_crate_root);
+    }
+
+    #[test]
+    fn default_scopes() {
+        let cfg = Config::default();
+        assert!(cfg.is_determinism_scoped(&FileClass::from_rel_path("crates/sim/src/rng.rs")));
+        assert!(
+            !cfg.is_determinism_scoped(&FileClass::from_rel_path("crates/workloads/src/fio.rs"))
+        );
+        assert!(cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/frame.rs")));
+        assert!(!cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/nat.rs")));
+    }
+
+    #[test]
+    fn path_allowlist() {
+        let mut cfg = Config::default();
+        cfg.allow_paths
+            .push((Rule::NoPanic, "net/src/tcp.rs".to_string()));
+        let c = FileClass::from_rel_path("crates/net/src/tcp.rs");
+        assert!(cfg.is_path_allowed(Rule::NoPanic, &c));
+        assert!(!cfg.is_path_allowed(Rule::NoHashIter, &c));
+    }
+}

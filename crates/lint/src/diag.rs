@@ -1,0 +1,141 @@
+//! Findings and their two output formats.
+//!
+//! The JSON form is hand-rolled with a fixed key order (the same policy
+//! as `storm-telemetry`'s JSONL export): byte-identical output for
+//! identical input is part of the reproducibility contract, and CI diffs
+//! depend on it.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule name (`no-hash-iter`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: &'static str,
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a deterministic JSON document. Keys are emitted
+/// in a fixed order; findings must already be sorted by the caller.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"finding_count\": {},", findings.len());
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\", \"suggestion\": \"{}\"}}{comma}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(f.suggestion),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders findings as compiler-style human diagnostics.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "error[{}]: {}\n  --> {}:{}:{}\n  = help: {}",
+            f.rule, f.message, f.file, f.line, f.col, f.suggestion
+        );
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "storm-lint: clean ({files_scanned} files scanned)");
+    } else {
+        let _ = writeln!(
+            out,
+            "storm-lint: {} finding(s) across {} file(s) ({} files scanned)",
+            findings.len(),
+            findings
+                .iter()
+                .map(|f| f.file.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            files_scanned
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "no-panic",
+            file: "crates/net/src/tcp.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "`.unwrap()` can abort the datapath".to_string(),
+            suggestion: "return a typed error",
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut f = sample();
+        f.message = "quote \" backslash \\ newline \n".to_string();
+        let doc = render_json(&[f], 1);
+        assert!(doc.contains("\\\""));
+        assert!(doc.contains("\\\\"));
+        assert!(doc.contains("\\n"));
+        assert!(doc.starts_with("{\n  \"version\": 1,"));
+        assert!(doc.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn human_output_mentions_location() {
+        let text = render_human(&[sample()], 4);
+        assert!(text.contains("error[no-panic]"));
+        assert!(text.contains("crates/net/src/tcp.rs:3:7"));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn clean_output() {
+        let text = render_human(&[], 9);
+        assert!(text.contains("clean (9 files scanned)"));
+    }
+}

@@ -131,6 +131,9 @@ impl Payload {
             _ => {
                 let mut flat = Vec::with_capacity(self.len);
                 for c in &self.chunks {
+                    // storm-lint: allow(no-hot-path-copy): documented
+                    // flatten for passive taps that parse in place; the
+                    // forwarding path moves chunks without flattening.
                     flat.extend_from_slice(c);
                 }
                 Bytes::from(flat)

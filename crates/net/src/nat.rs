@@ -8,7 +8,7 @@
 //! automatically — exactly netfilter's behaviour, which the paper's
 //! prototype relies on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use crate::addr::{FourTuple, SockAddr};
@@ -69,9 +69,10 @@ pub struct Nat {
     dnat: Vec<DnatRule>,
     snat: Vec<SnatRule>,
     // Keyed by both the original tuple (forward direction) and the reversed
-    // translated tuple (reply direction).
-    forward: HashMap<FourTuple, NatEntry>,
-    reply: HashMap<FourTuple, NatEntry>,
+    // translated tuple (reply direction). BTreeMap, not HashMap: conntrack
+    // sweeps must never depend on hasher state (no-hash-iter invariant).
+    forward: BTreeMap<FourTuple, NatEntry>,
+    reply: BTreeMap<FourTuple, NatEntry>,
 }
 
 impl Nat {

@@ -1,6 +1,6 @@
 //! Virtual switches: flow-table steering with an L2 learning fallback.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::addr::MacAddr;
@@ -38,9 +38,11 @@ impl fmt::Display for PortNo {
 pub struct VirtualSwitch {
     name: String,
     ports: usize,
-    fdb: HashMap<MacAddr, PortNo>,
+    // BTreeMaps so port sweeps and any future FDB iteration are in
+    // address order, never hasher order (no-hash-iter invariant).
+    fdb: BTreeMap<MacAddr, PortNo>,
     flows: FlowTable,
-    tenant_tags: HashMap<PortNo, u32>,
+    tenant_tags: BTreeMap<PortNo, u32>,
     dropped: u64,
 }
 
@@ -50,9 +52,9 @@ impl VirtualSwitch {
         VirtualSwitch {
             name: name.into(),
             ports,
-            fdb: HashMap::new(),
+            fdb: BTreeMap::new(),
             flows: FlowTable::new(),
-            tenant_tags: HashMap::new(),
+            tenant_tags: BTreeMap::new(),
             dropped: 0,
         }
     }

@@ -321,6 +321,8 @@ impl TcpStack {
     /// segments to transmit)`. Copying wrapper over
     /// [`TcpStack::send_bytes`].
     pub fn send(&mut self, sock: SockId, data: &[u8]) -> (usize, Vec<OutSeg>) {
+        // storm-lint: allow(no-hot-path-copy): documented copying
+        // wrapper; the datapath uses send_bytes/send_chunks.
         self.send_bytes(sock, Bytes::copy_from_slice(data))
     }
 
@@ -347,10 +349,7 @@ impl TcpStack {
         if n > 0 {
             let chunk = data.slice(..n);
             tcb.snd_buf_len += n;
-            match tcb.snd_buf.back_mut().and_then(|b| b.try_join(&chunk)) {
-                Some(joined) => *tcb.snd_buf.back_mut().expect("non-empty") = joined,
-                None => tcb.snd_buf.push_back(chunk),
-            }
+            push_joined(&mut tcb.snd_buf, chunk);
         }
         if n < data.len() {
             tcb.wants_writable = true;
@@ -395,7 +394,10 @@ impl TcpStack {
                 break;
             };
             let chunk = if front.len() <= space {
-                chunks.pop_front().expect("front exists")
+                match chunks.pop_front() {
+                    Some(c) => c,
+                    None => break, // front_mut saw it; defensive anyway
+                }
             } else {
                 let c = front.slice(..space);
                 front.advance(space);
@@ -404,10 +406,7 @@ impl TcpStack {
             let n = chunk.len();
             tcb.snd_buf_len += n;
             accepted += n;
-            match tcb.snd_buf.back_mut().and_then(|b| b.try_join(&chunk)) {
-                Some(joined) => *tcb.snd_buf.back_mut().expect("non-empty") = joined,
-                None => tcb.snd_buf.push_back(chunk),
-            }
+            push_joined(&mut tcb.snd_buf, chunk);
         }
         if !chunks.is_empty() {
             tcb.wants_writable = true;
@@ -680,7 +679,13 @@ impl TcpStack {
         let sock = SockId(sid);
         let mut remove = false;
         {
-            let tcb = self.conns.get_mut(&sid).expect("by_tuple is consistent");
+            // by_tuple said the connection exists; if the tables ever
+            // disagree, treat the segment as addressed to no one rather
+            // than aborting the stack.
+            let Some(tcb) = self.conns.get_mut(&sid) else {
+                self.by_tuple.remove(&key);
+                return (out, events);
+            };
             if seg.flags.rst {
                 if tcb.state == State::SynSent {
                     events.push((tcb.app, TcpEvent::ConnectFailed(sock)));
@@ -734,8 +739,12 @@ impl TcpStack {
                                 let mut advance = (seg.ack.min(tcb.snd_nxt) - tcb.snd_una) as usize;
                                 tcb.snd_buf_len -= advance;
                                 while advance > 0 {
-                                    let front =
-                                        tcb.snd_buf.front_mut().expect("acked bytes buffered");
+                                    // Acked bytes are buffered by
+                                    // construction; stop trimming (not
+                                    // the process) if they ever are not.
+                                    let Some(front) = tcb.snd_buf.front_mut() else {
+                                        break;
+                                    };
                                     if front.len() <= advance {
                                         advance -= front.len();
                                         tcb.snd_buf.pop_front();
@@ -854,11 +863,14 @@ impl TcpStack {
         let mut chunks = seg.payload.skip(skip).into_chunks();
         tcb.rcv_nxt += (seg.payload.len() - skip) as u64;
         // Drain contiguous out-of-order segments.
-        while let Some((&s, _)) = tcb.ooo.first_key_value() {
-            if s > tcb.rcv_nxt {
-                break;
+        loop {
+            match tcb.ooo.first_key_value() {
+                Some((&s, _)) if s <= tcb.rcv_nxt => {}
+                _ => break,
             }
-            let (s, data) = tcb.ooo.pop_first().expect("non-empty");
+            let Some((s, data)) = tcb.ooo.pop_first() else {
+                break;
+            };
             if s + data.len() as u64 <= tcb.rcv_nxt {
                 continue;
             }
@@ -877,6 +889,19 @@ impl TcpStack {
         }
         out.push(Self::bare_ack(counters, tcb, config.rcv_wnd));
     }
+}
+
+/// Appends `chunk` to a send buffer, re-joining with the tail when both
+/// view the same backing storage (keeps segments full-MSS instead of
+/// fragmenting per chunk).
+fn push_joined(buf: &mut VecDeque<Bytes>, chunk: Bytes) {
+    if let Some(back) = buf.back_mut() {
+        if let Some(joined) = back.try_join(&chunk) {
+            *back = joined;
+            return;
+        }
+    }
+    buf.push_back(chunk);
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! Figure 10 utilization breakdown); [`SerialResource`] models a strictly
 //! FIFO single-threaded resource (virtio vif queue, SATA disk).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{SimDuration, SimTime};
 
@@ -20,7 +20,9 @@ use crate::{SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct CpuModel {
     cores: Vec<SimTime>,
-    busy: HashMap<String, SimDuration>,
+    // Label-keyed BTreeMap: breakdowns iterate this, and utilization
+    // reports feed traces, so order must not depend on hasher state.
+    busy: BTreeMap<String, SimDuration>,
     total_busy: SimDuration,
 }
 
@@ -34,7 +36,7 @@ impl CpuModel {
         assert!(cores > 0, "a CPU needs at least one core");
         CpuModel {
             cores: vec![SimTime::ZERO; cores],
-            busy: HashMap::new(),
+            busy: BTreeMap::new(),
             total_busy: SimDuration::ZERO,
         }
     }
@@ -83,11 +85,10 @@ impl CpuModel {
         (self.total_busy.as_nanos() as f64 / capacity).min(1.0)
     }
 
-    /// Per-label busy times, sorted by label for deterministic output.
+    /// Per-label busy times, in label order (BTreeMap iteration is
+    /// already sorted, so no post-sort is needed).
     pub fn breakdown(&self) -> Vec<(String, SimDuration)> {
-        let mut v: Vec<_> = self.busy.iter().map(|(k, d)| (k.clone(), *d)).collect();
-        v.sort();
-        v
+        self.busy.iter().map(|(k, d)| (k.clone(), *d)).collect()
     }
 }
 
