@@ -52,9 +52,15 @@ fn main() -> ExitCode {
     }
 }
 
-/// Fields compared against the baseline. `p99_ms` guards tail latency;
-/// `bytes_copied_per_pdu` guards the zero-copy relay invariant.
+/// Lower-is-better fields compared against the baseline. `p99_ms` guards
+/// tail latency; `bytes_copied_per_pdu` guards the zero-copy relay
+/// invariant.
 const GUARDED: [&str; 2] = ["p99_ms", "bytes_copied_per_pdu"];
+
+/// Higher-is-better fields: the run must not fall more than [`TOLERANCE`]
+/// below the baseline. `slo_attainment` guards the QoS isolation claim;
+/// `migrations` guards that the provisioning control loop still fires.
+const GUARDED_MIN: [&str; 2] = ["slo_attainment", "migrations"];
 
 /// Compares two result files; `Ok` is the pass report, `Err` the failure
 /// report.
@@ -68,7 +74,9 @@ fn compare(baseline: &str, results: &str) -> Result<String, String> {
             failures += 1;
             continue;
         };
-        for field in GUARDED {
+        let ceilings = GUARDED.iter().map(|f| (*f, false));
+        let floors = GUARDED_MIN.iter().map(|f| (*f, true));
+        for (field, higher_is_better) in ceilings.chain(floors) {
             let Some(base) = field_value(base_line, field) else {
                 continue; // baseline does not guard this field for this scenario
             };
@@ -79,10 +87,19 @@ fn compare(baseline: &str, results: &str) -> Result<String, String> {
             };
             checked += 1;
             // A zero baseline tolerates zero: 10% of nothing is nothing.
-            let limit = base * (1.0 + TOLERANCE);
-            if run > limit + f64::EPSILON {
+            let failed = if higher_is_better {
+                run < base * (1.0 - TOLERANCE) - f64::EPSILON
+            } else {
+                run > base * (1.0 + TOLERANCE) + f64::EPSILON
+            };
+            if failed {
+                let dir = if higher_is_better {
+                    "falls below"
+                } else {
+                    "exceeds"
+                };
                 out.push_str(&format!(
-                    "FAIL {name}: {field} {run:.3} exceeds baseline {base:.3} by more than {:.0}%\n",
+                    "FAIL {name}: {field} {run:.3} {dir} baseline {base:.3} by more than {:.0}%\n",
                     TOLERANCE * 100.0
                 ));
                 failures += 1;
@@ -176,5 +193,36 @@ mod tests {
     #[test]
     fn improvement_passes() {
         assert!(compare(BASE, &run(0.5, 0.9, 0.0)).is_ok());
+    }
+
+    const QOS_BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"q","mode":"LEGACY","block_bytes":4096,"threads":1,"ops":10,"iops":10.0,"throughput_mbps":1.00,"mean_ms":1.000,"p50_ms":1.000,"p99_ms":2.000,"migrations":1.000,"slo_attainment":0.950}
+  ]
+}"#;
+
+    fn qos_run(p99: f64, migrations: f64, attainment: f64) -> String {
+        format!(
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"q\",\"p99_ms\":{p99:.3},\
+             \"migrations\":{migrations:.3},\"slo_attainment\":{attainment:.3}}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn attainment_drop_fails() {
+        let err = compare(QOS_BASE, &qos_run(2.0, 1.0, 0.5)).unwrap_err();
+        assert!(err.contains("FAIL q: slo_attainment"), "{err}");
+        assert!(err.contains("falls below"), "{err}");
+    }
+
+    #[test]
+    fn attainment_gain_passes() {
+        assert!(compare(QOS_BASE, &qos_run(2.0, 2.0, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn lost_migration_fails() {
+        let err = compare(QOS_BASE, &qos_run(2.0, 0.0, 0.95)).unwrap_err();
+        assert!(err.contains("FAIL q: migrations"), "{err}");
     }
 }

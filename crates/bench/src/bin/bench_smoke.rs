@@ -10,7 +10,8 @@ use std::path::Path;
 use std::sync::Arc;
 
 use storm_bench::{
-    fio_point, fio_point_traced, passthrough_point, BenchResults, PathMode, Testbed,
+    fio_point, fio_point_traced, interference_point, passthrough_point, provisioning_churn_point,
+    BenchResults, PathMode, Testbed,
 };
 use storm_sim::SimDuration;
 use storm_telemetry::{analyze, names, MetricsRegistry, Recorder};
@@ -94,6 +95,74 @@ fn main() {
                 "verbatim_forwards".to_string(),
                 pt.copy.verbatim_forwards as f64,
             ),
+        ],
+    );
+
+    // Per-tenant QoS: a rate-limited, de-weighted aggressor must not push
+    // the victim's p99 more than 20% past its solo baseline.
+    let qi = interference_point(&testbed);
+    println!(
+        "qos.interference.2tenant: victim p99 solo {:.2} ms, contended {:.2} ms, \
+         with QoS {:.2} ms ({:.2}x solo); aggressor {:.0} iops shaped, {} ops throttled",
+        qi.solo.p99_ms,
+        qi.contended.p99_ms,
+        qi.shaped.p99_ms,
+        qi.qos_over_solo(),
+        qi.shaped_aggressor.iops,
+        qi.throttled_ops
+    );
+    assert!(
+        qi.shaped.p99_ms <= qi.solo.p99_ms * 1.2,
+        "QoS failed to protect the victim: shaped p99 {:.3} ms vs solo {:.3} ms",
+        qi.shaped.p99_ms,
+        qi.solo.p99_ms
+    );
+    assert!(qi.throttled_ops > 0, "the aggressor was never throttled");
+    results.push_with_extras(
+        "qos.interference.2tenant",
+        PathMode::Legacy,
+        block,
+        1,
+        qi.shaped,
+        vec![
+            ("solo_p99_ms".to_string(), qi.solo.p99_ms),
+            ("contended_p99_ms".to_string(), qi.contended.p99_ms),
+            ("qos_over_solo".to_string(), qi.qos_over_solo()),
+            ("throttled_ops".to_string(), qi.throttled_ops as f64),
+        ],
+    );
+
+    // SLO-driven provisioning: the control loop must live-migrate the
+    // violating volume to the fast tier mid-run.
+    let qc = provisioning_churn_point(&testbed);
+    println!(
+        "qos.provisioning.churn: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
+         {} migration(s) started, {} cut over, final tier {}, \
+         SLO attainment {:.1}%, overload rejected: {}",
+        qc.point.ops,
+        qc.point.p50_ms,
+        qc.point.p99_ms,
+        qc.migrations_started,
+        qc.migrations_completed,
+        qc.final_tier.label(),
+        qc.slo_attainment * 100.0,
+        qc.overload_rejected
+    );
+    assert!(
+        qc.migrations_completed >= 1,
+        "no tier migration cut over mid-run"
+    );
+    assert!(qc.overload_rejected, "overload request was not rejected");
+    assert!(qc.slo_attainment > 0.0, "SLO attainment metric missing");
+    results.push_with_extras(
+        "qos.provisioning.churn",
+        PathMode::Legacy,
+        4096,
+        1,
+        qc.point,
+        vec![
+            ("migrations".to_string(), qc.migrations_completed as f64),
+            ("slo_attainment".to_string(), qc.slo_attainment),
         ],
     );
 

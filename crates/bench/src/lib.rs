@@ -19,8 +19,10 @@ use storm_sim::trace::TraceHook;
 use storm_sim::{SimDuration, SimTime};
 use storm_workloads::{FioJob, FioWorkload};
 
+mod qos;
 mod results;
 
+pub use qos::{interference_point, provisioning_churn_point, ChurnOutcome, InterferenceOutcome};
 pub use results::{BenchResults, ScenarioResult};
 
 /// Which data path the experiment measures.

@@ -38,6 +38,34 @@ impl Default for DiskSpec {
     }
 }
 
+impl DiskSpec {
+    /// The fast provisioning tier: SSD-class service (no seek penalty to
+    /// speak of, high media bandwidth). Uncached so tier choice — not
+    /// page-cache luck — decides latency, as in IOArbiter's SLO study.
+    pub fn fast_tier() -> Self {
+        DiskSpec {
+            seek: SimDuration::from_micros(60),
+            bytes_per_sec: 500_000_000,
+            cache_hit: SimDuration::from_micros(60),
+            cache_blocks: 0,
+            write_back: false,
+            prewarmed: false,
+        }
+    }
+
+    /// The slow provisioning tier: capacity spindle, uncached, long seek.
+    pub fn slow_tier() -> Self {
+        DiskSpec {
+            seek: SimDuration::from_micros(800),
+            bytes_per_sec: 120_000_000,
+            cache_hit: SimDuration::from_micros(400),
+            cache_blocks: 0,
+            write_back: false,
+            prewarmed: false,
+        }
+    }
+}
+
 /// A single-spindle disk with an LRU page cache and FIFO service queue.
 ///
 /// `serve_*` returns the completion instant of the access; requests queue
@@ -137,6 +165,18 @@ impl DiskModel {
     /// Serves a flush (drains write-back state as one seek).
     pub fn serve_flush(&mut self, now: SimTime) -> SimTime {
         self.queue.serve(now, self.spec.seek)
+    }
+
+    /// Occupies the spindle with `work` of bulk activity (tier-migration
+    /// copy traffic); returns when the disk is free again.
+    pub fn busy_for(&mut self, now: SimTime, work: SimDuration) -> SimTime {
+        self.queue.serve(now, work)
+    }
+
+    /// Time to stream `bytes` sequentially off this disk (one seek plus
+    /// the media transfer) — the cost model for a migration copy.
+    pub fn bulk_copy_time(&self, bytes: u64) -> SimDuration {
+        self.spec.seek + self.transfer(bytes as usize)
     }
 }
 

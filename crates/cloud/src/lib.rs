@@ -25,6 +25,7 @@
 mod attribution;
 mod client;
 mod disk;
+mod provision;
 pub mod sdn;
 mod target;
 mod topology;
@@ -34,5 +35,6 @@ pub use client::{
     ClientStats, IoCtx, IoKind, IoResult, ReqId, VolumeClient, VolumeClientConfig, Workload,
 };
 pub use disk::{DiskModel, DiskSpec};
+pub use provision::{ProvisionedVolume, ProvisioningEngine};
 pub use target::{TargetHostApp, TargetHostConfig};
 pub use topology::{Cloud, CloudConfig, ComputeHost, GuestVm, StorageHost, VolumeHandle};

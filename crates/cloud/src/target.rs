@@ -6,7 +6,7 @@
 //! [`DiskModel`] so concurrent sessions contend for the spindle, as on the
 //! paper's Cinder node.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
@@ -15,8 +15,9 @@ use storm_iscsi::{
     Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, ISCSI_PORT,
 };
 use storm_net::{App, CloseReason, Cx, FourTuple, SendQueue, SockId};
+use storm_qos::{DiskTier, RateLimitSpec, RateLimiter, WeightedFairQueue};
 use storm_sim::trace::{req_token, Hop, ReqToken, TraceEvent, TraceHook};
-use storm_sim::{FaultAction, FaultHook, FaultSite, SimDuration, SimTime};
+use storm_sim::{FaultAction, FaultHook, FaultSite, Histogram, SimDuration, SimTime};
 
 use crate::disk::{DiskModel, DiskSpec};
 
@@ -48,6 +49,8 @@ impl Default for TargetHostConfig {
 struct Session {
     conn: TargetConn,
     volume: Option<SharedVolume>,
+    /// IQN the session bound to (QoS tenant/tier lookups).
+    iqn: Option<String>,
     sendq: SendQueue,
     /// The initiator name seen at login (connection attribution).
     initiator: Option<Iqn>,
@@ -72,6 +75,83 @@ enum PendingDisk {
     },
 }
 
+/// A disk job held back by the per-tier WFQ dispatch gate.
+#[derive(Debug)]
+enum QueuedKind {
+    Read { lba: u64, sectors: u32 },
+    Write { lba: u64, bytes: usize },
+    Flush,
+}
+
+#[derive(Debug)]
+struct QosJob {
+    sock: SockId,
+    itt: u32,
+    kind: QueuedKind,
+    /// Arrival instant (latency accounting starts here).
+    arrived: SimTime,
+    /// Earliest allowed start: arrival plus token-bucket shaping delay.
+    earliest: SimTime,
+    /// Fault-injected extra completion delay.
+    extra: SimDuration,
+    /// Volume the job belongs to.
+    iqn: String,
+    /// Target CPU already charged for this job (trace attribution).
+    cpu: SimDuration,
+}
+
+fn tier_idx(tier: DiskTier) -> usize {
+    match tier {
+        DiskTier::Fast => 0,
+        DiskTier::Slow => 1,
+    }
+}
+
+/// Payload size of a queued disk job, for token-bucket draw and WFQ cost.
+fn job_bytes(kind: &QueuedKind) -> u64 {
+    match kind {
+        QueuedKind::Read { sectors, .. } => *sectors as u64 * 512,
+        QueuedKind::Write { bytes, .. } => *bytes as u64,
+        QueuedKind::Flush => 512,
+    }
+}
+
+/// Per-host QoS enforcement: tenant rate limiters, one WFQ dispatch gate
+/// per disk tier, tiered disk models and the volume → tier map.
+struct QosState {
+    limiters: BTreeMap<u32, RateLimiter>,
+    wfq: [WeightedFairQueue<QosJob>; 2],
+    /// One job in service per tier; the next is popped at completion —
+    /// the "dispatch queue" the WFQ actually orders.
+    busy: [bool; 2],
+    /// Tier disks indexed by [`tier_idx`]: fast then slow.
+    disks: [DiskModel; 2],
+    tier_of: BTreeMap<String, DiskTier>,
+    tenant_of: BTreeMap<String, u32>,
+    /// In-flight copy-then-cutover migrations: the tier flip commits
+    /// lazily once the copy's cutover instant has passed.
+    pending_cutover: BTreeMap<String, (DiskTier, SimTime)>,
+    /// Per-volume service latency (arrival → completion) histograms.
+    latency: BTreeMap<String, Histogram>,
+    /// Committed tier migrations.
+    migrations_done: u64,
+}
+
+impl QosState {
+    /// Current tier of `iqn`, committing any cutover whose instant has
+    /// passed. Unregistered volumes default to the slow tier.
+    fn tier_of(&mut self, iqn: &str, now: SimTime) -> DiskTier {
+        if let Some(&(to, at)) = self.pending_cutover.get(iqn) {
+            if at <= now {
+                self.pending_cutover.remove(iqn);
+                self.tier_of.insert(iqn.to_string(), to);
+                self.migrations_done += 1;
+            }
+        }
+        self.tier_of.get(iqn).copied().unwrap_or(DiskTier::Slow)
+    }
+}
+
 /// The target application; add one per storage host with
 /// [`storm_net::Network::add_app`] and register volumes via
 /// [`TargetHostApp::register_volume`].
@@ -81,6 +161,15 @@ pub struct TargetHostApp {
     sessions: HashMap<SockId, Session>,
     disk: DiskModel,
     pending: HashMap<u64, PendingDisk>,
+    /// Tier owning each in-flight QoS job's dispatch slot (by timer
+    /// token); the slot frees when the completion timer fires.
+    qos_slot: HashMap<u64, DiskTier>,
+    /// Jobs waiting out a shaping delay (by timer token). The shaper runs
+    /// *before* the scheduler: a throttled job must not hold the dispatch
+    /// gate or a WFQ tag while its token debt drains, or it head-of-line
+    /// blocks every other tenant for its whole delay.
+    qos_admit: HashMap<u64, QosJob>,
+    qos: Option<QosState>,
     next_token: u64,
     /// Completed (initiator IQN, 4-tuple) pairs for attribution queries.
     logins: Vec<(Iqn, FourTuple)>,
@@ -100,6 +189,9 @@ impl TargetHostApp {
             sessions: HashMap::new(),
             disk,
             pending: HashMap::new(),
+            qos_slot: HashMap::new(),
+            qos_admit: HashMap::new(),
+            qos: None,
             next_token: 1,
             logins: Vec::new(),
             fault: FaultHook::none(),
@@ -188,6 +280,118 @@ impl TargetHostApp {
         &self.disk
     }
 
+    /// Turns on QoS enforcement with the given tier disks. Volumes then
+    /// registered via [`Self::register_qos_volume`] are scheduled through
+    /// per-tenant token buckets and a per-tier WFQ dispatch gate instead
+    /// of the legacy shared disk; unregistered volumes keep the legacy
+    /// path untouched.
+    pub fn enable_qos(&mut self, fast: DiskSpec, slow: DiskSpec) {
+        self.qos = Some(QosState {
+            limiters: BTreeMap::new(),
+            wfq: [WeightedFairQueue::new(), WeightedFairQueue::new()],
+            busy: [false; 2],
+            disks: [DiskModel::new(fast), DiskModel::new(slow)],
+            tier_of: BTreeMap::new(),
+            tenant_of: BTreeMap::new(),
+            pending_cutover: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            migrations_done: 0,
+        });
+    }
+
+    /// Whether QoS enforcement is enabled.
+    pub fn qos_enabled(&self) -> bool {
+        self.qos.is_some()
+    }
+
+    /// Sets `tenant`'s rate limits (requires [`Self::enable_qos`] first).
+    pub fn set_tenant_limit(&mut self, tenant: u32, spec: RateLimitSpec) {
+        if let Some(qos) = &mut self.qos {
+            qos.limiters.insert(tenant, RateLimiter::new(spec));
+        }
+    }
+
+    /// Sets `tenant`'s WFQ weight on both tier queues.
+    pub fn set_tenant_weight(&mut self, tenant: u32, weight: u64) {
+        if let Some(qos) = &mut self.qos {
+            for q in &mut qos.wfq {
+                q.set_weight(tenant, weight);
+            }
+        }
+    }
+
+    /// Places `iqn` under QoS scheduling for `tenant` on `tier`.
+    pub fn register_qos_volume(&mut self, iqn: &Iqn, tenant: u32, tier: DiskTier) {
+        if let Some(qos) = &mut self.qos {
+            qos.tier_of.insert(iqn.to_string(), tier);
+            qos.tenant_of.insert(iqn.to_string(), tenant);
+        }
+    }
+
+    /// Starts a copy-then-cutover migration of `iqn` to `to`: both tier
+    /// disks are occupied streaming the volume's bytes, and the tier map
+    /// flips once the copy finishes (in-flight jobs drain on the old
+    /// tier). Returns the cutover instant, or `None` when QoS is off,
+    /// the volume is unknown, or it is already on `to`.
+    pub fn migrate_volume(&mut self, now: SimTime, iqn: &Iqn, to: DiskTier) -> Option<SimTime> {
+        let bytes = {
+            use storm_block::BlockDevice as _;
+            self.volumes.get(iqn.as_str())?.clone().num_sectors() * 512
+        };
+        let qos = self.qos.as_mut()?;
+        let from = qos.tier_of(iqn.as_str(), now);
+        if from == to || qos.pending_cutover.contains_key(iqn.as_str()) {
+            return None;
+        }
+        let src_work = qos.disks[tier_idx(from)].bulk_copy_time(bytes);
+        let dst_work = qos.disks[tier_idx(to)].bulk_copy_time(bytes);
+        let src_done = qos.disks[tier_idx(from)].busy_for(now, src_work);
+        let dst_done = qos.disks[tier_idx(to)].busy_for(now, dst_work);
+        let cutover = src_done.max(dst_done);
+        qos.pending_cutover.insert(iqn.to_string(), (to, cutover));
+        self.trace.emit_with(now, || TraceEvent::Meta {
+            hop: Hop::Qos,
+            id: self.trace_host,
+            name: format!("migrate:{}:{}->{}", iqn, from.label(), to.label()),
+        });
+        Some(cutover)
+    }
+
+    /// Committed tier migrations so far.
+    pub fn completed_migrations(&self) -> u64 {
+        self.qos.as_ref().map_or(0, |q| q.migrations_done)
+    }
+
+    /// Forces any due cutover for `iqn` to commit at `now` (the control
+    /// loop calls this so migration counts are visible without waiting
+    /// for the volume's next I/O).
+    pub fn poll_migration(&mut self, now: SimTime, iqn: &Iqn) -> DiskTier {
+        match &mut self.qos {
+            Some(qos) => qos.tier_of(iqn.as_str(), now),
+            None => DiskTier::Slow,
+        }
+    }
+
+    /// Per-volume service-latency histogram (arrival to completion at
+    /// this target, including shaping and WFQ queueing).
+    pub fn volume_latency(&self, iqn: &Iqn) -> Option<&Histogram> {
+        self.qos.as_ref()?.latency.get(iqn.as_str())
+    }
+
+    /// `(throttled ops, total shaping delay)` summed over all tenants.
+    pub fn qos_throttle_stats(&self) -> (u64, SimDuration) {
+        let mut ops = 0;
+        let mut total = SimDuration::ZERO;
+        if let Some(qos) = &self.qos {
+            for l in qos.limiters.values() {
+                let (n, d) = l.throttle_stats();
+                ops += n;
+                total += d;
+            }
+        }
+        (ops, total)
+    }
+
     /// Active session count.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
@@ -197,6 +401,157 @@ impl TargetHostApp {
         let t = self.next_token;
         self.next_token += 1;
         t
+    }
+
+    /// Routes a disk job through the QoS scheduler when the session's
+    /// volume is registered for it. Returns `true` when the job was taken
+    /// over (the caller skips the legacy direct-dispatch path).
+    fn qos_route(
+        &mut self,
+        cx: &mut Cx<'_>,
+        sock: SockId,
+        itt: u32,
+        kind: QueuedKind,
+        cpu: SimDuration,
+        extra: SimDuration,
+    ) -> bool {
+        if self.qos.is_none() {
+            return false;
+        }
+        let Some(iqn) = self.sessions.get(&sock).and_then(|s| s.iqn.clone()) else {
+            return false;
+        };
+        let now = cx.now();
+        let delay = {
+            let qos = self.qos.as_mut().expect("checked above");
+            if !qos.tenant_of.contains_key(&iqn) {
+                return false;
+            }
+            let tenant = qos.tenant_of[&iqn];
+            match qos.limiters.get_mut(&tenant) {
+                Some(l) => l.admit(now, job_bytes(&kind)),
+                None => SimDuration::ZERO,
+            }
+        };
+        let job = QosJob {
+            sock,
+            itt,
+            kind,
+            arrived: now,
+            earliest: now + delay,
+            extra,
+            iqn,
+            cpu,
+        };
+        if delay > SimDuration::ZERO {
+            // Shaper before scheduler: the job only becomes eligible for
+            // the WFQ and the dispatch gate once its token debt clears.
+            let token = self.token();
+            self.qos_admit.insert(token, job);
+            cx.set_timer(delay, token);
+        } else {
+            self.enqueue_qos(cx, job);
+        }
+        true
+    }
+
+    /// Hands an admission-eligible job to `tier`'s scheduler: straight
+    /// into service if the dispatch gate is open, queued on the WFQ
+    /// otherwise.
+    fn enqueue_qos(&mut self, cx: &mut Cx<'_>, job: QosJob) {
+        let now = cx.now();
+        let (tier, ready) = {
+            let qos = self.qos.as_mut().expect("enqueue requires qos");
+            let tenant = qos.tenant_of.get(&job.iqn).copied().unwrap_or(0);
+            let bytes = job_bytes(&job.kind);
+            let tier = qos.tier_of(&job.iqn, now);
+            let idx = tier_idx(tier);
+            if qos.busy[idx] {
+                // Fairness is byte-weighted: large ops cost more credit.
+                qos.wfq[idx].push(tenant, bytes.max(512), job);
+                (tier, None)
+            } else {
+                (tier, Some(job))
+            }
+        };
+        if let Some(job) = ready {
+            self.dispatch_qos(cx, tier, job);
+        }
+    }
+
+    /// Puts `job` in service on `tier`'s disk and arms its completion
+    /// timer. The tier's dispatch slot stays held until that timer fires.
+    fn dispatch_qos(&mut self, cx: &mut Cx<'_>, tier: DiskTier, job: QosJob) {
+        let now = cx.now();
+        let QosJob {
+            sock,
+            itt,
+            kind,
+            arrived,
+            earliest,
+            extra,
+            iqn,
+            cpu,
+        } = job;
+        let start = earliest.max(now);
+        let (done, pend) = {
+            let qos = self.qos.as_mut().expect("dispatch requires qos");
+            qos.busy[tier_idx(tier)] = true;
+            let disk = &mut qos.disks[tier_idx(tier)];
+            let done = match kind {
+                QueuedKind::Read { lba, sectors } => {
+                    disk.serve_read(start, lba, sectors as usize * 512)
+                }
+                QueuedKind::Write { lba, bytes } => disk.serve_write(start, lba, bytes),
+                QueuedKind::Flush => disk.serve_flush(start),
+            } + extra;
+            qos.latency.entry(iqn).or_default().record(done - arrived);
+            let pend = match kind {
+                QueuedKind::Read { lba, sectors } => PendingDisk::Read {
+                    sock,
+                    itt,
+                    lba,
+                    sectors,
+                },
+                QueuedKind::Write { .. } => PendingDisk::Write { sock, itt },
+                QueuedKind::Flush => PendingDisk::Flush { sock, itt },
+            };
+            (done, pend)
+        };
+        // Shaping + queueing wait shows up as its own cost center.
+        let wait = start - arrived;
+        if wait > SimDuration::ZERO && self.trace.is_armed() {
+            if let Some(req) = self.trace_req(sock, itt) {
+                self.trace.emit(
+                    now,
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Qos,
+                        id: self.trace_host,
+                        dur: wait,
+                    },
+                );
+            }
+        }
+        self.trace_serve(now, sock, itt, cpu, done - start);
+        let token = self.token();
+        self.pending.insert(token, pend);
+        self.qos_slot.insert(token, tier);
+        cx.set_timer(done - now, token);
+    }
+
+    /// Frees `tier`'s dispatch slot: the next WFQ job goes into service,
+    /// or the gate opens if the queue is dry.
+    fn next_qos(&mut self, cx: &mut Cx<'_>, tier: DiskTier) {
+        let popped = self.qos.as_mut().and_then(|q| q.wfq[tier_idx(tier)].pop());
+        match popped {
+            Some((_tenant, job)) => self.dispatch_qos(cx, tier, job),
+            None => {
+                if let Some(qos) = &mut self.qos {
+                    qos.busy[tier_idx(tier)] = false;
+                }
+            }
+        }
     }
 
     /// Fault verdict for a disk access starting now.
@@ -247,6 +602,10 @@ impl TargetHostApp {
                             continue;
                         }
                     };
+                    if self.qos_route(cx, sock, itt, QueuedKind::Read { lba, sectors }, cpu, extra)
+                    {
+                        continue;
+                    }
                     let done = self.disk.serve_read(now, lba, sectors as usize * 512) + extra;
                     let token = self.token();
                     self.pending.insert(
@@ -288,6 +647,19 @@ impl TargetHostApp {
                         FaultAction::Fail => ScsiStatus::CheckCondition,
                     };
                     if status == ScsiStatus::Good {
+                        if self.qos_route(
+                            cx,
+                            sock,
+                            itt,
+                            QueuedKind::Write {
+                                lba,
+                                bytes: data.len(),
+                            },
+                            cpu,
+                            extra,
+                        ) {
+                            continue;
+                        }
                         let done = self.disk.serve_write(now, lba, data.len()) + extra;
                         let token = self.token();
                         self.pending.insert(token, PendingDisk::Write { sock, itt });
@@ -314,6 +686,9 @@ impl TargetHostApp {
                             continue;
                         }
                     };
+                    if self.qos_route(cx, sock, itt, QueuedKind::Flush, SimDuration::ZERO, extra) {
+                        continue;
+                    }
                     let done = self.disk.serve_flush(now) + extra;
                     let token = self.token();
                     self.pending.insert(token, PendingDisk::Flush { sock, itt });
@@ -360,6 +735,7 @@ impl App for TargetHostApp {
             Session {
                 conn,
                 volume: None,
+                iqn: None,
                 sendq: SendQueue::new(),
                 initiator: None,
                 tuple: None,
@@ -378,6 +754,7 @@ impl App for TargetHostApp {
                         let volume = vol.clone();
                         let sectors = volume.num_sectors();
                         sess.volume = Some(volume);
+                        sess.iqn = Some(name.clone());
                         sess.conn = TargetConn::new(TargetConfig {
                             target_iqn: Iqn::parse(name).unwrap_or_else(|_| Iqn::for_volume(0)),
                             params: self.cfg.params.clone(),
@@ -402,9 +779,19 @@ impl App for TargetHostApp {
     }
 
     fn on_timer(&mut self, cx: &mut Cx<'_>, token: u64) {
+        // A shaping delay elapsing makes its job scheduler-eligible.
+        if let Some(job) = self.qos_admit.remove(&token) {
+            self.enqueue_qos(cx, job);
+            return;
+        }
         let Some(pending) = self.pending.remove(&token) else {
             return;
         };
+        // A QoS job finishing frees its tier's dispatch slot regardless
+        // of response-path faults below: the disk really is done.
+        if let Some(tier) = self.qos_slot.remove(&token) {
+            self.next_qos(cx, tier);
+        }
         // Fault injection on the response path: a muted target swallows
         // the completion (the initiator sees an unresponsive replica).
         let mut force_error = false;
@@ -514,6 +901,33 @@ fn scan_target_name(data: &[u8]) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn migrate_volume_copies_then_cuts_over() {
+        use storm_block::{SharedVolume, VolumeGroup};
+        let mut app = TargetHostApp::new(TargetHostConfig::default());
+        let mut vg = VolumeGroup::new(64 << 20);
+        let vol = vg.create_volume(16 << 20).unwrap();
+        let iqn = Iqn::for_volume(vol.id().0);
+        app.register_volume(iqn.clone(), SharedVolume::new(vol));
+        app.enable_qos(DiskSpec::fast_tier(), DiskSpec::slow_tier());
+        app.register_qos_volume(&iqn, 1, DiskTier::Slow);
+        let now = SimTime::from_millis(10);
+        let cutover = app
+            .migrate_volume(now, &iqn, DiskTier::Fast)
+            .expect("starts");
+        assert!(cutover > now, "copy takes time");
+        // Before the cutover instant the volume still serves from slow.
+        assert_eq!(app.poll_migration(now, &iqn), DiskTier::Slow);
+        assert_eq!(app.completed_migrations(), 0);
+        // Re-migrating while one is in flight is refused.
+        assert!(app.migrate_volume(now, &iqn, DiskTier::Fast).is_none());
+        // After the cutover instant the tier flips and the count commits.
+        assert_eq!(app.poll_migration(cutover, &iqn), DiskTier::Fast);
+        assert_eq!(app.completed_migrations(), 1);
+        // Migrating to the tier it is already on is a no-op.
+        assert!(app.migrate_volume(cutover, &iqn, DiskTier::Fast).is_none());
+    }
 
     #[test]
     fn scan_target_name_finds_key() {

@@ -39,7 +39,7 @@ pub use platform::{ChainDeployment, MbSpec, RelayMode, StormPlatform};
 pub use policy::{ServiceSpec, TenantPolicy, VolumePolicy};
 pub use relay::{
     ActiveRelayConfig, ActiveRelayMb, MbControl, PassiveTap, PassiveTapConfig, RelayCopyStats,
-    RetryPolicy,
+    RelayQosConfig, RetryPolicy,
 };
 pub use semantics::{FsAccess, FsOp, FsTargetKind, Reconstructor};
 pub use service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};

@@ -12,7 +12,9 @@ use storm_iscsi::{Iqn, ISCSI_PORT};
 use storm_net::{AppId, DnatRule, SockAddr, TapConfig};
 use storm_sim::{SimDuration, SimTime};
 
-use crate::relay::{ActiveRelayConfig, ActiveRelayMb, PassiveTap, PassiveTapConfig, ReplicaTarget};
+use crate::relay::{
+    ActiveRelayConfig, ActiveRelayMb, PassiveTap, PassiveTapConfig, RelayQosConfig, ReplicaTarget,
+};
 use crate::service::StorageService;
 use crate::splice::{self, GatewayPair};
 
@@ -116,6 +118,9 @@ pub struct StormPlatform {
     pub tso: bool,
     /// SDN rule priority.
     pub priority: u16,
+    /// Per-tenant rate shaping applied at every active relay this
+    /// platform deploys; `None` (default) admits everything unshaped.
+    pub qos: Option<RelayQosConfig>,
 }
 
 impl Default for StormPlatform {
@@ -128,6 +133,7 @@ impl Default for StormPlatform {
             buffer_cap: 8 << 20,
             tso: true,
             priority: 100,
+            qos: None,
         }
     }
 }
@@ -199,6 +205,7 @@ impl StormPlatform {
                     cfg.buffer_cap = self.buffer_cap;
                     cfg.replicas = spec.replicas;
                     cfg.initiator_iqn = Iqn::for_host(&format!("mb{i}-t{}", self.tenant));
+                    cfg.qos = self.qos.clone();
                     let listen_port = cfg.listen_port;
                     let mut relay = ActiveRelayMb::new(cfg, spec.services);
                     relay.set_trace_hook(cloud.trace_hook(), i as u32);

@@ -20,6 +20,7 @@ mod active;
 mod passive;
 
 pub use active::{
-    ActiveRelayConfig, ActiveRelayMb, MbControl, RelayCopyStats, ReplicaTarget, RetryPolicy,
+    ActiveRelayConfig, ActiveRelayMb, MbControl, RelayCopyStats, RelayQosConfig, ReplicaTarget,
+    RetryPolicy,
 };
 pub use passive::{PassiveTap, PassiveTapConfig, WireTracker};

@@ -9,6 +9,7 @@ use storm_iscsi::{
     SessionParams, SHARE_THRESHOLD,
 };
 use storm_net::{App, BusMsg, CloseReason, Cx, HostId, SendQueue, SockAddr, SockId};
+use storm_qos::{RateLimitSpec, RateLimiter};
 use storm_sim::trace::{flow_token, req_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{FaultAction, FaultHook, FaultSite, SerialResource, SimDuration, SimTime};
 
@@ -73,6 +74,22 @@ pub enum MbControl {
     Restart,
 }
 
+/// Tenant QoS shaping at the relay admission point.
+///
+/// The relay is the tenant's entry into the platform, so per-tenant rate
+/// limits are enforced here: request-direction PDUs that exceed the
+/// tenant's token buckets have their processing start pushed back by the
+/// shaping delay. The delay is *queueing*, not CPU — the relay core stays
+/// free for other flows — and a tenant under its limit sees a zero delay
+/// and a byte-identical datapath.
+#[derive(Debug, Clone)]
+pub struct RelayQosConfig {
+    /// Tenant this relay serves (trace/metric attribution).
+    pub tenant: u32,
+    /// IOPS + bandwidth buckets applied to request-direction PDUs.
+    pub limit: RateLimitSpec,
+}
+
 /// Active relay configuration.
 #[derive(Debug, Clone)]
 pub struct ActiveRelayConfig {
@@ -95,6 +112,8 @@ pub struct ActiveRelayConfig {
     pub initiator_iqn: Iqn,
     /// Replica I/O watchdog; `None` disables timeouts entirely.
     pub retry: Option<RetryPolicy>,
+    /// Per-tenant rate shaping; `None` (default) admits everything.
+    pub qos: Option<RelayQosConfig>,
 }
 
 impl ActiveRelayConfig {
@@ -109,6 +128,7 @@ impl ActiveRelayConfig {
             replicas: Vec::new(),
             initiator_iqn: Iqn::for_host("middlebox"),
             retry: Some(RetryPolicy::default()),
+            qos: None,
         }
     }
 }
@@ -212,6 +232,7 @@ pub struct ActiveRelayMb {
     watchdogs: HashMap<u64, (usize, IoTag)>,
     /// Backoff token -> the request to re-issue when it fires.
     retries: HashMap<u64, (usize, PendingIo)>,
+    limiter: Option<RateLimiter>,
     next_token: u64,
     alerts: Vec<(SimTime, String)>,
     pdus_forwarded: u64,
@@ -230,8 +251,10 @@ impl ActiveRelayMb {
     /// Creates the relay with a service chain (may be empty = pure
     /// store-and-forward, the paper's MB-ACTIVE-RELAY baseline).
     pub fn new(cfg: ActiveRelayConfig, services: Vec<Box<dyn StorageService>>) -> Self {
+        let limiter = cfg.qos.as_ref().map(|q| RateLimiter::new(q.limit));
         ActiveRelayMb {
             cfg,
+            limiter,
             services,
             pairs: Vec::new(),
             by_sock: HashMap::new(),
@@ -303,6 +326,14 @@ impl ActiveRelayMb {
     /// PDUs forwarded through the chain.
     pub fn pdus_forwarded(&self) -> u64 {
         self.pdus_forwarded
+    }
+
+    /// `(throttled_ops, total_shaping_delay)` of the tenant rate limiter;
+    /// zeros when QoS is not configured.
+    pub fn qos_throttle_stats(&self) -> (u64, SimDuration) {
+        self.limiter
+            .as_ref()
+            .map_or((0, SimDuration::ZERO), |l| l.throttle_stats())
     }
 
     /// Memcpy accounting across the relay's datapath: reassembly copies
@@ -648,6 +679,26 @@ impl ActiveRelayMb {
                 FaultAction::Delay(d) => fault_delay = d,
             }
             let itt = pw.pdu.itt();
+            // Tenant rate limiting: request-direction PDUs draw from the
+            // token bucket; the shaping delay is queueing (a later serve
+            // start), not CPU, so an under-limit tenant's datapath is
+            // byte-identical to the unlimited one.
+            let qos_delay = match &mut self.limiter {
+                Some(l) if dir == Dir::ToTarget => l.admit(now, input_bytes as u64),
+                _ => SimDuration::ZERO,
+            };
+            if qos_delay > SimDuration::ZERO && self.trace.is_armed() {
+                let req = req_token(self.pairs[pair_idx].src_port, itt);
+                self.trace.emit(
+                    now,
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Qos,
+                        id: self.trace_mb,
+                        dur: qos_delay,
+                    },
+                );
+            }
             let (in_bhs, in_data, in_wire) = (pw.bhs, pw.data, pw.wire);
             let (forwards, replies, replica_ops, cost, timers, svc_costs) =
                 self.run_chain(now, dir, pw.pdu);
@@ -696,7 +747,7 @@ impl ActiveRelayMb {
             }
             // Account CPU and serialize processing per flow.
             let _ = cx.charge(cost, &self.cfg.label);
-            let done = self.pairs[pair_idx].proc.serve(now, cost);
+            let done = self.pairs[pair_idx].proc.serve(now + qos_delay, cost);
             let token = self.token();
             self.deferred.insert(
                 token,

@@ -56,7 +56,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            determinism_crates: ["sim", "net", "core", "cloud", "telemetry", "faults"]
+            determinism_crates: ["sim", "net", "core", "cloud", "telemetry", "faults", "qos"]
                 .map(String::from)
                 .to_vec(),
             datapath_files: [

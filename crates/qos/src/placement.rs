@@ -1,0 +1,157 @@
+//! IOArbiter-style placement engine: SLO-aware tier selection and
+//! violation-driven migration planning.
+
+use std::collections::BTreeMap;
+
+use storm_sim::SimTime;
+
+use crate::slo::{DiskTier, VolumeSlo};
+
+/// A planned backing-disk migration for one volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Volume (by the caller's numeric id) to move.
+    pub volume: u64,
+    /// Tier the volume currently sits on.
+    pub from: DiskTier,
+    /// Tier the volume should move to.
+    pub to: DiskTier,
+    /// Instant the violating observation was made.
+    pub decided_at: SimTime,
+}
+
+/// Per-volume placement state.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    slo: VolumeSlo,
+    /// Consecutive violating p99 observations.
+    strikes: u32,
+    /// Set once a migration for this volume has been planned or done —
+    /// the engine migrates each volume at most once per direction to
+    /// avoid tier ping-pong.
+    migrated: bool,
+}
+
+/// Watches per-volume p99 observations against SLO ceilings and plans
+/// tier migrations for persistent violators.
+///
+/// The engine is deliberately conservative: a single bad sample never
+/// triggers a move; `strike_threshold` consecutive violations do. State
+/// lives in [`BTreeMap`]s so scan order is deterministic.
+#[derive(Debug)]
+pub struct PlacementEngine {
+    volumes: BTreeMap<u64, Record>,
+    strike_threshold: u32,
+}
+
+impl PlacementEngine {
+    /// Creates an engine that migrates after `strike_threshold`
+    /// consecutive violating observations (clamped to ≥ 1).
+    pub fn new(strike_threshold: u32) -> Self {
+        PlacementEngine {
+            volumes: BTreeMap::new(),
+            strike_threshold: strike_threshold.max(1),
+        }
+    }
+
+    /// Registers a volume with its admitted SLO.
+    pub fn register(&mut self, volume: u64, slo: VolumeSlo) {
+        self.volumes.insert(
+            volume,
+            Record {
+                slo,
+                strikes: 0,
+                migrated: false,
+            },
+        );
+    }
+
+    /// The SLO currently recorded for `volume`.
+    pub fn slo(&self, volume: u64) -> Option<VolumeSlo> {
+        self.volumes.get(&volume).map(|r| r.slo)
+    }
+
+    /// Feeds one p99 observation (microseconds) for `volume` at `now`.
+    /// Returns a migration plan when the volume has violated its ceiling
+    /// `strike_threshold` times in a row and a faster tier exists.
+    pub fn observe_p99(&mut self, now: SimTime, volume: u64, p99_us: u64) -> Option<MigrationPlan> {
+        let rec = self.volumes.get_mut(&volume)?;
+        if !rec.slo.violated_by(p99_us) {
+            rec.strikes = 0;
+            return None;
+        }
+        rec.strikes += 1;
+        if rec.migrated || rec.strikes < self.strike_threshold {
+            return None;
+        }
+        // Only one escalation exists: Slow → Fast. A volume already on
+        // the fast tier has nowhere better to go.
+        if rec.slo.tier != DiskTier::Slow {
+            return None;
+        }
+        rec.migrated = true;
+        rec.strikes = 0;
+        Some(MigrationPlan {
+            volume,
+            from: DiskTier::Slow,
+            to: DiskTier::Fast,
+            decided_at: now,
+        })
+    }
+
+    /// Commits a completed migration: the volume's recorded tier flips.
+    pub fn complete_migration(&mut self, plan: &MigrationPlan) {
+        if let Some(rec) = self.volumes.get_mut(&plan.volume) {
+            rec.slo.tier = plan.to;
+        }
+    }
+
+    /// `(volume, slo)` pairs in deterministic id order.
+    pub fn volumes(&self) -> impl Iterator<Item = (u64, VolumeSlo)> + '_ {
+        self.volumes.iter().map(|(id, r)| (*id, r.slo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrates_after_consecutive_strikes_only() {
+        let mut pe = PlacementEngine::new(3);
+        let slo = VolumeSlo {
+            iops_floor: 100,
+            p99_ceiling_us: 1000,
+            tier: DiskTier::Slow,
+        };
+        pe.register(7, slo);
+        let t = SimTime::from_millis(1);
+        assert!(pe.observe_p99(t, 7, 2000).is_none());
+        assert!(pe.observe_p99(t, 7, 2000).is_none());
+        // A good sample resets the streak.
+        assert!(pe.observe_p99(t, 7, 500).is_none());
+        assert!(pe.observe_p99(t, 7, 2000).is_none());
+        assert!(pe.observe_p99(t, 7, 2000).is_none());
+        let plan = pe.observe_p99(t, 7, 2000).expect("third strike migrates");
+        assert_eq!(plan.volume, 7);
+        assert_eq!(plan.from, DiskTier::Slow);
+        assert_eq!(plan.to, DiskTier::Fast);
+        // At most one migration per volume.
+        assert!(pe.observe_p99(t, 7, 2000).is_none());
+        pe.complete_migration(&plan);
+        assert_eq!(pe.slo(7).unwrap().tier, DiskTier::Fast);
+    }
+
+    #[test]
+    fn fast_tier_violator_has_nowhere_to_go() {
+        let mut pe = PlacementEngine::new(1);
+        pe.register(1, VolumeSlo::latency(100, 10));
+        assert!(pe.observe_p99(SimTime::ZERO, 1, 99_999).is_none());
+    }
+
+    #[test]
+    fn unknown_volume_is_ignored() {
+        let mut pe = PlacementEngine::new(1);
+        assert!(pe.observe_p99(SimTime::ZERO, 42, 1_000_000).is_none());
+    }
+}

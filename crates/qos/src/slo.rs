@@ -1,0 +1,82 @@
+//! SLO-tagged volumes and disk tiers.
+
+/// The backing-disk tier a volume lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiskTier {
+    /// Low-latency tier (SSD-class: short seek, high bandwidth).
+    Fast,
+    /// Capacity tier (spindle-class: long seek, modest bandwidth).
+    Slow,
+}
+
+impl DiskTier {
+    /// Stable label for metrics and trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskTier::Fast => "fast",
+            DiskTier::Slow => "slow",
+        }
+    }
+}
+
+/// The service-level objective attached to a volume at create time.
+///
+/// Mirrors IOArbiter's SLO-tagged provisioning: a floor on sustainable
+/// IOPS, a ceiling on read p99, and the tier the placement engine chose
+/// to satisfy them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeSlo {
+    /// Minimum IOPS the tenant must be able to sustain.
+    pub iops_floor: u64,
+    /// p99 completion-latency ceiling in microseconds (0 = no ceiling).
+    pub p99_ceiling_us: u64,
+    /// Tier the volume is (currently) placed on.
+    pub tier: DiskTier,
+}
+
+impl VolumeSlo {
+    /// A best-effort SLO: no floors, no ceilings, capacity tier.
+    pub const BEST_EFFORT: VolumeSlo = VolumeSlo {
+        iops_floor: 0,
+        p99_ceiling_us: 0,
+        tier: DiskTier::Slow,
+    };
+
+    /// A latency-sensitive SLO that asks for the fast tier.
+    pub fn latency(iops_floor: u64, p99_ceiling_us: u64) -> Self {
+        VolumeSlo {
+            iops_floor,
+            p99_ceiling_us,
+            tier: DiskTier::Fast,
+        }
+    }
+
+    /// Whether an observed p99 (in microseconds) violates the ceiling.
+    pub fn violated_by(&self, p99_us: u64) -> bool {
+        self.p99_ceiling_us > 0 && p99_us > self.p99_ceiling_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_zero_never_violates() {
+        let slo = VolumeSlo::BEST_EFFORT;
+        assert!(!slo.violated_by(u64::MAX));
+    }
+
+    #[test]
+    fn ceiling_is_exclusive_bound() {
+        let slo = VolumeSlo::latency(1000, 500);
+        assert!(!slo.violated_by(500));
+        assert!(slo.violated_by(501));
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(DiskTier::Fast.label(), "fast");
+        assert_eq!(DiskTier::Slow.label(), "slow");
+    }
+}

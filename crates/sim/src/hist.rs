@@ -151,6 +151,28 @@ impl Histogram {
         self.value_at_quantile(p / 100.0)
     }
 
+    /// Number of samples at or below `threshold`.
+    ///
+    /// Samples in the bucket straddling the threshold count as "below"
+    /// when the bucket midpoint is — consistent with
+    /// [`value_at_quantile`](Self::value_at_quantile) reporting bucket
+    /// midpoints, so `count_at_or_below(value_at_quantile(q))` is never
+    /// less than `ceil(q * count)`.
+    pub fn count_at_or_below(&self, threshold: SimDuration) -> u64 {
+        let t = threshold.as_nanos();
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mid = lower_bound(idx) + width_of(idx) / 2;
+            if mid.clamp(self.min, self.max) <= t {
+                cum += n;
+            }
+        }
+        cum
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -241,6 +263,32 @@ mod tests {
         ));
         assert_eq!(h.percentile(0.0), SimDuration::from_micros(1));
         assert_eq!(h.percentile(100.0), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn count_at_or_below_tracks_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        assert_eq!(h.count_at_or_below(SimDuration::ZERO), 0);
+        assert_eq!(h.count_at_or_below(h.max()), 1000);
+        // Consistency with the quantile query: at least q*count samples
+        // sit at or below the reported quantile value.
+        for q in [0.5, 0.9, 0.99] {
+            let v = h.value_at_quantile(q);
+            let n = h.count_at_or_below(v);
+            assert!(
+                n >= (q * 1000.0).ceil() as u64,
+                "q={q}: {n} samples below {v}"
+            );
+        }
+        // Small exact buckets behave exactly.
+        let mut small = Histogram::new();
+        for v in 0..10u64 {
+            small.record(SimDuration::from_nanos(v));
+        }
+        assert_eq!(small.count_at_or_below(SimDuration::from_nanos(4)), 5);
     }
 
     #[test]

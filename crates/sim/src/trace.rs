@@ -55,6 +55,9 @@ pub enum Hop {
     Disk,
     /// The active relay's persistence buffer.
     Buffer,
+    /// QoS machinery: rate-limiter shaping delay, WFQ queueing, admission
+    /// decisions and tier migrations.
+    Qos,
 }
 
 impl Hop {
@@ -68,6 +71,7 @@ impl Hop {
             Hop::TargetCpu => "target",
             Hop::Disk => "disk",
             Hop::Buffer => "buffer",
+            Hop::Qos => "qos",
         }
     }
 
@@ -81,6 +85,7 @@ impl Hop {
             "target" => Hop::TargetCpu,
             "disk" => Hop::Disk,
             "buffer" => Hop::Buffer,
+            "qos" => Hop::Qos,
             _ => return None,
         })
     }
@@ -284,6 +289,7 @@ mod tests {
             Hop::TargetCpu,
             Hop::Disk,
             Hop::Buffer,
+            Hop::Qos,
         ] {
             assert_eq!(Hop::parse(hop.label()), Some(hop));
         }

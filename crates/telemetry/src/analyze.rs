@@ -204,10 +204,23 @@ pub fn attribute(events: &[(SimTime, TraceEvent)]) -> Attribution {
     }
 }
 
+/// Fraction of `hist`'s samples at or below `ceiling` — the SLO
+/// attainment of a latency population against its p99 ceiling.
+///
+/// Returns 1.0 for an empty histogram (no requests, nothing violated)
+/// and for a zero ceiling (no SLO to miss).
+pub fn slo_attainment(hist: &storm_sim::Histogram, ceiling: SimDuration) -> f64 {
+    if hist.count() == 0 || ceiling == SimDuration::ZERO {
+        return 1.0;
+    }
+    hist.count_at_or_below(ceiling) as f64 / hist.count() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use storm_sim::trace::{flow_token, req_token};
+    use storm_sim::Histogram;
 
     fn ns(n: u64) -> SimDuration {
         SimDuration::from_nanos(n)
@@ -387,6 +400,26 @@ mod tests {
         assert_eq!(a.requests, 1);
         assert_eq!(a.incomplete, 1);
         assert_eq!(a.wall, ns(50));
+    }
+
+    #[test]
+    fn slo_attainment_counts_ceiling_misses() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(SimDuration::from_micros(i * 10));
+        }
+        // Ceiling at the max: everything attains.
+        assert_eq!(slo_attainment(&h, SimDuration::from_micros(1000)), 1.0);
+        // Ceiling at ~half the range: about half attain (bucket midpoint
+        // rounding allows a small tolerance).
+        let half = slo_attainment(&h, SimDuration::from_micros(500));
+        assert!((half - 0.5).abs() < 0.05, "attainment {half}");
+        // Degenerate inputs default to full attainment.
+        assert_eq!(
+            slo_attainment(&Histogram::new(), SimDuration::from_micros(1)),
+            1.0
+        );
+        assert_eq!(slo_attainment(&h, SimDuration::ZERO), 1.0);
     }
 
     #[test]

@@ -22,3 +22,45 @@ pub const RELAY_VERBATIM_FORWARDS: &str = "relay.verbatim_forwards";
 
 /// Total PDUs forwarded through the relay's service chain.
 pub const RELAY_PDUS_FORWARDED: &str = "relay.pdus_forwarded";
+
+/// Operations delayed by a tenant's token-bucket rate limiter (counter).
+pub const QOS_THROTTLED_OPS: &str = "qos.throttled_ops";
+
+/// Total shaping delay imposed by rate limiting (histogram of per-op
+/// delays).
+pub const QOS_THROTTLE_DELAY: &str = "qos.throttle_delay";
+
+/// Admission-controller decisions at volume create, suffixed by outcome
+/// (`qos.admission.accepted` / `.degraded` / `.rejected`).
+pub const QOS_ADMISSION: &str = "qos.admission";
+
+/// Completed backing-disk tier migrations (counter).
+pub const QOS_MIGRATIONS: &str = "qos.migrations";
+
+/// Fraction of sampled requests meeting their volume's p99 ceiling,
+/// published as a gauge in basis points (10_000 = 100%).
+pub const QOS_SLO_ATTAINMENT_BP: &str = "qos.slo_attainment_bp";
+
+/// Scopes a metric name to one tenant: `tenant.<id>.<name>`.
+///
+/// Producers used to format per-tenant keys ad hoc (`vm.web-1.reads`,
+/// `mb0.alerts`), which made reports impossible to grep by tenant. All
+/// per-tenant registry keys go through this helper so the prefix stays
+/// uniform.
+pub fn tenant_scoped(name: &str, tenant_id: u32) -> String {
+    format!("tenant.{tenant_id}.{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_scoped_is_uniform() {
+        assert_eq!(tenant_scoped("reads", 0), "tenant.0.reads");
+        assert_eq!(
+            tenant_scoped(QOS_THROTTLED_OPS, 7),
+            "tenant.7.qos.throttled_ops"
+        );
+    }
+}

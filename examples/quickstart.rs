@@ -11,6 +11,7 @@ use bytes::Bytes;
 use storm::cloud::{Cloud, CloudConfig, IoCtx, IoKind, IoResult, ReqId, Workload};
 use storm::core::{MbSpec, RelayMode, ServiceSpec, StormPlatform, TenantPolicy, VolumePolicy};
 use storm::services::EncryptionService;
+use storm::telemetry::names::tenant_scoped;
 use storm::telemetry::{analyze, MetricsRegistry, Recorder};
 use storm_block::BlockDevice;
 use storm_sim::SimTime;
@@ -110,9 +111,12 @@ fn main() {
     // 5. Telemetry: registry counters plus the per-hop trace breakdown.
     let mut registry = MetricsRegistry::new();
     let client = cloud.client_mut(0, app);
-    registry.inc("vm.web-1.reads", client.stats.reads.count());
-    registry.inc("vm.web-1.writes", client.stats.writes.count());
-    registry.merge_histogram("vm.web-1.latency", client.stats.latency.histogram());
+    registry.inc(&tenant_scoped("vm.reads", 1), client.stats.reads.count());
+    registry.inc(&tenant_scoped("vm.writes", 1), client.stats.writes.count());
+    registry.merge_histogram(
+        &tenant_scoped("vm.latency", 1),
+        client.stats.latency.histogram(),
+    );
     print!("[metrics]\n{}", registry.report());
     let report = analyze::attribute(&recorder.events());
     print!(

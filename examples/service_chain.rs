@@ -19,6 +19,7 @@ use storm::cloud::{Cloud, CloudConfig};
 use storm::core::relay::ActiveRelayMb;
 use storm::core::{MbSpec, Reconstructor, RelayMode, StormPlatform};
 use storm::services::{EncryptionService, MonitorConfig, MonitorService};
+use storm::telemetry::names::tenant_scoped;
 use storm::telemetry::{analyze, MetricsRegistry, Recorder};
 use storm::workloads::postmark::install_image;
 use storm::workloads::{OpClass, OpGroup, TraceWorkload};
@@ -117,12 +118,18 @@ fn main() {
     // The Meta events the relay emitted at arm time label the service
     // rows by name (service:monitor, service:encryption).
     let mut registry = MetricsRegistry::new();
-    registry.inc("mb0.alerts", relay.alerts().len() as u64);
-    registry.inc("mb0.pdus_forwarded", relay.pdus_forwarded());
-    registry.inc("mb0.enc_bytes", enc_bytes);
+    registry.inc(&tenant_scoped("mb.alerts", 0), relay.alerts().len() as u64);
+    registry.inc(
+        &tenant_scoped("mb.pdus_forwarded", 0),
+        relay.pdus_forwarded(),
+    );
+    registry.inc(&tenant_scoped("mb.enc_bytes", 0), enc_bytes);
     let client = cloud.client_mut(0, app);
-    registry.inc("vm.erp.ops", client.stats.ops());
-    registry.merge_histogram("vm.erp.latency", client.stats.latency.histogram());
+    registry.inc(&tenant_scoped("vm.ops", 0), client.stats.ops());
+    registry.merge_histogram(
+        &tenant_scoped("vm.latency", 0),
+        client.stats.latency.histogram(),
+    );
     print!("\n[metrics]\n{}", registry.report());
     let report = analyze::attribute(&recorder.events());
     print!("\n[trace] {} events\n{}", recorder.len(), report.table());

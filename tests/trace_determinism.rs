@@ -9,8 +9,9 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use storm::cloud::{Cloud, CloudConfig};
-use storm::core::{MbSpec, RelayMode, StormPlatform};
+use storm::cloud::{Cloud, CloudConfig, DiskSpec};
+use storm::core::{MbSpec, RelayMode, RelayQosConfig, StormPlatform};
+use storm::qos::{DiskTier, RateLimitSpec};
 use storm::services::EncryptionService;
 use storm::telemetry::{parse_jsonl, Recorder};
 use storm_faults::{Fault, FaultPlan, FaultRunner};
@@ -19,16 +20,30 @@ use storm_workloads::{FioJob, FioWorkload};
 
 /// Runs a short encrypted active-relay fio scenario with the recorder
 /// armed; with `faulted`, a disk-delay + middle-box-delay schedule fires
-/// mid-run. Returns the JSONL trace export.
-fn traced_run(seed: u64, faulted: bool) -> String {
+/// mid-run; with `qos`, tight per-tenant limits shape the flow at both
+/// enforcement points (relay token bucket + target WFQ dispatch).
+/// Returns the JSONL trace export.
+fn traced_run(seed: u64, faulted: bool, qos: bool) -> String {
     let mut cloud = Cloud::build(CloudConfig {
         seed,
         ..CloudConfig::default()
     });
     let recorder = Arc::new(Recorder::new());
     cloud.set_trace_hook(Recorder::hook(&recorder));
-    let platform = StormPlatform::default();
+    let mut platform = StormPlatform::default();
+    if qos {
+        platform.qos = Some(RelayQosConfig {
+            tenant: 1,
+            limit: RateLimitSpec::iops_limit(600, 4),
+        });
+    }
     let vol = cloud.create_volume(1 << 30, 0);
+    if qos {
+        let target = cloud.target_mut(0);
+        target.enable_qos(DiskSpec::fast_tier(), DiskSpec::slow_tier());
+        target.register_qos_volume(&vol.iqn, 1, DiskTier::Fast);
+        target.set_tenant_limit(1, RateLimitSpec::iops_limit(600, 4));
+    }
     let enc = EncryptionService::stream_cipher(&[7u8; 32], &[3u8; 12]);
     let deployment = platform.deploy_chain(
         &mut cloud,
@@ -90,8 +105,8 @@ proptest! {
     /// Two clean runs with the same seed export identical bytes.
     #[test]
     fn equal_seeds_equal_traces(seed in 1u64..1_000_000) {
-        let a = traced_run(seed, false);
-        let b = traced_run(seed, false);
+        let a = traced_run(seed, false, false);
+        let b = traced_run(seed, false, false);
         prop_assert!(!a.is_empty());
         prop_assert_eq!(&a, &b);
         prop_assert!(parse_jsonl(&a).is_some(), "export must parse back");
@@ -100,17 +115,30 @@ proptest! {
     /// Determinism survives an armed fault schedule.
     #[test]
     fn equal_seeds_equal_traces_under_faults(seed in 1u64..1_000_000) {
-        let a = traced_run(seed, true);
-        let b = traced_run(seed, true);
+        let a = traced_run(seed, true, false);
+        let b = traced_run(seed, true, false);
         prop_assert!(!a.is_empty());
         prop_assert_eq!(&a, &b);
+    }
+
+    /// Determinism survives QoS shaping: the token buckets and WFQ draw
+    /// nothing from ambient state, so a rate-limited run replays exactly
+    /// — and the shaping is real (qos stage events appear in the trace).
+    #[test]
+    fn equal_seeds_equal_traces_with_qos(seed in 1u64..1_000_000) {
+        let a = traced_run(seed, false, true);
+        let b = traced_run(seed, false, true);
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.contains("\"hop\":\"qos\""), "QoS never engaged");
+        prop_assert!(parse_jsonl(&a).is_some(), "export must parse back");
     }
 }
 
 /// The seed is load-bearing: different seeds almost surely diverge.
 #[test]
 fn different_seeds_diverge() {
-    let a = traced_run(11, false);
-    let b = traced_run(12, false);
+    let a = traced_run(11, false, false);
+    let b = traced_run(12, false, false);
     assert_ne!(a, b);
 }
