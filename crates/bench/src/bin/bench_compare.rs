@@ -12,7 +12,7 @@
 //! increase at all: any copied data byte is a regression, not noise.
 //!
 //! The parser is deliberately tied to the fixed key order emitted by
-//! [`storm_bench::results`] — one JSON object per line, no escaping in
+//! `storm_bench::results` — one JSON object per line, no escaping in
 //! names — so the comparison needs no JSON dependency.
 
 use std::process::ExitCode;
@@ -59,8 +59,10 @@ const GUARDED: [&str; 2] = ["p99_ms", "bytes_copied_per_pdu"];
 
 /// Higher-is-better fields: the run must not fall more than [`TOLERANCE`]
 /// below the baseline. `slo_attainment` guards the QoS isolation claim;
-/// `migrations` guards that the provisioning control loop still fires.
-const GUARDED_MIN: [&str; 2] = ["slo_attainment", "migrations"];
+/// `migrations` guards that the provisioning control loop still fires;
+/// `hit_rate` and `dedup_ratio` guard the data-reduction suite's
+/// effectiveness on its reference workloads.
+const GUARDED_MIN: [&str; 4] = ["slo_attainment", "migrations", "hit_rate", "dedup_ratio"];
 
 /// Compares two result files; `Ok` is the pass report, `Err` the failure
 /// report.
@@ -224,5 +226,38 @@ mod tests {
     fn lost_migration_fails() {
         let err = compare(QOS_BASE, &qos_run(2.0, 0.0, 0.95)).unwrap_err();
         assert!(err.contains("FAIL q: migrations"), "{err}");
+    }
+
+    const SUITE_BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"c","mode":"MB-ACTIVE-RELAY","block_bytes":4096,"threads":1,"ops":10,"iops":10.0,"throughput_mbps":1.00,"mean_ms":1.000,"p50_ms":1.000,"p99_ms":2.000,"hit_rate":0.800},
+    {"name":"d","mode":"MB-ACTIVE-RELAY","block_bytes":65536,"threads":1,"ops":10,"iops":10.0,"throughput_mbps":1.00,"mean_ms":1.000,"p50_ms":1.000,"p99_ms":2.000,"dedup_ratio":4.000}
+  ]
+}"#;
+
+    fn suite_run(hit_rate: f64, ratio: f64) -> String {
+        format!(
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"c\",\"p99_ms\":2.000,\
+             \"hit_rate\":{hit_rate:.3}}},\n    {{\"name\":\"d\",\"p99_ms\":2.000,\
+             \"dedup_ratio\":{ratio:.3}}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn hit_rate_drop_fails() {
+        let err = compare(SUITE_BASE, &suite_run(0.5, 4.0)).unwrap_err();
+        assert!(err.contains("FAIL c: hit_rate"), "{err}");
+        assert!(err.contains("falls below"), "{err}");
+    }
+
+    #[test]
+    fn dedup_ratio_drop_fails() {
+        let err = compare(SUITE_BASE, &suite_run(0.8, 1.2)).unwrap_err();
+        assert!(err.contains("FAIL d: dedup_ratio"), "{err}");
+    }
+
+    #[test]
+    fn suite_within_tolerance_passes() {
+        assert!(compare(SUITE_BASE, &suite_run(0.79, 3.9)).is_ok());
     }
 }

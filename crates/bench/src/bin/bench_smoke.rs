@@ -10,8 +10,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 use storm_bench::{
-    fio_point, fio_point_traced, interference_point, passthrough_point, provisioning_churn_point,
-    BenchResults, PathMode, Testbed,
+    cache_hit_point, dedup_ratio_point, fio_point, fio_point_traced, interference_point,
+    passthrough_point, provisioning_churn_point, suite_passthrough_point, BenchResults, PathMode,
+    Testbed,
 };
 use storm_sim::SimDuration;
 use storm_telemetry::{analyze, names, MetricsRegistry, Recorder};
@@ -97,6 +98,121 @@ fn main() {
             ),
         ],
     );
+
+    // Data-reduction suite: hot-set reads against the write-back cache.
+    let ch = cache_hit_point(&testbed);
+    println!(
+        "services.cache.hit: {} ops, p50 {:.2} ms, p99 {:.2} ms, hit rate {:.1}%, \
+         {} writes absorbed, {} bytes flushed, {} sectors still dirty",
+        ch.point.ops,
+        ch.point.p50_ms,
+        ch.point.p99_ms,
+        ch.hit_rate * 100.0,
+        ch.absorbed_writes,
+        ch.flushed_bytes,
+        ch.dirty_sectors
+    );
+    assert!(
+        ch.hit_rate > 0.5,
+        "hot-set workload must mostly hit the cache: {:.3}",
+        ch.hit_rate
+    );
+    assert!(ch.flushed_bytes > 0, "cache flush never reached the volume");
+    results.push_with_extras(
+        "services.cache.hit",
+        PathMode::MbActiveRelay,
+        4096,
+        1,
+        ch.point,
+        vec![
+            ("hit_rate".to_string(), ch.hit_rate),
+            ("absorbed_writes".to_string(), ch.absorbed_writes as f64),
+        ],
+    );
+
+    // Data-reduction suite: duplicate-heavy writes against CDC dedup.
+    let dr = dedup_ratio_point(&testbed);
+    println!(
+        "services.dedup.ratio: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
+         reduction {:.2}x ({} of {} chunks duplicate)",
+        dr.point.ops, dr.point.p50_ms, dr.point.p99_ms, dr.ratio, dr.duplicate_chunks, dr.chunks
+    );
+    assert!(
+        dr.ratio >= 1.5,
+        "duplicate-heavy workload must reduce >= 1.5x: {:.3}",
+        dr.ratio
+    );
+    results.push_with_extras(
+        "services.dedup.ratio",
+        PathMode::MbActiveRelay,
+        65536,
+        1,
+        dr.point,
+        vec![
+            ("dedup_ratio".to_string(), dr.ratio),
+            ("duplicate_chunks".to_string(), dr.duplicate_chunks as f64),
+        ],
+    );
+
+    // The whole suite installed but idle must keep the verbatim fast
+    // path: zero data bytes copied per forwarded PDU.
+    let sp = suite_passthrough_point(block, 1, &testbed);
+    println!(
+        "zerocopy.suite_idle.64k: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
+         {:.3} data bytes copied/pdu ({} pdus, {} verbatim)",
+        sp.point.ops,
+        sp.point.p50_ms,
+        sp.point.p99_ms,
+        sp.bytes_copied_per_pdu(),
+        sp.pdus_forwarded,
+        sp.copy.verbatim_forwards
+    );
+    assert_eq!(
+        sp.copy.data_bytes_copied, 0,
+        "idle suite must not copy data segments"
+    );
+    results.push_with_extras(
+        "zerocopy.suite_idle.64k",
+        PathMode::MbActiveRelay,
+        block,
+        1,
+        sp.point,
+        vec![
+            (
+                "bytes_copied_per_pdu".to_string(),
+                sp.bytes_copied_per_pdu(),
+            ),
+            (
+                "verbatim_forwards".to_string(),
+                sp.copy.verbatim_forwards as f64,
+            ),
+        ],
+    );
+
+    // Suite counters go through the per-tenant namespace so reports stay
+    // greppable by tenant (the workloads above all ran as tenant 0).
+    let mut svc_metrics = MetricsRegistry::new();
+    svc_metrics.set_gauge(
+        &names::tenant_scoped(names::SVC_CACHE_HIT_BP, 0),
+        (ch.hit_rate * 10_000.0) as i64,
+    );
+    svc_metrics.inc(
+        &names::tenant_scoped(names::SVC_CACHE_ABSORBED_WRITES, 0),
+        ch.absorbed_writes,
+    );
+    svc_metrics.inc(
+        &names::tenant_scoped(names::SVC_CACHE_FLUSHED_BYTES, 0),
+        ch.flushed_bytes,
+    );
+    svc_metrics.set_gauge(
+        &names::tenant_scoped(names::SVC_DEDUP_RATIO_BP, 0),
+        (dr.ratio * 10_000.0) as i64,
+    );
+    svc_metrics.inc(
+        &names::tenant_scoped(names::SVC_DEDUP_DUP_CHUNKS, 0),
+        dr.duplicate_chunks,
+    );
+    print!("{}", svc_metrics.report());
 
     // Per-tenant QoS: a rate-limited, de-weighted aggressor must not push
     // the victim's p99 more than 20% past its solo baseline.

@@ -21,9 +21,13 @@ use storm_workloads::{FioJob, FioWorkload};
 
 mod qos;
 mod results;
+mod services_suite;
 
 pub use qos::{interference_point, provisioning_churn_point, ChurnOutcome, InterferenceOutcome};
 pub use results::{BenchResults, ScenarioResult};
+pub use services_suite::{
+    cache_hit_point, dedup_ratio_point, suite_passthrough_point, CacheHitOutcome, DedupRatioOutcome,
+};
 
 /// Which data path the experiment measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

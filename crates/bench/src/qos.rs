@@ -168,8 +168,8 @@ fn interference_case(
 }
 
 /// Runs the two-tenant interference experiment: solo, contended, and
-/// shaped (aggressor limited to [`AGGRESSOR_IOPS`], victim WFQ weight
-/// [`VICTIM_WEIGHT`]).
+/// shaped (aggressor limited to `AGGRESSOR_IOPS`, victim WFQ weight
+/// `VICTIM_WEIGHT`).
 pub fn interference_point(testbed: &Testbed) -> InterferenceOutcome {
     let (solo, _, _) = interference_case(testbed, false, false);
     let (contended, _, _) = interference_case(testbed, true, false);

@@ -1,0 +1,224 @@
+//! Copy-on-write extent map: instant block-level snapshots.
+//!
+//! A [`CowExtentMap`] tracks, per snapshot epoch, the pre-write image of
+//! every extent first written after that snapshot was taken. Taking a
+//! snapshot is O(1) — it just opens a new epoch; the cost is paid lazily
+//! by whoever performs the first write to each extent (the relay's
+//! snapshot service reads the old data and calls [`CowExtentMap::preserve`]
+//! before letting the write through). [`CowExtentMap::materialize`] then
+//! reconstructs the volume image as of any retained snapshot onto a fresh
+//! device — the backup/clone path.
+
+use std::collections::BTreeMap;
+
+use crate::device::{BlockDevice, BlockError, SECTOR_SIZE};
+
+/// Per-epoch preserved pre-write extent images.
+///
+/// Keys are ordered `(extent, epoch)` so the image of extent `x` at
+/// snapshot `e` is the first preserved entry at or after `(x, e)` — the
+/// earliest epoch `>= e` in which `x` was overwritten still holds the
+/// bytes `x` had when snapshot `e` was taken.
+#[derive(Debug, Clone)]
+pub struct CowExtentMap {
+    extent_sectors: u64,
+    epoch: u64,
+    preserved: BTreeMap<(u64, u64), Vec<u8>>,
+    preserved_bytes: u64,
+}
+
+impl CowExtentMap {
+    /// Creates a map with `extent_sectors`-sector CoW granularity.
+    pub fn new(extent_sectors: u64) -> Self {
+        CowExtentMap {
+            extent_sectors: extent_sectors.max(1),
+            epoch: 0,
+            preserved: BTreeMap::new(),
+            preserved_bytes: 0,
+        }
+    }
+
+    /// CoW granularity in sectors.
+    pub fn extent_sectors(&self) -> u64 {
+        self.extent_sectors
+    }
+
+    /// The current epoch; 0 means no snapshot has been taken and writes
+    /// need no preservation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Takes an instant snapshot and returns its id (the new epoch).
+    pub fn take_snapshot(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Extents overlapped by the sector range `[lba, lba + sectors)`.
+    pub fn extents_of(&self, lba: u64, sectors: u64) -> std::ops::Range<u64> {
+        let first = lba / self.extent_sectors;
+        let last = (lba + sectors.max(1) - 1) / self.extent_sectors;
+        first..last + 1
+    }
+
+    /// Whether a write touching `extent` must preserve its pre-image
+    /// first (a snapshot is active and this extent has not been copied
+    /// in the current epoch yet).
+    pub fn needs_preserve(&self, extent: u64) -> bool {
+        self.epoch > 0 && !self.preserved.contains_key(&(extent, self.epoch))
+    }
+
+    /// Records the pre-write image of `extent` for the current epoch.
+    /// A no-op when no snapshot is active or the extent is already
+    /// preserved (first write wins — later writes see a copied extent).
+    pub fn preserve(&mut self, extent: u64, data: Vec<u8>) {
+        if self.epoch == 0 || self.preserved.contains_key(&(extent, self.epoch)) {
+            return;
+        }
+        self.preserved_bytes += data.len() as u64;
+        self.preserved.insert((extent, self.epoch), data);
+    }
+
+    /// Number of preserved extent images across all epochs.
+    pub fn preserved_extents(&self) -> usize {
+        self.preserved.len()
+    }
+
+    /// Total preserved pre-image bytes across all epochs.
+    pub fn preserved_bytes(&self) -> u64 {
+        self.preserved_bytes
+    }
+
+    /// The preserved image of `extent` as of snapshot `snapshot`, if the
+    /// extent was overwritten after that snapshot; `None` means the live
+    /// volume still holds the snapshot-time bytes.
+    pub fn image_at(&self, snapshot: u64, extent: u64) -> Option<&[u8]> {
+        self.preserved
+            .range((extent, snapshot)..(extent + 1, 0))
+            .next()
+            .map(|(_, data)| data.as_slice())
+    }
+
+    /// Reconstructs the volume image as of snapshot `snapshot` onto
+    /// `out`: live data from `base` except where a preserved pre-image
+    /// supersedes it. `out` must be at least as large as `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from either side.
+    pub fn materialize(
+        &self,
+        snapshot: u64,
+        base: &mut dyn BlockDevice,
+        out: &mut dyn BlockDevice,
+    ) -> Result<(), BlockError> {
+        let total = base.num_sectors();
+        let mut buf = vec![0u8; self.extent_sectors as usize * SECTOR_SIZE];
+        let mut lba = 0;
+        let mut extent = 0;
+        while lba < total {
+            let run = self.extent_sectors.min(total - lba);
+            let len = run as usize * SECTOR_SIZE;
+            match self.image_at(snapshot, extent) {
+                Some(img) => {
+                    let n = img.len().min(len);
+                    buf[..n].copy_from_slice(&img[..n]);
+                    if n < len {
+                        base.read(lba + (n / SECTOR_SIZE) as u64, &mut buf[n..len])?;
+                    }
+                }
+                None => base.read(lba, &mut buf[..len])?,
+            }
+            out.write(lba, &buf[..len])?;
+            lba += run;
+            extent += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn fill(disk: &mut MemDisk, lba: u64, sectors: u64, byte: u8) {
+        let data = vec![byte; sectors as usize * SECTOR_SIZE];
+        disk.write(lba, &data).unwrap();
+    }
+
+    fn sector_byte(disk: &mut MemDisk, lba: u64) -> u8 {
+        let mut buf = [0u8; SECTOR_SIZE];
+        disk.read(lba, &mut buf).unwrap();
+        buf[0]
+    }
+
+    #[test]
+    fn no_snapshot_needs_no_preserve() {
+        let map = CowExtentMap::new(8);
+        assert_eq!(map.epoch(), 0);
+        assert!(!map.needs_preserve(0));
+    }
+
+    #[test]
+    fn extent_ranges_cover_partial_overlap() {
+        let map = CowExtentMap::new(8);
+        assert_eq!(map.extents_of(0, 8), 0..1);
+        assert_eq!(map.extents_of(7, 2), 0..2);
+        assert_eq!(map.extents_of(16, 1), 2..3);
+    }
+
+    #[test]
+    fn first_write_wins_within_an_epoch() {
+        let mut map = CowExtentMap::new(8);
+        map.take_snapshot();
+        assert!(map.needs_preserve(3));
+        map.preserve(3, vec![1u8; 8 * SECTOR_SIZE]);
+        assert!(!map.needs_preserve(3));
+        // A later preserve of the same extent must not replace the image.
+        map.preserve(3, vec![2u8; 8 * SECTOR_SIZE]);
+        assert_eq!(map.image_at(1, 3).unwrap()[0], 1);
+        assert_eq!(map.preserved_extents(), 1);
+    }
+
+    #[test]
+    fn image_resolves_to_earliest_epoch_at_or_after_snapshot() {
+        let mut map = CowExtentMap::new(8);
+        let s1 = map.take_snapshot();
+        map.preserve(0, vec![10u8; 8 * SECTOR_SIZE]); // overwritten during epoch 1
+        let s2 = map.take_snapshot();
+        map.preserve(0, vec![20u8; 8 * SECTOR_SIZE]); // overwritten again during epoch 2
+        map.preserve(1, vec![30u8; 8 * SECTOR_SIZE]); // first touched during epoch 2
+                                                      // Snapshot 1 sees extent 0 as it was before the epoch-1 write.
+        assert_eq!(map.image_at(s1, 0).unwrap()[0], 10);
+        // Snapshot 2 sees the pre-image of the epoch-2 write.
+        assert_eq!(map.image_at(s2, 0).unwrap()[0], 20);
+        // Extent 1 was untouched during epoch 1, so snapshot 1 resolves to
+        // the epoch-2 pre-image (its bytes were unchanged in between).
+        assert_eq!(map.image_at(s1, 1).unwrap()[0], 30);
+        // Never-written extents read from the live volume.
+        assert!(map.image_at(s1, 2).is_none());
+    }
+
+    #[test]
+    fn materialize_reconstructs_snapshot_state() {
+        let mut base = MemDisk::with_capacity_bytes(24 * SECTOR_SIZE as u64);
+        let mut map = CowExtentMap::new(8);
+        fill(&mut base, 0, 8, 0xA);
+        fill(&mut base, 8, 8, 0xB);
+        fill(&mut base, 16, 8, 0xC);
+        let snap = map.take_snapshot();
+        // Overwrite extent 1, preserving its pre-image first (what the
+        // snapshot service does).
+        map.preserve(1, vec![0xB; 8 * SECTOR_SIZE]);
+        fill(&mut base, 8, 8, 0xEE);
+        let mut clone = MemDisk::with_capacity_bytes(24 * SECTOR_SIZE as u64);
+        map.materialize(snap, &mut base, &mut clone).unwrap();
+        assert_eq!(sector_byte(&mut clone, 0), 0xA);
+        assert_eq!(sector_byte(&mut clone, 8), 0xB); // snapshot-time bytes
+        assert_eq!(sector_byte(&mut clone, 16), 0xC);
+        // The live volume diverged.
+        assert_eq!(sector_byte(&mut base, 8), 0xEE);
+    }
+}

@@ -30,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cow;
 mod device;
 mod mem;
 mod recording;
 mod volume;
 
+pub use cow::CowExtentMap;
 pub use device::{BlockDevice, BlockError, SECTOR_SIZE};
 pub use mem::MemDisk;
 pub use recording::{AccessKind, AccessRecord, RecordingDevice};

@@ -56,14 +56,27 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            determinism_crates: ["sim", "net", "core", "cloud", "telemetry", "faults", "qos"]
-                .map(String::from)
-                .to_vec(),
+            determinism_crates: [
+                "sim",
+                "net",
+                "core",
+                "cloud",
+                "telemetry",
+                "faults",
+                "qos",
+                "services",
+            ]
+            .map(String::from)
+            .to_vec(),
             datapath_files: [
                 "crates/core/src/relay/active.rs",
                 "crates/iscsi/src/stream.rs",
                 "crates/net/src/tcp.rs",
                 "crates/net/src/frame.rs",
+                "crates/services/src/cache.rs",
+                "crates/services/src/dedup.rs",
+                "crates/services/src/compress.rs",
+                "crates/services/src/snapshot.rs",
             ]
             .map(String::from)
             .to_vec(),

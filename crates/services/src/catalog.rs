@@ -11,7 +11,10 @@ use storm_core::service::PassthroughService;
 use storm_core::{Reconstructor, RelayMode, StorageService};
 use storm_sim::SimDuration;
 
-use crate::{EncryptionService, MonitorConfig, MonitorService, ReplicationService};
+use crate::{
+    CacheConfig, CompressService, DedupService, EncryptionService, MonitorConfig, MonitorService,
+    ReplicationService, SnapshotService, WriteBackCacheService,
+};
 
 /// Errors instantiating a service from a policy entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +152,102 @@ pub fn build_service(
                 .unwrap_or(true);
             Ok(Box::new(ReplicationService::new(replicas, stripe)))
         }
+        "cache" => {
+            let mut cfg = CacheConfig::default();
+            if let Some(v) = spec.params.get("capacity_mb") {
+                let mb: u64 = v.parse().map_err(|_| CatalogError::BadParam {
+                    param: "capacity_mb",
+                    reason: format!("not a number: {v}"),
+                })?;
+                if mb == 0 {
+                    return Err(CatalogError::BadParam {
+                        param: "capacity_mb",
+                        reason: "cache capacity must be positive".into(),
+                    });
+                }
+                cfg.capacity_sectors = mb * 2048;
+            }
+            if let Some(v) = spec.params.get("flush_ms") {
+                let ms: u64 = v.parse().map_err(|_| CatalogError::BadParam {
+                    param: "flush_ms",
+                    reason: format!("not a number: {v}"),
+                })?;
+                cfg.flush_delay = SimDuration::from_millis(ms.max(1));
+            }
+            if let Some(v) = spec.params.get("journal_mb") {
+                let mb: u64 = v.parse().map_err(|_| CatalogError::BadParam {
+                    param: "journal_mb",
+                    reason: format!("not a number: {v}"),
+                })?;
+                cfg.journal_sectors = mb.max(1) * 2048;
+            }
+            Ok(Box::new(WriteBackCacheService::new(cfg)))
+        }
+        "dedup" => {
+            let seed: u64 = spec
+                .params
+                .get("seed")
+                .map(|v| {
+                    v.parse().map_err(|_| CatalogError::BadParam {
+                        param: "seed",
+                        reason: format!("not a number: {v}"),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let bits: u32 = spec
+                .params
+                .get("chunk_bits")
+                .map(|v| {
+                    v.parse().map_err(|_| CatalogError::BadParam {
+                        param: "chunk_bits",
+                        reason: format!("not a number: {v}"),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(12);
+            Ok(Box::new(DedupService::new(seed, bits)))
+        }
+        "compress" => {
+            let extent: usize = spec
+                .params
+                .get("extent_bytes")
+                .map(|v| {
+                    v.parse().map_err(|_| CatalogError::BadParam {
+                        param: "extent_bytes",
+                        reason: format!("not a number: {v}"),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(4096);
+            if extent < 512 || !extent.is_multiple_of(512) {
+                return Err(CatalogError::BadParam {
+                    param: "extent_bytes",
+                    reason: "extent must be a positive multiple of 512".into(),
+                });
+            }
+            Ok(Box::new(CompressService::new(extent)))
+        }
+        "snapshot" => {
+            let extent: u64 = spec
+                .params
+                .get("extent_sectors")
+                .map(|v| {
+                    v.parse().map_err(|_| CatalogError::BadParam {
+                        param: "extent_sectors",
+                        reason: format!("not a number: {v}"),
+                    })
+                })
+                .transpose()?
+                .unwrap_or(128);
+            if extent == 0 {
+                return Err(CatalogError::BadParam {
+                    param: "extent_sectors",
+                    reason: "extent must be positive".into(),
+                });
+            }
+            Ok(Box::new(SnapshotService::new(extent)))
+        }
         "passthrough" => Ok(Box::new(PassthroughService::new())),
         other => Err(CatalogError::UnknownKind(other.to_owned())),
     }
@@ -184,6 +283,34 @@ mod tests {
         assert_eq!(mon.name(), "monitor");
         let pt = build_service(&ServiceSpec::new("passthrough"), None).unwrap();
         assert_eq!(pt.name(), "passthrough");
+        let cache = build_service(
+            &ServiceSpec::new("cache")
+                .param("capacity_mb", "8")
+                .param("flush_ms", "10"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(cache.name(), "cache");
+        let dedup = build_service(
+            &ServiceSpec::new("dedup")
+                .param("seed", "7")
+                .param("chunk_bits", "11"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(dedup.name(), "dedup");
+        let comp = build_service(
+            &ServiceSpec::new("compress").param("extent_bytes", "4096"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(comp.name(), "compress");
+        let snap = build_service(
+            &ServiceSpec::new("snapshot").param("extent_sectors", "64"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(snap.name(), "snapshot");
     }
 
     #[test]
@@ -227,7 +354,24 @@ mod tests {
             })
         ));
         assert!(matches!(
-            build_service(&ServiceSpec::new("dedupe"), None),
+            build_service(&ServiceSpec::new("cache").param("capacity_mb", "0"), None),
+            Err(CatalogError::BadParam {
+                param: "capacity_mb",
+                ..
+            })
+        ));
+        assert!(matches!(
+            build_service(
+                &ServiceSpec::new("compress").param("extent_bytes", "1000"),
+                None
+            ),
+            Err(CatalogError::BadParam {
+                param: "extent_bytes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            build_service(&ServiceSpec::new("defragment"), None),
             Err(CatalogError::UnknownKind(_))
         ));
     }

@@ -1,0 +1,520 @@
+//! Inline per-extent compression on the active relay.
+//!
+//! Write payloads are compressed extent by extent (4 KiB by default) with
+//! a small LZ77-style codec and re-framed *at the same size*: a frame is
+//! `[16-byte header | compressed bytes | zero pad]`, so the backing
+//! volume's sector layout never changes and reads stay trivially
+//! addressable. The win is accounted, not physical — `stored_bytes`
+//! tracks what a thin-provisioned backing store would actually persist.
+//! Extents that do not shrink are stored raw untouched
+//! (skip-if-incompressible), and the read path distinguishes frames from
+//! raw data by validating the header magic, lengths and payload checksum
+//! before decompressing.
+//!
+//! The transform only engages for extent-aligned payloads (offset and
+//! length both multiples of the extent size) — anything else passes
+//! through raw, and mixed raw/framed extents decode correctly because
+//! raw extents fail header validation. Sub-extent writes into a framed
+//! extent are not supported (the tenant policy pins the extent size to
+//! the workload block size).
+
+use bytes::{Bytes, BytesMut};
+
+use storm_core::{Dir, StorageService, SvcCtx};
+use storm_iscsi::Pdu;
+use storm_sim::SimDuration;
+
+/// Frame header magic ("SCZ1").
+const MAGIC: u32 = 0x5343_5A31;
+/// Frame header size in bytes.
+const HEADER: usize = 16;
+
+/// Counters for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Payload bytes that entered the write-side transform.
+    pub logical_bytes: u64,
+    /// Bytes a thin store would persist (frame header + compressed
+    /// payload for framed extents, the full extent for skipped ones).
+    pub stored_bytes: u64,
+    /// Extents compressed into frames.
+    pub compressed_extents: u64,
+    /// Extents stored raw because compression did not shrink them.
+    pub skipped_extents: u64,
+    /// Extents decompressed on the read path.
+    pub decompressed_extents: u64,
+}
+
+impl CompressStats {
+    /// Logical over stored bytes — the space-saving ratio.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            return 1.0;
+        }
+        self.logical_bytes as f64 / self.stored_bytes as f64
+    }
+}
+
+/// The inline compression service.
+pub struct CompressService {
+    armed: bool,
+    extent: usize,
+    per_byte: SimDuration,
+    /// Measurements.
+    pub stats: CompressStats,
+}
+
+impl CompressService {
+    /// Creates the service with `extent`-byte compression granularity
+    /// (rounded up to at least 512; use the workload's block size).
+    pub fn new(extent: usize) -> Self {
+        CompressService {
+            armed: true,
+            extent: extent.max(512),
+            // ~500 MB/s single-core LZ.
+            per_byte: SimDuration::from_nanos(2),
+            stats: CompressStats::default(),
+        }
+    }
+
+    /// Installs the service disabled: PDUs pass through untouched until
+    /// [`CompressService::arm`].
+    pub fn disarmed(extent: usize) -> Self {
+        let mut s = Self::new(extent);
+        s.armed = false;
+        s
+    }
+
+    /// Enables or disables the transform.
+    pub fn arm(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Sets the per-byte CPU cost charged for (de)compression.
+    pub fn set_per_byte_cost(&mut self, cost: SimDuration) {
+        self.per_byte = cost;
+    }
+
+    /// Compresses aligned write payload extents into same-size frames.
+    /// Returns `None` when the payload is left untouched (unaligned, or
+    /// every extent skipped) so the caller can forward the original.
+    fn encode_payload(&mut self, offset: usize, data: &Bytes) -> Option<Bytes> {
+        if data.is_empty()
+            || !offset.is_multiple_of(self.extent)
+            || !data.len().is_multiple_of(self.extent)
+        {
+            return None;
+        }
+        let mut out = BytesMut::with_capacity(data.len());
+        let mut any = false;
+        for ext in data.chunks(self.extent) {
+            self.stats.logical_bytes += ext.len() as u64;
+            match lz_compress(ext, ext.len() - HEADER - 1) {
+                Some(comp) => {
+                    self.stats.compressed_extents += 1;
+                    self.stats.stored_bytes += (HEADER + comp.len()) as u64;
+                    let mut hdr = [0u8; HEADER];
+                    put_field(&mut hdr, 0, &MAGIC.to_le_bytes());
+                    put_field(&mut hdr, 4, &(comp.len() as u32).to_le_bytes());
+                    put_field(&mut hdr, 8, &(ext.len() as u32).to_le_bytes());
+                    put_field(&mut hdr, 12, &fnv32(&comp).to_le_bytes());
+                    // storm-lint: allow(no-hot-path-copy): armed transform
+                    // path; the idle service never reaches this function.
+                    out.extend_from_slice(&hdr);
+                    // storm-lint: allow(no-hot-path-copy): armed transform
+                    // path, compressed extent body.
+                    out.extend_from_slice(&comp);
+                    // storm-lint: allow(no-hot-path-copy): armed transform
+                    // path, zero padding to keep extents frame-aligned.
+                    out.extend_from_slice(&vec![0u8; ext.len() - HEADER - comp.len()]);
+                    any = true;
+                }
+                None => {
+                    self.stats.skipped_extents += 1;
+                    self.stats.stored_bytes += ext.len() as u64;
+                    // storm-lint: allow(no-hot-path-copy): armed transform
+                    // path, incompressible extent stored raw.
+                    out.extend_from_slice(ext);
+                }
+            }
+        }
+        if any {
+            Some(out.freeze())
+        } else {
+            None
+        }
+    }
+
+    /// Decompresses framed extents in a read payload. Returns `None`
+    /// when no extent held a valid frame (forward the original).
+    fn decode_payload(&mut self, offset: usize, data: &Bytes) -> Option<Bytes> {
+        if data.is_empty()
+            || !offset.is_multiple_of(self.extent)
+            || !data.len().is_multiple_of(self.extent)
+        {
+            return None;
+        }
+        if !data
+            .chunks(self.extent)
+            .any(|ext| frame_payload(ext).is_some())
+        {
+            // Pure raw payload: keep the original Bytes (zero-copy).
+            return None;
+        }
+        let mut out = BytesMut::with_capacity(data.len());
+        for ext in data.chunks(self.extent) {
+            match frame_payload(ext).and_then(|comp| lz_decompress(comp, ext.len())) {
+                Some(orig) => {
+                    self.stats.decompressed_extents += 1;
+                    // storm-lint: allow(no-hot-path-copy): armed read-side
+                    // transform reassembling decompressed extents.
+                    out.extend_from_slice(&orig);
+                }
+                // storm-lint: allow(no-hot-path-copy): raw extent copied
+                // only because a framed sibling forced reassembly.
+                None => out.extend_from_slice(ext),
+            }
+        }
+        Some(out.freeze())
+    }
+}
+
+/// Validates a frame header; returns the compressed payload slice.
+fn frame_payload(ext: &[u8]) -> Option<&[u8]> {
+    if ext.len() < HEADER + 1 {
+        return None;
+    }
+    let word = |o: usize| u32::from_le_bytes([ext[o], ext[o + 1], ext[o + 2], ext[o + 3]]);
+    if word(0) != MAGIC {
+        return None;
+    }
+    let comp_len = word(4) as usize;
+    let orig_len = word(8) as usize;
+    if orig_len != ext.len() || comp_len == 0 || comp_len > ext.len() - HEADER - 1 {
+        return None;
+    }
+    let comp = &ext[HEADER..HEADER + comp_len];
+    if fnv32(comp) != word(12) {
+        return None;
+    }
+    Some(comp)
+}
+
+/// Encodes one little-endian metadata field into a frame header.
+fn put_field(buf: &mut [u8], at: usize, field: &[u8]) {
+    // storm-lint: allow(no-hot-path-copy): fixed-size frame-header field
+    // encoding (metadata, not payload), armed paths only.
+    buf[at..at + field.len()].copy_from_slice(field);
+}
+
+/// FNV-1a over a byte slice (frame payload checksum).
+fn fnv32(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Greedy LZ77 with a 4-byte match hash; emits `None` when the output
+/// would not fit in `budget` bytes (skip-if-incompressible).
+///
+/// Token stream: a control byte `t < 0x80` is a literal run of `t + 1`
+/// bytes; `t >= 0x80` is a match of length `(t & 0x7f) + 4` at a 16-bit
+/// little-endian back-distance that follows.
+fn lz_compress(input: &[u8], budget: usize) -> Option<Vec<u8>> {
+    const TABLE: usize = 1 << 12;
+    let mut out = Vec::with_capacity(budget.min(input.len()));
+    let mut table = [0usize; TABLE];
+    let mut seen = [false; TABLE];
+    let hash = |w: &[u8]| {
+        (u32::from_le_bytes([w[0], w[1], w[2], w[3]]).wrapping_mul(0x9E37_79B1) >> 20) as usize
+            % TABLE
+    };
+    let mut lit_start = 0;
+    let mut i = 0;
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let run = (to - s).min(128);
+            out.push((run - 1) as u8);
+            // storm-lint: allow(no-hot-path-copy): codec-internal
+            // literal-run emit, armed transform path only.
+            out.extend_from_slice(&input[s..s + run]);
+            s += run;
+        }
+    };
+    while i + 4 <= input.len() {
+        let h = hash(&input[i..i + 4]);
+        let cand = table[h];
+        let mut matched = 0;
+        if seen[h] && cand < i && i - cand <= u16::MAX as usize {
+            let max_len = (input.len() - i).min(131);
+            while matched < max_len && input[cand + matched] == input[i + matched] {
+                matched += 1;
+            }
+        }
+        table[h] = i;
+        seen[h] = true;
+        if matched >= 4 {
+            flush_literals(&mut out, lit_start, i);
+            out.push(0x80 | (matched - 4) as u8);
+            // storm-lint: allow(no-hot-path-copy): two-byte match
+            // distance token, codec-internal.
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            i += matched;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+        if out.len() + (input.len() - lit_start) / 128 + (input.len() - lit_start) > budget + 64 {
+            // Even ignoring future matches the stream is hopeless.
+            return None;
+        }
+    }
+    flush_literals(&mut out, lit_start, input.len());
+    if out.len() <= budget {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Inverse of [`lz_compress`]; `None` on a malformed stream or when the
+/// output does not decode to exactly `expected` bytes.
+fn lz_decompress(mut comp: &[u8], expected: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected);
+    while let Some((&t, rest)) = comp.split_first() {
+        comp = rest;
+        if t < 0x80 {
+            let run = t as usize + 1;
+            if comp.len() < run || out.len() + run > expected {
+                return None;
+            }
+            // storm-lint: allow(no-hot-path-copy): codec-internal
+            // literal-run replay, armed transform path only.
+            out.extend_from_slice(&comp[..run]);
+            comp = &comp[run..];
+        } else {
+            let len = (t & 0x7f) as usize + 4;
+            if comp.len() < 2 {
+                return None;
+            }
+            let dist = u16::from_le_bytes([comp[0], comp[1]]) as usize;
+            comp = &comp[2..];
+            if dist == 0 || dist > out.len() || out.len() + len > expected {
+                return None;
+            }
+            // Byte-by-byte so overlapping matches (RLE-style) replay.
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() == expected {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+impl StorageService for CompressService {
+    fn name(&self) -> &str {
+        "compress"
+    }
+
+    fn on_pdu(&mut self, cx: &mut SvcCtx, dir: Dir, pdu: Pdu) {
+        if !self.armed {
+            cx.forward(pdu);
+            return;
+        }
+        match (dir, pdu) {
+            (Dir::ToTarget, Pdu::ScsiCommand(mut c)) if c.write && !c.data.is_empty() => {
+                cx.charge(self.per_byte * c.data.len() as u64);
+                if let Some(framed) = self.encode_payload(0, &c.data) {
+                    c.data = framed;
+                }
+                cx.forward(Pdu::ScsiCommand(c));
+            }
+            (Dir::ToTarget, Pdu::DataOut(mut d)) => {
+                cx.charge(self.per_byte * d.data.len() as u64);
+                if let Some(framed) = self.encode_payload(d.buffer_offset as usize, &d.data) {
+                    d.data = framed;
+                }
+                cx.forward(Pdu::DataOut(d));
+            }
+            (Dir::ToInitiator, Pdu::DataIn(mut d)) => {
+                cx.charge(self.per_byte * d.data.len() as u64);
+                if let Some(plain) = self.decode_payload(d.buffer_offset as usize, &d.data) {
+                    d.data = plain;
+                }
+                cx.forward(Pdu::DataIn(d));
+            }
+            (_, other) => cx.forward(other),
+        }
+    }
+
+    fn per_byte_cost(&self) -> SimDuration {
+        if self.armed {
+            self.per_byte
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+impl std::fmt::Debug for CompressService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressService")
+            .field("armed", &self.armed)
+            .field("extent", &self.extent)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_core::service::SvcAction;
+    use storm_iscsi::{DataIn, DataOut, ScsiStatus};
+    use storm_sim::{SimRng, SimTime};
+
+    fn compressible(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i / 64) % 7) as u8).collect()
+    }
+
+    fn incompressible(len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        SimRng::seed_from_u64(0xC0FFEE).fill(&mut v);
+        v
+    }
+
+    #[test]
+    fn lz_roundtrips() {
+        for data in [
+            compressible(4096),
+            vec![0u8; 4096],
+            (0..255u8).cycle().take(4096).collect(),
+        ] {
+            let comp = lz_compress(&data, data.len() - HEADER - 1).expect("compresses");
+            assert!(comp.len() < data.len());
+            assert_eq!(lz_decompress(&comp, data.len()).expect("decodes"), data);
+        }
+    }
+
+    #[test]
+    fn incompressible_input_is_skipped() {
+        assert!(lz_compress(&incompressible(4096), 4096 - HEADER - 1).is_none());
+    }
+
+    fn run(svc: &mut CompressService, dir: Dir, pdu: Pdu) -> Pdu {
+        let mut cx = SvcCtx::new(SimTime::ZERO);
+        svc.on_pdu(&mut cx, dir, pdu);
+        let fwd = cx.take_actions().into_iter().find_map(|a| match a {
+            SvcAction::Forward(p) => Some(p),
+            _ => None,
+        });
+        fwd.expect("forwarded")
+    }
+
+    fn data_out(offset: u32, data: Vec<u8>) -> Pdu {
+        Pdu::DataOut(DataOut {
+            final_pdu: true,
+            lun: 0,
+            itt: 1,
+            ttt: 0xFFFF_FFFF,
+            exp_stat_sn: 0,
+            data_sn: 0,
+            buffer_offset: offset,
+            data: Bytes::from(data),
+        })
+    }
+
+    fn data_in(offset: u32, data: Bytes) -> Pdu {
+        Pdu::DataIn(DataIn {
+            final_pdu: true,
+            status_present: true,
+            status: ScsiStatus::Good,
+            lun: 0,
+            itt: 1,
+            ttt: 0xFFFF_FFFF,
+            stat_sn: 0,
+            exp_cmd_sn: 0,
+            max_cmd_sn: 0,
+            data_sn: 0,
+            buffer_offset: offset,
+            residual: 0,
+            data,
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_frames() {
+        let mut svc = CompressService::new(4096);
+        let plain = compressible(8192);
+        let framed = match run(&mut svc, Dir::ToTarget, data_out(0, plain.clone())) {
+            Pdu::DataOut(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(framed.len(), plain.len(), "frames keep the stored size");
+        assert_ne!(&framed[..], &plain[..]);
+        assert_eq!(svc.stats.compressed_extents, 2);
+        assert!(svc.stats.reduction_ratio() > 1.5, "{:?}", svc.stats);
+        // Read path: the framed bytes come back from the target.
+        let decoded = match run(&mut svc, Dir::ToInitiator, data_in(0, framed)) {
+            Pdu::DataIn(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&decoded[..], &plain[..]);
+        assert_eq!(svc.stats.decompressed_extents, 2);
+    }
+
+    #[test]
+    fn incompressible_extents_pass_raw_and_decode_raw() {
+        let mut svc = CompressService::new(4096);
+        let noise = incompressible(4096);
+        let stored = match run(&mut svc, Dir::ToTarget, data_out(0, noise.clone())) {
+            Pdu::DataOut(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&stored[..], &noise[..], "skipped extent stored verbatim");
+        assert_eq!(svc.stats.skipped_extents, 1);
+        // Raw bytes fail frame validation and pass through unchanged —
+        // and without a framed sibling the original Bytes is forwarded.
+        let back = match run(&mut svc, Dir::ToInitiator, data_in(0, stored.clone())) {
+            Pdu::DataIn(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&back[..], &noise[..]);
+        assert_eq!(svc.stats.decompressed_extents, 0);
+    }
+
+    #[test]
+    fn unaligned_payloads_are_left_alone() {
+        let mut svc = CompressService::new(4096);
+        let plain = compressible(512);
+        let out = match run(&mut svc, Dir::ToTarget, data_out(0, plain.clone())) {
+            Pdu::DataOut(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&out[..], &plain[..]);
+        let out = match run(&mut svc, Dir::ToTarget, data_out(1024, compressible(4096))) {
+            Pdu::DataOut(d) => d.data,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(out.len(), 4096);
+        assert_eq!(svc.stats.compressed_extents, 0);
+    }
+
+    #[test]
+    fn disarmed_service_forwards_the_same_pdu_value() {
+        let mut svc = CompressService::disarmed(4096);
+        let pdu = data_out(0, compressible(4096));
+        let out = run(&mut svc, Dir::ToTarget, pdu.clone());
+        assert_eq!(out, pdu);
+        assert_eq!(svc.stats, CompressStats::default());
+    }
+}

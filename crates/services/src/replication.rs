@@ -8,7 +8,7 @@
 //! from future operations. The unfinished reads of that failed replica are
 //! served from one of the other active replicas."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -48,11 +48,13 @@ pub struct ReplicationService {
     stripe_reads: bool,
     rr: usize,
     next_ctx: u64,
-    pending_reads: HashMap<u64, PendingRead>,
+    // BTreeMaps: `pending_reads` is iterated on replica failure and the
+    // re-dispatch order must be deterministic across equal-seed runs.
+    pending_reads: BTreeMap<u64, PendingRead>,
     /// Measurements.
     pub stats: ReplicationStats,
     per_byte: SimDuration,
-    write_bufs: HashMap<u32, (u64, bytes::BytesMut, usize, usize)>,
+    write_bufs: BTreeMap<u32, (u64, bytes::BytesMut, usize, usize)>,
     /// Consecutive I/O failures per replica; at `fail_threshold` the
     /// replica is declared unresponsive and removed (the paper's
     /// "eliminated from future operations").
@@ -69,10 +71,10 @@ impl ReplicationService {
             stripe_reads,
             rr: 0,
             next_ctx: 1,
-            pending_reads: HashMap::new(),
+            pending_reads: BTreeMap::new(),
             stats: ReplicationStats::default(),
             per_byte: SimDuration::from_nanos(0),
-            write_bufs: HashMap::new(),
+            write_bufs: BTreeMap::new(),
             consecutive_failures: vec![0; replica_count],
             fail_threshold: 3,
         }

@@ -41,6 +41,33 @@ pub const QOS_MIGRATIONS: &str = "qos.migrations";
 /// published as a gauge in basis points (10_000 = 100%).
 pub const QOS_SLO_ATTAINMENT_BP: &str = "qos.slo_attainment_bp";
 
+/// Write-back cache read hit rate, gauge in basis points.
+pub const SVC_CACHE_HIT_BP: &str = "svc.cache.hit_bp";
+
+/// Writes absorbed by the write-back cache (counter).
+pub const SVC_CACHE_ABSORBED_WRITES: &str = "svc.cache.absorbed_writes";
+
+/// Dirty sectors flushed to the primary volume (counter of bytes).
+pub const SVC_CACHE_FLUSHED_BYTES: &str = "svc.cache.flushed_bytes";
+
+/// Dedup data-reduction ratio, gauge in basis points (15_000 = 1.5x).
+pub const SVC_DEDUP_RATIO_BP: &str = "svc.dedup.ratio_bp";
+
+/// Duplicate chunks detected by dedup (counter).
+pub const SVC_DEDUP_DUP_CHUNKS: &str = "svc.dedup.duplicate_chunks";
+
+/// Compression space-saving ratio, gauge in basis points.
+pub const SVC_COMPRESS_RATIO_BP: &str = "svc.compress.ratio_bp";
+
+/// Extents stored raw because compression did not shrink them (counter).
+pub const SVC_COMPRESS_SKIPPED: &str = "svc.compress.skipped_extents";
+
+/// Copy-on-first-write pre-image copies performed (counter).
+pub const SVC_SNAP_COW_COPIES: &str = "svc.snap.cow_copies";
+
+/// Pre-image bytes preserved across all snapshot epochs (gauge).
+pub const SVC_SNAP_PRESERVED_BYTES: &str = "svc.snap.preserved_bytes";
+
 /// Scopes a metric name to one tenant: `tenant.<id>.<name>`.
 ///
 /// Producers used to format per-tenant keys ad hoc (`vm.web-1.reads`,

@@ -5,10 +5,12 @@ use bytes::Bytes;
 use storm::cloud::{Cloud, CloudConfig, IoCtx, IoKind, IoResult, ReqId, Workload};
 use storm::core::relay::{ActiveRelayMb, ReplicaTarget};
 use storm::core::{FsOp, FsTargetKind, MbSpec, Reconstructor, RelayMode, StormPlatform};
-use storm::services::{EncryptionService, MonitorConfig, MonitorService, ReplicationService};
+use storm::services::{
+    DedupService, EncryptionService, MonitorConfig, MonitorService, ReplicationService,
+};
 use storm::workloads::{malware, postmark, TraceWorkload};
 use storm_block::BlockDevice;
-use storm_sim::{SimDuration, SimTime};
+use storm_sim::{SimDuration, SimRng, SimTime};
 
 struct VerifyWorkload {
     wrote: Option<ReqId>,
@@ -327,6 +329,163 @@ fn replication_mirrors_and_survives_replica_failure() {
         buf.iter().all(|&b| b == 1),
         "replica 2 missing mirrored write"
     );
+}
+
+/// Writes a fixed set of `(lba, payload)` pairs one at a time, then
+/// reads each back and verifies the bytes byte-for-byte.
+struct WriteReadVerify {
+    ops: Vec<(u64, Bytes)>,
+    next_write: usize,
+    next_read: usize,
+    verified: bool,
+}
+
+impl WriteReadVerify {
+    fn new(ops: Vec<(u64, Bytes)>) -> Self {
+        WriteReadVerify {
+            ops,
+            next_write: 0,
+            next_read: 0,
+            verified: false,
+        }
+    }
+}
+
+impl Workload for WriteReadVerify {
+    fn start(&mut self, io: &mut IoCtx<'_>) {
+        let (lba, data) = self.ops[0].clone();
+        self.next_write = 1;
+        io.write(lba, data);
+    }
+
+    fn completed(&mut self, io: &mut IoCtx<'_>, _req: ReqId, kind: IoKind, result: IoResult) {
+        assert!(result.ok, "I/O failed");
+        if kind == IoKind::Read {
+            let (_, expected) = &self.ops[self.next_read - 1];
+            assert_eq!(
+                &result.data[..],
+                &expected[..],
+                "read-back mismatch at op {}",
+                self.next_read - 1
+            );
+        }
+        if self.next_write < self.ops.len() {
+            let (lba, data) = self.ops[self.next_write].clone();
+            self.next_write += 1;
+            io.write(lba, data);
+        } else if self.next_read < self.ops.len() {
+            let (lba, data) = self.ops[self.next_read].clone();
+            self.next_read += 1;
+            io.read(lba, (data.len() / 512) as u32);
+        } else {
+            self.verified = true;
+            io.stop();
+        }
+    }
+}
+
+/// Runs `ops` through an armed dedup middle-box, verifies every byte
+/// round-trips and survives at rest, and returns the service's stats.
+fn dedup_roundtrip(seed: u64, ops: Vec<(u64, Bytes)>) -> storm::services::DedupStats {
+    let mut cloud = Cloud::build(CloudConfig::default());
+    let platform = StormPlatform::default();
+    let vol = cloud.create_volume(64 << 20, 0);
+    let svc = DedupService::new(seed, 12);
+    let mbs = vec![MbSpec::with_services(
+        3,
+        RelayMode::Active,
+        vec![Box::new(svc)],
+    )];
+    let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:dedup",
+        &vol,
+        Box::new(WriteReadVerify::new(ops.clone())),
+        seed,
+        false,
+    );
+    cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
+    let client = cloud.client_mut(0, app);
+    assert!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<WriteReadVerify>()
+            .unwrap()
+            .verified
+    );
+    // Dedup is inspection-only: the exact bytes sit at rest.
+    let mut shared = vol.shared.clone();
+    for (lba, data) in &ops {
+        let mut at_rest = vec![0u8; data.len()];
+        shared.read(*lba, &mut at_rest).unwrap();
+        assert_eq!(&at_rest[..], &data[..], "at-rest bytes diverge at {lba}");
+    }
+    let relay = cloud
+        .net
+        .app_mut(deployment.mb_nodes[0].node, deployment.mb_apps[0].unwrap())
+        .unwrap()
+        .downcast_mut::<ActiveRelayMb>()
+        .unwrap();
+    relay
+        .service(0)
+        .unwrap()
+        .downcast_ref::<DedupService>()
+        .unwrap()
+        .stats
+}
+
+/// Random (not patterned) payloads: periodic data degenerates CDC to
+/// fixed max-size cuts, hiding the behaviour under test.
+fn random_payload(rng: &mut SimRng, bytes: usize) -> Bytes {
+    let mut buf = vec![0u8; bytes];
+    rng.fill(&mut buf);
+    Bytes::from(buf)
+}
+
+/// Duplicate-heavy workload through the dedup middle-box: the same
+/// content written to many places dedups well past the 1.5x acceptance
+/// floor, and the data itself is untouched in flight and at rest.
+#[test]
+fn dedup_reduces_duplicate_heavy_workload() {
+    let mut rng = SimRng::seed_from_u64(0xD1D1);
+    let a = random_payload(&mut rng, 32 * 1024);
+    let b = random_payload(&mut rng, 32 * 1024);
+    // `a` written four times (three duplicates), `b` once.
+    let ops = vec![
+        (0, a.clone()),
+        (64, a.clone()),
+        (128, a.clone()),
+        (192, a),
+        (256, b),
+    ];
+    let stats = dedup_roundtrip(21, ops);
+    assert!(stats.duplicate_chunks > 0, "{stats:?}");
+    assert!(
+        stats.reduction_ratio() >= 1.5,
+        "duplicate-heavy ratio too low: {stats:?}"
+    );
+}
+
+/// Unique, incompressible workload through the dedup middle-box: random
+/// content with no repeats must not be miscounted as duplicate — the
+/// ratio stays at 1.0 — and still round-trips byte-for-byte.
+#[test]
+fn dedup_is_honest_on_incompressible_workload() {
+    let mut rng = SimRng::seed_from_u64(0xD2D2);
+    let ops = (0..5)
+        .map(|i| (i * 64, random_payload(&mut rng, 32 * 1024)))
+        .collect();
+    let stats = dedup_roundtrip(22, ops);
+    assert_eq!(stats.duplicate_chunks, 0, "{stats:?}");
+    assert!(
+        stats.reduction_ratio() < 1.01,
+        "unique data must not dedup: {stats:?}"
+    );
+    assert!(stats.chunks > 5, "CDC must cut sub-payload chunks");
 }
 
 /// Service chaining (paper §II-B): monitor + encryption in ONE middle-box;

@@ -10,9 +10,14 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use storm::cloud::{Cloud, CloudConfig, DiskSpec};
+use storm::core::relay::ReplicaTarget;
+use storm::core::service::StorageService;
 use storm::core::{MbSpec, RelayMode, RelayQosConfig, StormPlatform};
 use storm::qos::{DiskTier, RateLimitSpec};
-use storm::services::EncryptionService;
+use storm::services::{
+    CacheConfig, CompressService, DedupService, EncryptionService, SnapshotService,
+    WriteBackCacheService,
+};
 use storm::telemetry::{parse_jsonl, Recorder};
 use storm_faults::{Fault, FaultPlan, FaultRunner};
 use storm_sim::{SimDuration, SimTime};
@@ -141,4 +146,87 @@ fn different_seeds_diverge() {
     let a = traced_run(11, false, false);
     let b = traced_run(12, false, false);
     assert_ne!(a, b);
+}
+
+/// Runs a short fio scenario through the full data-reduction suite —
+/// write-back cache, CDC dedup, inline compression and snapshot/CoW all
+/// **armed** (a snapshot is taken at deploy time so copy-on-first-write
+/// triggers) — and exports the JSONL trace.
+fn suite_traced_run(seed: u64) -> String {
+    let mut cloud = Cloud::build(CloudConfig {
+        seed,
+        storage_hosts: 2,
+        ..CloudConfig::default()
+    });
+    let recorder = Arc::new(Recorder::new());
+    cloud.set_trace_hook(Recorder::hook(&recorder));
+    let platform = StormPlatform::default();
+    let vol = cloud.create_volume(1 << 30, 0);
+    let journal = cloud.create_volume(64 << 20, 1);
+    let mut snap = SnapshotService::new(128);
+    snap.take_snapshot();
+    let services: Vec<Box<dyn StorageService>> = vec![
+        Box::new(WriteBackCacheService::new(CacheConfig::default())),
+        Box::new(DedupService::new(seed, 12)),
+        Box::new(CompressService::new(4096)),
+        Box::new(snap),
+    ];
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec {
+            host_idx: 3,
+            mode: RelayMode::Active,
+            services,
+            replicas: vec![
+                ReplicaTarget {
+                    portal: journal.portal,
+                    iqn: journal.iqn.clone(),
+                },
+                ReplicaTarget {
+                    portal: vol.portal,
+                    iqn: vol.iqn.clone(),
+                },
+            ],
+        }],
+    );
+    let job = FioJob::randrw(4096, SimDuration::from_millis(300), vol.sectors).threads(2);
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:suite",
+        &vol,
+        Box::new(FioWorkload::new(job)),
+        seed ^ 0x5EED,
+        false,
+    );
+    cloud.net.run_until(SimTime::from_nanos(1_200_000_000));
+    let client = cloud.client_mut(0, app);
+    assert!(client.is_ready(), "login failed");
+    assert!(client.stats.ops() > 0, "no I/O completed");
+    recorder.to_jsonl()
+}
+
+mod suite_determinism {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// Determinism survives the full four-service suite armed: the
+        /// cache's journal and flush timers, the dedup index, the
+        /// compression codec and snapshot copy-on-first-write all draw
+        /// only on sim-clock time and seeded state, so equal seeds still
+        /// export byte-identical traces.
+        #[test]
+        fn equal_seeds_equal_traces_with_suite_armed(seed in 1u64..1_000_000) {
+            let a = suite_traced_run(seed);
+            let b = suite_traced_run(seed);
+            prop_assert!(!a.is_empty());
+            prop_assert_eq!(&a, &b);
+            prop_assert!(parse_jsonl(&a).is_some(), "export must parse back");
+        }
+    }
 }
