@@ -54,15 +54,25 @@ fn main() -> ExitCode {
 
 /// Lower-is-better fields compared against the baseline. `p99_ms` guards
 /// tail latency; `bytes_copied_per_pdu` guards the zero-copy relay
-/// invariant.
-const GUARDED: [&str; 2] = ["p99_ms", "bytes_copied_per_pdu"];
+/// invariant; `peak_rss_mb` guards the fleet run's memory ceiling (its
+/// committed baseline carries generous slack because RSS measures the
+/// host, not the simulation).
+const GUARDED: [&str; 3] = ["p99_ms", "bytes_copied_per_pdu", "peak_rss_mb"];
 
 /// Higher-is-better fields: the run must not fall more than [`TOLERANCE`]
 /// below the baseline. `slo_attainment` guards the QoS isolation claim;
 /// `migrations` guards that the provisioning control loop still fires;
 /// `hit_rate` and `dedup_ratio` guard the data-reduction suite's
-/// effectiveness on its reference workloads.
-const GUARDED_MIN: [&str; 4] = ["slo_attainment", "migrations", "hit_rate", "dedup_ratio"];
+/// effectiveness on its reference workloads; `events_per_sec` guards the
+/// fleet executor's throughput (committed baseline is a conservative
+/// floor, ~half a healthy run, because wall clocks are noisy on CI).
+const GUARDED_MIN: [&str; 5] = [
+    "slo_attainment",
+    "migrations",
+    "hit_rate",
+    "dedup_ratio",
+    "events_per_sec",
+];
 
 /// Compares two result files; `Ok` is the pass report, `Err` the failure
 /// report.
@@ -259,5 +269,44 @@ mod tests {
     #[test]
     fn suite_within_tolerance_passes() {
         assert!(compare(SUITE_BASE, &suite_run(0.79, 3.9)).is_ok());
+    }
+
+    const FLEET_BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"fleet.1k_tenants.1m_requests","mode":"LEGACY","block_bytes":4096,"threads":4,"ops":1000000,"iops":9000000.0,"throughput_mbps":1.00,"mean_ms":0.020,"p50_ms":0.015,"p99_ms":0.150,"wall_ms":2000.000,"events_per_sec":1000000.000,"peak_rss_mb":400.000}
+  ]
+}"#;
+
+    fn fleet_run(p99: f64, eps: f64, rss: f64) -> String {
+        format!(
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"fleet.1k_tenants.1m_requests\",\
+             \"p99_ms\":{p99:.3},\"wall_ms\":1500.000,\"events_per_sec\":{eps:.3},\
+             \"peak_rss_mb\":{rss:.3}}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn fleet_throughput_drop_fails() {
+        let err = compare(FLEET_BASE, &fleet_run(0.15, 800_000.0, 400.0)).unwrap_err();
+        assert!(
+            err.contains("FAIL fleet.1k_tenants.1m_requests: events_per_sec"),
+            "{err}"
+        );
+        assert!(err.contains("falls below"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rss_growth_fails() {
+        let err = compare(FLEET_BASE, &fleet_run(0.15, 1_200_000.0, 600.0)).unwrap_err();
+        assert!(
+            err.contains("FAIL fleet.1k_tenants.1m_requests: peak_rss_mb"),
+            "{err}"
+        );
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn fleet_within_tolerance_passes() {
+        assert!(compare(FLEET_BASE, &fleet_run(0.15, 950_000.0, 420.0)).is_ok());
     }
 }

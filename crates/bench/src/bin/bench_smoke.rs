@@ -11,11 +11,31 @@ use std::sync::Arc;
 
 use storm_bench::{
     cache_hit_point, dedup_ratio_point, fio_point, fio_point_traced, interference_point,
-    passthrough_point, provisioning_churn_point, suite_passthrough_point, BenchResults, PathMode,
-    Testbed,
+    passthrough_point, provisioning_churn_point, run_fleet, suite_passthrough_point, BenchResults,
+    FioPoint, FleetConfig, PathMode, Testbed,
 };
 use storm_sim::SimDuration;
 use storm_telemetry::{analyze, names, MetricsRegistry, Recorder};
+
+/// Peak resident set size (VmHWM) of this process, in MiB, from
+/// `/proc/self/status`. Returns 0.0 where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
 
 fn main() {
     let testbed = Testbed {
@@ -25,6 +45,55 @@ fn main() {
     };
     let block = 64 * 1024;
     let mut results = BenchResults::new();
+
+    // Fleet-scale executor benchmark. Runs FIRST so the VmHWM reading
+    // just after it is the fleet run's peak, not a later scenario's.
+    let fleet_cfg = FleetConfig {
+        tenants: 1_000,
+        requests_per_tenant: 1_000,
+        ..FleetConfig::default()
+    };
+    let wall_start = std::time::Instant::now();
+    let fr = run_fleet(&fleet_cfg);
+    let wall = wall_start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events_per_sec = fr.events as f64 / wall.as_secs_f64();
+    let rss_mb = peak_rss_mb();
+    let sim_secs = fr.sim_end.as_nanos() as f64 / 1e9;
+    let fleet_point = FioPoint {
+        ops: fr.requests,
+        iops: fr.requests as f64 / sim_secs,
+        mean_latency_ms: fr.latency.mean().as_nanos() as f64 / 1e6,
+        p50_ms: fr.latency.value_at_quantile(0.50).as_nanos() as f64 / 1e6,
+        p99_ms: fr.latency.value_at_quantile(0.99).as_nanos() as f64 / 1e6,
+    };
+    println!(
+        "fleet.1k_tenants.1m_requests: {} requests, {} events, sim {:.2} s, \
+         wall {:.0} ms, {:.0} events/s, peak RSS {:.1} MiB, digest {:016x}",
+        fr.requests,
+        fr.events,
+        sim_secs,
+        wall_ms,
+        events_per_sec,
+        rss_mb,
+        fr.digest()
+    );
+    assert_eq!(
+        fr.requests, 1_000_000,
+        "fleet run must finish every request"
+    );
+    results.push_with_extras(
+        "fleet.1k_tenants.1m_requests",
+        PathMode::Legacy,
+        4096,
+        fleet_cfg.shards,
+        fleet_point,
+        vec![
+            ("wall_ms".to_string(), wall_ms),
+            ("events_per_sec".to_string(), events_per_sec),
+            ("peak_rss_mb".to_string(), rss_mb),
+        ],
+    );
 
     for (name, mode) in [
         ("fig4.legacy.64k", PathMode::Legacy),

@@ -19,10 +19,12 @@ use storm_sim::trace::TraceHook;
 use storm_sim::{SimDuration, SimTime};
 use storm_workloads::{FioJob, FioWorkload};
 
+mod fleet;
 mod qos;
 mod results;
 mod services_suite;
 
+pub use fleet::{run_fleet, FleetConfig, FleetRun};
 pub use qos::{interference_point, provisioning_churn_point, ChurnOutcome, InterferenceOutcome};
 pub use results::{BenchResults, ScenarioResult};
 pub use services_suite::{
@@ -122,14 +124,10 @@ pub fn attach_over_path(
     match mode {
         PathMode::Legacy => {
             let app = cloud.attach_volume(0, "vm:tenant", volume, workload, testbed.seed, timeline);
-            // Drive the login to completion like the platform does.
+            // Drive the login to completion like the platform does
+            // (event-stepped, not polled).
             let deadline = cloud.net.now() + SimDuration::from_secs(5);
-            while cloud.net.now() < deadline {
-                cloud.net.run_for(SimDuration::from_millis(1));
-                if cloud.client_mut(0, app).is_ready() {
-                    break;
-                }
-            }
+            while !cloud.client_mut(0, app).is_ready() && cloud.net.step_until(deadline) {}
             app
         }
         PathMode::MbFwd | PathMode::MbPassiveRelay | PathMode::MbActiveRelay => {

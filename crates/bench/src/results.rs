@@ -28,7 +28,10 @@ pub struct ScenarioResult {
 ///
 /// The JSON is hand-rolled with fixed key order and fixed-precision
 /// floats, so equal runs produce byte-identical files — the same contract
-/// as trace exports.
+/// as trace exports. The one exception is the `fleet.*` family's
+/// `wall_ms` / `events_per_sec` / `peak_rss_mb` extras, which measure the
+/// host and are inherently run-to-run noisy; `bench_compare` guards them
+/// with wide margins instead of equality.
 #[derive(Debug, Clone, Default)]
 pub struct BenchResults {
     scenarios: Vec<ScenarioResult>,

@@ -327,13 +327,11 @@ impl StormPlatform {
             .add_steer_rule(cloud.computes[compute_idx].host, rule);
         let app = cloud.attach_volume(compute_idx, vm_label, volume, workload, seed, timeline);
         // Atomic attachment window: wait for login, then drop the rule.
+        // Event-stepped rather than polled in 1 ms quanta, so the rule
+        // drops at the exact login instant and the wait costs one
+        // readiness check per event instead of per millisecond.
         let deadline = cloud.net.now() + SimDuration::from_secs(5);
-        while cloud.net.now() < deadline {
-            cloud.net.run_for(SimDuration::from_millis(1));
-            if cloud.client_mut(compute_idx, app).is_ready() {
-                break;
-            }
-        }
+        while !cloud.client_mut(compute_idx, app).is_ready() && cloud.net.step_until(deadline) {}
         let host = cloud.computes[compute_idx].host;
         cloud.net.host_mut(host).remove_steer_rule(&rule);
         app

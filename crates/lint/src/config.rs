@@ -47,6 +47,10 @@ pub struct Config {
     /// Crates whose code must be deterministic (wall-clock, ambient
     /// randomness and hash-order rules).
     pub determinism_crates: Vec<String>,
+    /// Individual files under determinism rules in crates that are
+    /// otherwise exempt (e.g. the fleet model inside storm-bench, whose
+    /// smoke binary legitimately reads wall clocks).
+    pub determinism_files: Vec<String>,
     /// Path suffixes of zero-copy / no-panic datapath modules.
     pub datapath_files: Vec<String>,
     /// `(rule, path suffix)` pairs exempting whole files from a rule.
@@ -68,6 +72,7 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
+            determinism_files: ["crates/bench/src/fleet.rs"].map(String::from).to_vec(),
             datapath_files: [
                 "crates/core/src/relay/active.rs",
                 "crates/iscsi/src/stream.rs",
@@ -91,6 +96,10 @@ impl Config {
         self.determinism_crates
             .iter()
             .any(|c| c == &class.crate_name)
+            || self
+                .determinism_files
+                .iter()
+                .any(|f| class.rel_path.ends_with(f.as_str()))
     }
 
     /// Whether `class` is a datapath module (zero-copy + panic rules).
@@ -131,6 +140,12 @@ mod tests {
         assert!(
             !cfg.is_determinism_scoped(&FileClass::from_rel_path("crates/workloads/src/fio.rs"))
         );
+        // The fleet model is determinism-scoped by file even though the
+        // rest of storm-bench (wall-clock measurement) is exempt.
+        assert!(cfg.is_determinism_scoped(&FileClass::from_rel_path("crates/bench/src/fleet.rs")));
+        assert!(!cfg.is_determinism_scoped(&FileClass::from_rel_path(
+            "crates/bench/src/bin/bench_smoke.rs"
+        )));
         assert!(cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/frame.rs")));
         assert!(!cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/nat.rs")));
     }

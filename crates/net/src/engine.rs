@@ -415,18 +415,31 @@ impl Network {
         );
     }
 
-    /// Runs until the queue drains or `end` is reached; time advances to
-    /// `end` (or the last event) on return.
-    pub fn run_until(&mut self, end: SimTime) {
-        while let Some(t) = self.q.peek_time() {
-            if t > end {
-                break;
+    /// Processes the single next event if it is due at or before `end`,
+    /// advancing `now` to it. Returns `false` — with `now` untouched —
+    /// when the queue is empty or the next event lies beyond `end`.
+    ///
+    /// This is the building block for condition-driven run loops ("run
+    /// until the client is ready") that would otherwise poll in
+    /// fixed-size `run_for` quanta, re-checking the condition thousands
+    /// of times at fleet scale.
+    pub fn step_until(&mut self, end: SimTime) -> bool {
+        match self.q.peek_time() {
+            Some(t) if t <= end => {
+                let (t, ev) = self.q.pop().expect("peeked");
+                debug_assert!(t >= self.now, "time went backwards");
+                self.now = t;
+                self.handle(ev);
+                true
             }
-            let (t, ev) = self.q.pop().expect("peeked");
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.handle(ev);
+            _ => false,
         }
+    }
+
+    /// Runs until the queue drains or `end` is reached; time advances to
+    /// `end` on return.
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.step_until(end) {}
         self.now = end;
     }
 

@@ -1,99 +1,518 @@
-//! The simulation event queue.
+//! The simulation event queue: a hierarchical bucketed timer wheel.
+//!
+//! Up to PR 7 this was a `BinaryHeap<(SimTime, seq)>`; at fleet scale
+//! (millions of queued events across thousands of tenants) the heap's
+//! `O(log n)` sift on every push/pop and its per-event allocation churn
+//! dominated the simulator's own profile. The wheel replaces it with:
+//!
+//! * **Hierarchical buckets** — [`LEVELS`] levels of [`SLOTS`] slots each;
+//!   level `l` slots are `SLOTS^l` ns wide, so the wheel spans
+//!   `SLOTS^LEVELS` ns (≈ 73 minutes) of lookahead. Push is `O(1)`;
+//!   pop amortizes cascades over the events that caused them. Events
+//!   beyond the horizon wait in a `BTreeMap` overflow ("far") list and
+//!   re-enter the wheel lazily.
+//! * **Slab-allocated nodes** — events live in one grow-only `Vec` with an
+//!   embedded free list; slot membership is an intrusive doubly-linked
+//!   list of slab indices, so steady-state scheduling allocates nothing.
+//! * **Cancel tokens** — [`EventQueue::push_cancelable`] returns a
+//!   generation-checked [`CancelToken`]; [`EventQueue::cancel`] unlinks
+//!   the node in `O(1)` and returns the event. The heap could only
+//!   tombstone.
+//!
+//! # Ordering contract (unchanged from the heap)
+//!
+//! Events pop in non-decreasing `(time, push sequence)` order: equal
+//! instants are FIFO, which keeps equal-seed traces byte-identical. The
+//! wheel may internally advance its cursor while *peeking* (cascading a
+//! higher-level slot down), but the cursor never passes the earliest
+//! pending event, so an event pushed at or after the last popped time is
+//! always delivered in exact order. Pushing *before* the last popped time
+//! is delivered as soon as possible (next pop), still `(time, seq)`
+//! ordered against any other late events — the same observable behavior
+//! the engine's `debug_assert!(t >= now)` permits.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::SimTime;
+
+/// Slots per wheel level (must be 64: occupancy is a `u64` bitmap).
+const SLOTS: usize = 64;
+/// log2(SLOTS).
+const SLOT_BITS: u32 = 6;
+/// Wheel levels. Level `l` covers deltas in `[64^l, 64^(l+1))` ns, so the
+/// whole wheel spans `64^7` ns ≈ 4398 s; longer timers go to the far list.
+const LEVELS: usize = 7;
+/// First delta that no longer fits the wheel.
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32); // 64^LEVELS
+
+/// Sentinel slab index ("null pointer" of the intrusive lists).
+const NIL: u32 = u32::MAX;
+
+/// Where a live node currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In `levels[level].slots[slot]`'s linked list.
+    Wheel { level: u8, slot: u8 },
+    /// In the far (beyond-horizon) `BTreeMap`.
+    Far,
+    /// On the free list (not a live event).
+    Free,
+}
+
+/// One slab entry: the event plus its intrusive list links.
+struct Node<E> {
+    at: u64,
+    seq: u64,
+    /// Bumped on every free; stale [`CancelToken`]s fail the check.
+    gen: u32,
+    prev: u32,
+    next: u32,
+    loc: Loc,
+    event: Option<E>,
+}
+
+/// Head/tail of one slot's doubly-linked node list.
+#[derive(Clone, Copy)]
+struct Slot {
+    head: u32,
+    tail: u32,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// One wheel level: 64 slots plus an occupancy bitmap.
+struct Level {
+    occupied: u64,
+    slots: [Slot; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            slots: [Slot::EMPTY; SLOTS],
+        }
+    }
+}
+
+/// A handle to a scheduled event, returned by
+/// [`EventQueue::push_cancelable`].
+///
+/// Tokens are generation-checked: cancelling after the event was popped
+/// (or already cancelled) is a safe no-op returning `None`, even if the
+/// slab entry has been reused for a different event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CancelToken {
+    idx: u32,
+    gen: u32,
+}
 
 /// A time-ordered queue of simulation events.
 ///
 /// Events scheduled for the same instant are delivered in insertion order
 /// (FIFO), which makes simulations deterministic: replaying the same seed
-/// yields the same event interleaving.
-#[derive(Debug)]
+/// yields the same event interleaving. See the module docs for the wheel
+/// internals and the exact ordering contract.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    slab: Vec<Node<E>>,
+    /// LIFO free list of slab indices (deterministic reuse order).
+    free: Vec<u32>,
+    levels: Vec<Level>,
+    /// Beyond-horizon events keyed by `(at, seq)` — exact global order.
+    far: BTreeMap<(u64, u64), u32>,
+    /// The wheel cursor in ns. Never passes the earliest pending event.
+    cursor: u64,
     seq: u64,
     popped: u64,
-}
-
-#[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    len: usize,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            far: BTreeMap::new(),
+            cursor: 0,
             seq: 0,
             popped: 0,
+            len: 0,
         }
     }
 
     /// Schedules `event` for delivery at instant `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
+        let _ = self.push_cancelable(at, event);
+    }
+
+    /// Schedules `event` for delivery at instant `at`, returning a token
+    /// that can later [`cancel`](Self::cancel) it.
+    pub fn push_cancelable(&mut self, at: SimTime, event: E) -> CancelToken {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let idx = self.alloc(at.as_nanos(), seq, event);
+        self.place(idx);
+        self.len += 1;
+        CancelToken {
+            idx,
+            gen: self.slab[idx as usize].gen,
+        }
+    }
+
+    /// Cancels a scheduled event, returning it if it was still pending.
+    ///
+    /// Unlinks the slab node in `O(1)`; a token whose event already popped
+    /// (or was already cancelled) returns `None`.
+    pub fn cancel(&mut self, token: CancelToken) -> Option<E> {
+        let node = self.slab.get(token.idx as usize)?;
+        if node.gen != token.gen || node.loc == Loc::Free {
+            return None;
+        }
+        self.unlink(token.idx);
+        let event = self.release(token.idx);
+        self.len -= 1;
+        Some(event)
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        let idx = self.find_earliest()?;
+        let at = self.slab[idx as usize].at;
+        self.unlink(idx);
+        let event = self.release(idx);
+        self.len -= 1;
         self.popped += 1;
-        Some((s.at, s.event))
+        self.cursor = self.cursor.max(at);
+        Some((SimTime::from_nanos(at), event))
     }
 
     /// The delivery instant of the next event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    ///
+    /// Takes `&mut self`: locating the earliest event may cascade
+    /// higher-level buckets down (never past that event), which is exactly
+    /// the work a subsequent [`pop`](Self::pop) would have done anyway.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let idx = self.find_earliest()?;
+        Some(SimTime::from_nanos(self.slab[idx as usize].at))
     }
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue holds no events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events delivered so far (monotonic).
     pub fn delivered(&self) -> u64 {
         self.popped
     }
+
+    // ------------------------------------------------------------------
+    // Slab management
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, at: u64, seq: u64, event: E) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.slab[idx as usize];
+            node.at = at;
+            node.seq = seq;
+            node.prev = NIL;
+            node.next = NIL;
+            node.event = Some(event);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            assert!(idx != NIL, "event slab exhausted");
+            self.slab.push(Node {
+                at,
+                seq,
+                gen: 0,
+                prev: NIL,
+                next: NIL,
+                loc: Loc::Free,
+                event: Some(event),
+            });
+            idx
+        }
+    }
+
+    /// Frees a node (bumping its generation) and takes its event out.
+    fn release(&mut self, idx: u32) -> E {
+        let node = &mut self.slab[idx as usize];
+        node.loc = Loc::Free;
+        node.gen = node.gen.wrapping_add(1);
+        node.prev = NIL;
+        node.next = NIL;
+        self.free.push(idx);
+        node.event.take().expect("released node holds an event")
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    /// Inserts node `idx` into the wheel (or far list) according to its
+    /// delta from the cursor, appending at the slot tail so same-instant
+    /// events keep push order.
+    fn place(&mut self, idx: u32) {
+        let at = self.slab[idx as usize].at;
+        let delta = at.saturating_sub(self.cursor);
+        if delta >= SPAN {
+            let seq = self.slab[idx as usize].seq;
+            self.slab[idx as usize].loc = Loc::Far;
+            self.far.insert((at, seq), idx);
+            return;
+        }
+        // Level from the highest set bit of the delta: level l covers
+        // deltas in [64^l, 64^(l+1)). A past-time push (delta 0 via
+        // saturation) lands in the cursor's own level-0 slot and is
+        // delivered on the next pop.
+        let level = if delta < SLOTS as u64 {
+            0
+        } else {
+            ((63 - delta.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = if level == 0 && at < self.cursor {
+            (self.cursor >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1)
+        } else {
+            (at >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1)
+        };
+        self.slab[idx as usize].loc = Loc::Wheel {
+            level: level as u8,
+            slot: slot as u8,
+        };
+        let s = &mut self.levels[level].slots[slot];
+        if s.tail == NIL {
+            s.head = idx;
+            s.tail = idx;
+        } else {
+            self.slab[s.tail as usize].next = idx;
+            self.slab[idx as usize].prev = s.tail;
+            s.tail = idx;
+        }
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// Unlinks a live node from whichever container holds it.
+    fn unlink(&mut self, idx: u32) {
+        match self.slab[idx as usize].loc {
+            Loc::Wheel { level, slot } => {
+                let (prev, next) = {
+                    let n = &self.slab[idx as usize];
+                    (n.prev, n.next)
+                };
+                if prev != NIL {
+                    self.slab[prev as usize].next = next;
+                }
+                if next != NIL {
+                    self.slab[next as usize].prev = prev;
+                }
+                let s = &mut self.levels[level as usize].slots[slot as usize];
+                if s.head == idx {
+                    s.head = next;
+                }
+                if s.tail == idx {
+                    s.tail = prev;
+                }
+                if s.head == NIL {
+                    self.levels[level as usize].occupied &= !(1 << slot);
+                }
+            }
+            Loc::Far => {
+                let key = {
+                    let n = &self.slab[idx as usize];
+                    (n.at, n.seq)
+                };
+                self.far.remove(&key);
+            }
+            Loc::Free => unreachable!("unlink of a free node"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search & cascades
+    // ------------------------------------------------------------------
+
+    /// Lower-bound arrival time of the first occupied slot of `level`, as
+    /// `(slot, start_time)`, walking forward from the cursor.
+    ///
+    /// The start is a lower bound on every event in the slot, exact for
+    /// all but two mixed-content cases (late pushes in level 0's current
+    /// slot; a higher level's current slot straddling the cursor's block
+    /// and the next rotation), which the caller resolves by scanning or
+    /// cascading respectively.
+    fn level_candidate(&self, level: usize) -> Option<(usize, u64)> {
+        let lv = &self.levels[level];
+        if lv.occupied == 0 {
+            return None;
+        }
+        let shift = SLOT_BITS * level as u32;
+        let block = self.cursor >> shift; // current slot counter
+        let cur = (block as usize) & (SLOTS - 1);
+        // Rotate so the current slot is bit 0, then take the first set bit.
+        let rotated = lv.occupied.rotate_right(cur as u32);
+        let dist = rotated.trailing_zeros() as u64; // 0 = the current slot
+        if dist == 0 {
+            let slot = cur;
+            if level == 0 || self.slot_holds_current_block(level, slot, block) {
+                // The cursor's own slot with current-tick content: level 0
+                // may mix late pushes with the cursor-tick event (exact
+                // times read by the caller); a higher level holding a
+                // current-block event must cascade now. Either way the
+                // cursor does not move.
+                return Some((slot, self.cursor));
+            }
+            // The cursor's slot holds only next-rotation events (same
+            // residue, 64 blocks on) — a full rotation LATER than any
+            // other occupied slot at this level, so rotation distance is
+            // not monotone in time here: prefer the next occupied slot if
+            // there is one.
+            let rest = rotated & !1;
+            if rest != 0 {
+                let dist = rest.trailing_zeros() as u64;
+                let slot = (cur + dist as usize) & (SLOTS - 1);
+                return Some((slot, (block + dist) << shift));
+            }
+            return Some((slot, (block + SLOTS as u64) << shift));
+        }
+        // A distance-d slot (d >= 1) holds exactly block `block + d`
+        // events: an older rotation would already have been passed (the
+        // cursor never passes a pending event) and a newer one would need
+        // placement distance d + 64 > 64, more than placement allows.
+        let slot = (cur + dist as usize) & (SLOTS - 1);
+        Some((slot, (block + dist) << shift))
+    }
+
+    /// Whether any node in `levels[level].slots[slot]` belongs to the
+    /// cursor's current block at that level (as opposed to the next
+    /// rotation, 64 blocks later — the only other possibility).
+    fn slot_holds_current_block(&self, level: usize, slot: usize, block: u64) -> bool {
+        let shift = SLOT_BITS * level as u32;
+        let mut cur = self.levels[level].slots[slot].head;
+        while cur != NIL {
+            let n = &self.slab[cur as usize];
+            if n.at >> shift == block {
+                return true;
+            }
+            cur = n.next;
+        }
+        false
+    }
+
+    /// Finds the slab index of the earliest `(at, seq)` event, cascading
+    /// higher-level buckets down (and pulling far events in) until it sits
+    /// in a level-0 slot. Advances the cursor, but never past the earliest
+    /// pending event. Returns `None` when the queue is empty.
+    fn find_earliest(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Best wheel candidate: the lowest lower-bound start time.
+            // Ties prefer the HIGHEST level: a tied higher-level slot must
+            // cascade before level 0 is read, or a same-instant event
+            // stuck up-wheel would pop after a later-pushed twin (FIFO
+            // violation). Cascading on a tie is always safe — it only
+            // redistributes nodes — so `<=` keeps the last (highest) tie.
+            let mut best: Option<(usize, usize, u64)> = None; // (level, slot, start)
+            for level in 0..LEVELS {
+                if let Some((slot, start)) = self.level_candidate(level) {
+                    if best.is_none_or(|(_, _, s)| start <= s) {
+                        best = Some((level, slot, start));
+                    }
+                }
+            }
+            let far_at = self.far.keys().next().map(|&(at, _)| at);
+            match (best, far_at) {
+                (None, None) => return None,
+                // Far event at or before every wheel lower bound: advance
+                // and pull it in. Ties also pull (`<=`): an equal-time far
+                // event may carry a lower seq than its wheel twin, and
+                // once in the wheel the level-0 scan orders them exactly.
+                (best, Some(fat)) if best.is_none_or(|(_, _, s)| fat <= s) => {
+                    // `fat` lower-bounds nothing: every wheel event's at
+                    // is >= its slot's start >= ... >= fat is false in
+                    // general, but fat <= min start <= min wheel at, so
+                    // the cursor may jump to fat without passing anything.
+                    self.cursor = self.cursor.max(fat);
+                    let (&key, &idx) = self.far.iter().next().expect("far nonempty");
+                    self.far.remove(&key);
+                    self.place(idx);
+                }
+                // The far-pull guard is vacuously true for an empty wheel,
+                // so a far event always finds a home above.
+                (None, Some(_)) => unreachable!("far pull guard covers an empty wheel"),
+                (Some((0, slot, start)), _) => {
+                    // Exact: scan the slot for the minimum (at, seq).
+                    // Normally all nodes share one tick (only push order
+                    // varies); the cursor's own slot may also hold late
+                    // pushes with arbitrary earlier times.
+                    self.cursor = self.cursor.max(start);
+                    let mut cur = self.levels[0].slots[slot].head;
+                    let mut min_idx = cur;
+                    let mut min_key = {
+                        let n = &self.slab[cur as usize];
+                        (n.at, n.seq)
+                    };
+                    while cur != NIL {
+                        let n = &self.slab[cur as usize];
+                        if (n.at, n.seq) < min_key {
+                            min_key = (n.at, n.seq);
+                            min_idx = cur;
+                        }
+                        cur = n.next;
+                    }
+                    return Some(min_idx);
+                }
+                (Some((level, slot, start)), _) => {
+                    // Cascade: no pending event precedes `start`, so the
+                    // cursor may advance to it. Current-block nodes then
+                    // re-place at least one level lower (their delta from
+                    // the cursor is under this level's slot width);
+                    // next-rotation nodes re-place by their own delta and
+                    // are found again via their true block start.
+                    self.cursor = self.cursor.max(start);
+                    let mut cur = self.levels[level].slots[slot].head;
+                    self.levels[level].slots[slot] = Slot::EMPTY;
+                    self.levels[level].occupied &= !(1 << slot);
+                    while cur != NIL {
+                        let next = self.slab[cur as usize].next;
+                        self.slab[cur as usize].prev = NIL;
+                        self.slab[cur as usize].next = NIL;
+                        self.place(cur);
+                        cur = next;
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len)
+            .field("delivered", &self.popped)
+            .field("cursor_ns", &self.cursor)
+            .finish_non_exhaustive()
     }
 }
 
@@ -134,5 +553,109 @@ mod tests {
         q.pop();
         assert_eq!(q.delivered(), 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn crosses_level_boundaries() {
+        // One event per level, including one past the wheel horizon.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for l in 0..=LEVELS as u32 {
+            let t = 3u64 << (SLOT_BITS * l);
+            q.push(SimTime::from_nanos(t), l);
+            expect.push((t, l));
+        }
+        expect.sort_unstable();
+        let got: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn far_events_reenter_the_wheel() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(SPAN * 2 + 5), "far");
+        q.push(SimTime::from_nanos(1), "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(SPAN * 2 + 5)));
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancelable(SimTime::from_nanos(10), "a");
+        let b = q.push_cancelable(SimTime::from_nanos(20), "b");
+        let far = q.push_cancelable(SimTime::from_nanos(SPAN * 3), "far");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(far), Some("far"));
+        assert_eq!(q.len(), 1);
+        // Double-cancel and post-pop cancel are no-ops.
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.cancel(b), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_token_generation_survives_slab_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.push_cancelable(SimTime::from_nanos(1), "a");
+        q.pop();
+        // The slab slot is reused for "b"; the stale token must not hit it.
+        let b = q.push_cancelable(SimTime::from_nanos(2), "b");
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel(b), Some("b"));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), 0u32);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(100));
+        // Same-tick push after a pop at that tick pops immediately.
+        q.push(SimTime::from_nanos(100), 1);
+        q.push(SimTime::from_nanos(4_000), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Past-time push (allowed, delivered next) keeps (at, seq) order.
+        q.push(SimTime::from_nanos(50), 3);
+        q.push(SimTime::from_nanos(60), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_rotation_slot_does_not_mask_nearer_slots() {
+        // Regression: with the cursor at 100 (level-1 block 1, residue 1),
+        // an event at 4160 lands in level-1 block 65 — the SAME residue,
+        // i.e. the cursor's own slot, one rotation ahead. A later event at
+        // 200 (block 3) sits two slots "ahead" by rotation distance but
+        // 3960 ns earlier in time. The level scan must not let the
+        // rotation-distance-0 slot shadow it.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), "setup");
+        assert_eq!(q.pop().unwrap().1, "setup"); // cursor -> 100
+        q.push(SimTime::from_nanos(4_160), "next-rotation");
+        q.push(SimTime::from_nanos(200), "nearer");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(200), "nearer")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(4_160), "next-rotation")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn dense_same_slot_distinct_ticks_stay_sorted() {
+        // Distinct nanoseconds mapping to one level-1 slot must still pop
+        // in time order after the cascade redistributes them.
+        let mut q = EventQueue::new();
+        for i in (0..SLOTS as u64).rev() {
+            q.push(SimTime::from_nanos(SLOTS as u64 + i), i);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, (0..SLOTS as u64).collect::<Vec<_>>());
     }
 }

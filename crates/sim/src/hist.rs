@@ -124,9 +124,18 @@ impl Histogram {
     /// The result is the midpoint of the bucket holding the sample of rank
     /// `ceil(q * count)`, clamped into `[min, max]`; `q <= 0` returns the
     /// exact minimum and `q >= 1` the exact maximum.
+    ///
+    /// A NaN quantile is a caller bug (it compares false against both
+    /// guards, and `NaN * count` poisons the rank): debug builds panic;
+    /// release builds clamp to the maximum, the conservative reading for
+    /// a tail-latency query.
     pub fn value_at_quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
+        }
+        if q.is_nan() {
+            debug_assert!(false, "quantile is NaN");
+            return self.max();
         }
         if q <= 0.0 {
             return self.min();
@@ -289,6 +298,30 @@ mod tests {
             small.record(SimDuration::from_nanos(v));
         }
         assert_eq!(small.count_at_or_below(SimDuration::from_nanos(4)), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "quantile is NaN")]
+    fn nan_quantile_panics_in_debug() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(5));
+        let _ = h.percentile(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_quantile_clamps_to_max_in_release() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(5));
+        h.record(SimDuration::from_nanos(9));
+        assert_eq!(h.percentile(f64::NAN), h.max());
+    }
+
+    #[test]
+    fn nan_quantile_on_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.value_at_quantile(f64::NAN), SimDuration::ZERO);
     }
 
     #[test]

@@ -30,13 +30,15 @@ pub mod fault;
 pub mod hist;
 pub mod metrics;
 mod rng;
+pub mod shard;
 mod time;
 pub mod trace;
 
 pub use cpu::{CpuModel, SerialResource};
-pub use event::EventQueue;
+pub use event::{CancelToken, EventQueue};
 pub use fault::{FaultAction, FaultHook, FaultPoint, FaultSite};
 pub use hist::Histogram;
 pub use rng::SimRng;
+pub use shard::{Outbox, ShardMsg, ShardSim, ShardedExecutor};
 pub use time::{SimDuration, SimTime};
 pub use trace::{flow_token, req_token, Hop, ReqToken, TraceEvent, TraceHook, TraceSink};

@@ -1,0 +1,413 @@
+//! Sharded multi-core execution: conservative-lookahead parallel DES.
+//!
+//! A fleet-scale run partitions the topology by rack and gives every rack
+//! its own event loop (a [`ShardSim`]). Racks only interact through
+//! inter-rack links, whose latency is a *lookahead bound*: an event
+//! executed at time `t` cannot affect another shard before `t + L`. The
+//! [`ShardedExecutor`] exploits that with the classic conservative
+//! (CMB-style) round protocol:
+//!
+//! 1. compute `global_next`, the earliest pending event across all
+//!    shards;
+//! 2. let every shard run its local events *strictly before*
+//!    `global_next + L` in parallel, buffering cross-shard messages in an
+//!    [`Outbox`];
+//! 3. route the buffered messages in globally sorted order, then repeat.
+//!
+//! Strict `<` matters: an event exactly at `global_next` may emit a
+//! message arriving exactly at `global_next + L`, which must be delivered
+//! before any shard reaches that instant.
+//!
+//! # Determinism
+//!
+//! Equal seeds stay byte-identical regardless of worker-thread count:
+//!
+//! * the round bounds depend only on event timestamps, never on thread
+//!   scheduling;
+//! * each shard is single-threaded within a round, so its internal event
+//!   order is the sequential order;
+//! * cross-shard messages are injected in sorted
+//!   `(arrival, sender key, source shard, emission index)` order — a
+//!   total order derived only from simulation state — so every shard's
+//!   incoming FIFO sequence numbers are reproducible.
+//!
+//! Worker threads merely multiplex shards (shard `i` belongs to worker
+//! `i % threads`); moving a shard to a different worker changes wall
+//! clock, not results. Merged outputs (traces, stats) are returned as the
+//! shard vector in shard-id order for the caller to concatenate.
+
+use std::sync::mpsc;
+
+use crate::{SimDuration, SimTime};
+
+/// A cross-shard message buffered during a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMsg<M> {
+    /// Simulation instant at which the message arrives at `dest`.
+    pub at: SimTime,
+    /// Destination shard id.
+    pub dest: usize,
+    /// Sender-supplied ordering key, compared before the source shard id
+    /// when same-instant messages are injected. Deriving it from
+    /// simulation state (e.g. source *rack* id and a per-rack counter)
+    /// makes injection order independent of how racks are packed into
+    /// shards; `0` is fine when the shard layout is fixed.
+    pub key: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Collects a shard's outgoing cross-shard messages during
+/// [`ShardSim::run_until`].
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<ShardMsg<M>>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Buffers a message for `dest`, arriving at instant `at`, ordered
+    /// among same-instant messages by `key` (see [`ShardMsg::key`]).
+    ///
+    /// `at` must be at least the emitting event's time plus the
+    /// executor's lookahead (the inter-shard link latency) — the protocol
+    /// relies on it and the executor asserts it per round.
+    pub fn send(&mut self, dest: usize, at: SimTime, key: u64, msg: M) {
+        self.msgs.push(ShardMsg { at, dest, key, msg });
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// One partition (rack) of a sharded simulation.
+///
+/// Implementations wrap their own [`EventQueue`](crate::EventQueue),
+/// state, and trace sink; the executor only needs the three scheduling
+/// hooks below.
+pub trait ShardSim: Send {
+    /// Payload carried between shards.
+    type Msg: Send;
+
+    /// The instant of the earliest pending local event, if any.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Runs every local event with time **strictly before** `bound`,
+    /// buffering cross-shard sends into `outbox`.
+    fn run_until(&mut self, bound: SimTime, outbox: &mut Outbox<Self::Msg>);
+
+    /// Injects a message from another shard, arriving at instant `at`.
+    ///
+    /// Calls arrive in globally sorted `(at, sender key, source shard,
+    /// emission index)` order; implementations typically just push an
+    /// event.
+    fn deliver(&mut self, at: SimTime, msg: Self::Msg);
+}
+
+/// Runs a set of [`ShardSim`]s to completion on a pool of OS threads.
+///
+/// See the module docs for the protocol and determinism argument.
+pub struct ShardedExecutor {
+    lookahead: SimDuration,
+    threads: usize,
+}
+
+/// Per-round work order sent to a worker.
+enum Cmd<M> {
+    /// Deliver the bundled messages, then run owned shards to `bound`.
+    Round {
+        bound: SimTime,
+        /// `(dest shard, arrival, msg)` in global injection order.
+        inbox: Vec<(usize, SimTime, M)>,
+    },
+    Done,
+}
+
+/// A worker's report after a round: per owned shard, the next pending
+/// time and the outbox contents (tagged with the emission index).
+struct Report<M> {
+    worker: usize,
+    /// `(shard id, next_time)` for each owned shard.
+    next: Vec<(usize, Option<SimTime>)>,
+    /// `(source shard, emission index, msg)` for each buffered message.
+    sent: Vec<(usize, usize, ShardMsg<M>)>,
+}
+
+impl ShardedExecutor {
+    /// Creates an executor with the given lookahead (the minimum
+    /// inter-shard latency) and worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero (the conservative protocol cannot
+    /// make progress without it) or `threads` is zero.
+    pub fn new(lookahead: SimDuration, threads: usize) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative sync needs a positive lookahead"
+        );
+        assert!(threads > 0, "need at least one worker thread");
+        ShardedExecutor { lookahead, threads }
+    }
+
+    /// Runs every shard until all local events at or before `end` (and
+    /// every message they trigger) have executed, then returns the shards
+    /// in shard-id order.
+    pub fn run<S: ShardSim>(&self, mut shards: Vec<S>, end: SimTime) -> Vec<S> {
+        if shards.is_empty() {
+            return shards;
+        }
+        let threads = self.threads.min(shards.len());
+        let lookahead = self.lookahead;
+        // Shard i lives on worker i % threads for the whole run.
+        let shard_ids: Vec<Vec<usize>> = (0..threads)
+            .map(|w| (w..shards.len()).step_by(threads).collect())
+            .collect();
+        let mut owned: Vec<Vec<(usize, S)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (id, shard) in shards.drain(..).enumerate().rev() {
+            owned[id % threads].push((id, shard));
+        }
+        for set in &mut owned {
+            set.reverse(); // ascending shard id within each worker
+        }
+
+        let mut finished: Vec<Option<(usize, S)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let (report_tx, report_rx) = mpsc::channel::<Report<S::Msg>>();
+            let mut cmd_txs = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for (worker, mut set) in owned.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<S::Msg>>();
+                cmd_txs.push(cmd_tx);
+                let report_tx = report_tx.clone();
+                handles.push(scope.spawn(move || {
+                    // Initial report so the coordinator can seed the
+                    // first round's global minimum.
+                    let mut outbox = Outbox::new();
+                    let next = set.iter_mut().map(|(id, s)| (*id, s.next_time())).collect();
+                    report_tx
+                        .send(Report {
+                            worker,
+                            next,
+                            sent: Vec::new(),
+                        })
+                        .expect("coordinator alive");
+                    while let Ok(Cmd::Round { bound, inbox }) = cmd_rx.recv() {
+                        let mut sent = Vec::new();
+                        for (dest, at, msg) in inbox {
+                            let (_, shard) = set
+                                .iter_mut()
+                                .find(|(id, _)| *id == dest)
+                                .expect("routed to owner");
+                            shard.deliver(at, msg);
+                        }
+                        let mut next = Vec::with_capacity(set.len());
+                        for (id, shard) in set.iter_mut() {
+                            shard.run_until(bound, &mut outbox);
+                            for (emit_idx, m) in outbox.msgs.drain(..).enumerate() {
+                                debug_assert!(
+                                    m.at >= bound,
+                                    "cross-shard message undercuts the lookahead bound"
+                                );
+                                sent.push((*id, emit_idx, m));
+                            }
+                            next.push((*id, shard.next_time()));
+                        }
+                        report_tx
+                            .send(Report { worker, next, sent })
+                            .expect("coordinator alive");
+                    }
+                    set
+                }));
+            }
+            drop(report_tx);
+
+            // Coordinator: global-barrier rounds.
+            let mut next_times: Vec<Option<SimTime>> =
+                vec![None; shard_ids.iter().map(Vec::len).sum()];
+            let mut round_inbox: Vec<(usize, usize, ShardMsg<S::Msg>)> = Vec::new();
+            let await_reports =
+                |round_inbox: &mut Vec<(usize, usize, ShardMsg<S::Msg>)>,
+                 next_times: &mut Vec<Option<SimTime>>| {
+                    for _ in 0..threads {
+                        let report = report_rx.recv().expect("workers alive");
+                        let _ = report.worker;
+                        for (id, t) in report.next {
+                            next_times[id] = t;
+                        }
+                        round_inbox.extend(report.sent);
+                    }
+                };
+            await_reports(&mut round_inbox, &mut next_times);
+
+            loop {
+                // The horizon is the earliest thing that can still happen:
+                // the minimum over local queues AND in-flight message
+                // arrivals. An in-flight message can precede every local
+                // event, and its consequences (delivered at round start,
+                // below) may emit new messages as early as `arrival + L` —
+                // so the bound must not outrun `arrival + L` either.
+                let global_next = next_times.iter().flatten().min().copied();
+                let inflight_next = round_inbox.iter().map(|(_, _, m)| m.at).min();
+                let horizon = match [global_next, inflight_next].into_iter().flatten().min() {
+                    Some(t) if t <= end => t,
+                    // Nothing left at or before `end` (later arrivals can
+                    // only schedule work past `end`).
+                    _ => break,
+                };
+                let bound = SimTime::from_nanos(
+                    horizon
+                        .as_nanos()
+                        .saturating_add(lookahead.as_nanos())
+                        .min(end.as_nanos().saturating_add(1)),
+                );
+                // Total injection order: (arrival, sender key, source
+                // shard, emission index) — reproducible from simulation
+                // state alone, never from thread timing.
+                round_inbox.sort_by_key(|(src, emit_idx, m)| (m.at, m.key, *src, *emit_idx));
+                let mut inboxes: Vec<Vec<(usize, SimTime, S::Msg)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (_, _, m) in round_inbox.drain(..) {
+                    assert!(m.dest < next_times.len(), "message to unknown shard");
+                    inboxes[m.dest % threads].push((m.dest, m.at, m.msg));
+                }
+                for (w, inbox) in inboxes.into_iter().enumerate() {
+                    cmd_txs[w]
+                        .send(Cmd::Round { bound, inbox })
+                        .expect("worker alive");
+                }
+                await_reports(&mut round_inbox, &mut next_times);
+            }
+
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Done);
+            }
+            for handle in handles {
+                for entry in handle.join().expect("worker panicked") {
+                    finished.push(Some(entry));
+                }
+            }
+        });
+
+        // Return in shard-id order regardless of worker ownership.
+        let mut out: Vec<Option<S>> = (0..finished.len()).map(|_| None).collect();
+        for entry in finished.into_iter().flatten() {
+            let (id, shard) = entry;
+            out[id] = Some(shard);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every shard returned"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    /// A toy shard: a queue of `(time, value)` events; every multiple-of-k
+    /// value forwards `value + 1` to the next shard after `latency`.
+    struct Toy {
+        id: usize,
+        shards: usize,
+        latency: SimDuration,
+        q: EventQueue<u64>,
+        log: Vec<(u64, u64)>, // (time ns, value)
+    }
+
+    impl ShardSim for Toy {
+        type Msg = u64;
+
+        fn next_time(&mut self) -> Option<SimTime> {
+            self.q.peek_time()
+        }
+
+        fn run_until(&mut self, bound: SimTime, outbox: &mut Outbox<u64>) {
+            while let Some(t) = self.q.peek_time() {
+                if t >= bound {
+                    break;
+                }
+                let (t, v) = self.q.pop().expect("peeked");
+                self.log.push((t.as_nanos(), v));
+                if v % 3 == 0 {
+                    outbox.send((self.id + 1) % self.shards, t + self.latency, 0, v + 1);
+                }
+            }
+        }
+
+        fn deliver(&mut self, at: SimTime, msg: u64) {
+            self.q.push(at, msg);
+        }
+    }
+
+    fn run_toy(shards: usize, threads: usize) -> Vec<Vec<(u64, u64)>> {
+        let latency = SimDuration::from_micros(5);
+        let mut sims: Vec<Toy> = (0..shards)
+            .map(|id| Toy {
+                id,
+                shards,
+                latency,
+                q: EventQueue::new(),
+                log: Vec::new(),
+            })
+            .collect();
+        for (id, sim) in sims.iter_mut().enumerate() {
+            for k in 0..20u64 {
+                sim.q
+                    .push(SimTime::from_nanos(1 + k * 700 + id as u64), k * 3);
+            }
+        }
+        let exec = ShardedExecutor::new(latency, threads);
+        let done = exec.run(sims, SimTime::from_millis(10));
+        done.into_iter().map(|s| s.log).collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = run_toy(4, 1);
+        assert_eq!(base, run_toy(4, 2));
+        assert_eq!(base, run_toy(4, 4));
+        // Messages actually crossed shards.
+        assert!(base.iter().all(|log| log.len() > 20));
+    }
+
+    #[test]
+    fn single_shard_matches_sequential() {
+        let logs = run_toy(1, 1);
+        let mut sorted = logs[0].clone();
+        sorted.sort();
+        assert_eq!(logs[0], sorted, "events ran in time order");
+    }
+
+    #[test]
+    fn events_at_end_instant_run() {
+        let mut sims = vec![Toy {
+            id: 0,
+            shards: 1,
+            latency: SimDuration::from_micros(1),
+            q: EventQueue::new(),
+            log: Vec::new(),
+        }];
+        sims[0].q.push(SimTime::from_millis(10), 1);
+        let exec = ShardedExecutor::new(SimDuration::from_micros(1), 1);
+        let done = exec.run(sims, SimTime::from_millis(10));
+        assert_eq!(done[0].log, vec![(10_000_000, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        let _ = ShardedExecutor::new(SimDuration::ZERO, 1);
+    }
+}

@@ -29,13 +29,29 @@ impl SimTime {
     }
 
     /// Creates an instant `ms` milliseconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instant exceeds `u64::MAX` nanoseconds. (A plain `*`
+    /// here would wrap silently in release builds, turning a runaway
+    /// instant into a bogus *early* one.)
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_millis overflow"),
+        }
     }
 
     /// Creates an instant `s` seconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instant exceeds `u64::MAX` nanoseconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_secs overflow"),
+        }
     }
 
     /// Nanoseconds since simulation start.
@@ -75,18 +91,40 @@ impl SimDuration {
     }
 
     /// Creates a duration from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration exceeds `u64::MAX` nanoseconds; like the
+    /// other constructors it must not wrap in release builds.
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_micros overflow"),
+        }
     }
 
     /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration exceeds `u64::MAX` nanoseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_millis overflow"),
+        }
     }
 
     /// Creates a duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration exceeds `u64::MAX` nanoseconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_secs overflow"),
+        }
     }
 
     /// Creates a duration from fractional seconds.
@@ -282,6 +320,53 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn from_secs_f64_rejects_negative() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_accept_boundary_values() {
+        // The largest inputs that still fit u64 nanoseconds.
+        assert_eq!(
+            SimTime::from_millis(u64::MAX / 1_000_000).as_nanos(),
+            (u64::MAX / 1_000_000) * 1_000_000
+        );
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000_000).as_nanos(),
+            (u64::MAX / 1_000_000_000) * 1_000_000_000
+        );
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX / 1_000).as_nanos(),
+            (u64::MAX / 1_000) * 1_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "from_millis overflow")]
+    fn time_from_millis_overflow_panics() {
+        let _ = SimTime::from_millis(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_secs overflow")]
+    fn time_from_secs_overflow_panics() {
+        let _ = SimTime::from_secs(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_micros overflow")]
+    fn duration_from_micros_overflow_panics() {
+        let _ = SimDuration::from_micros(u64::MAX / 1_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_millis overflow")]
+    fn duration_from_millis_overflow_panics() {
+        let _ = SimDuration::from_millis(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_secs overflow")]
+    fn duration_from_secs_overflow_panics() {
+        let _ = SimDuration::from_secs(u64::MAX / 1_000_000_000 + 1);
     }
 
     #[test]

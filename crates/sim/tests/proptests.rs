@@ -1,9 +1,122 @@
 //! Property-based tests for the simulation toolkit.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use proptest::prelude::*;
-use storm_sim::{CpuModel, EventQueue, SerialResource, SimDuration, SimTime};
+use storm_sim::{CancelToken, CpuModel, EventQueue, SerialResource, SimDuration, SimTime};
+
+/// The event queue the timer wheel replaced, kept as the differential
+/// reference model: a binary heap ordered by `(time, push sequence)`.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    live: std::collections::BTreeMap<u64, u64>, // seq -> at (for cancels)
+    seq: u64,
+}
+
+impl HeapModel {
+    fn push(&mut self, at: u64) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.live.insert(seq, at);
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        // Heap entries are tombstoned lazily: pop skips dead seqs.
+        self.live.remove(&seq).is_some()
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if self.live.remove(&seq).is_some() {
+                return Some((at, seq));
+            }
+        }
+        None
+    }
+}
+
+/// One step of the differential driver.
+#[derive(Debug, Clone)]
+enum Op {
+    Push {
+        at: u64,
+    },
+    /// Cancel the i-th oldest still-cancelable push (mod live count).
+    Cancel {
+        nth: usize,
+    },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Pushes dominate (three arms); deltas span every wheel level, from
+    // same-tick up past the ~73-minute horizon into the far list.
+    prop_oneof![
+        (0u64..20_000_000_000).prop_map(|at| Op::Push { at }),
+        (0u64..5_000_000_000_000).prop_map(|at| Op::Push { at }),
+        (0u64..3_000).prop_map(|at| Op::Push { at }),
+        (0usize..64).prop_map(|nth| Op::Cancel { nth }),
+        Just(Op::Pop),
+    ]
+}
 
 proptest! {
+    /// Differential test: the timer wheel agrees with the old
+    /// `BinaryHeap` queue on every interleaving of pushes, cancels, and
+    /// pops — identical pop order (time AND sequence) and identical
+    /// cancel outcomes.
+    #[test]
+    fn wheel_matches_heap_reference(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap = HeapModel::default();
+        // seq -> wheel token, for cancel targeting (kept sorted by seq).
+        let mut tokens: Vec<(u64, CancelToken)> = Vec::new();
+        let mut floor = 0u64; // wheel pops must not go back in time
+        for op in ops {
+            match op {
+                Op::Push { at } => {
+                    // The engine never schedules into the past; mirror it.
+                    let at = floor + at;
+                    let seq = heap.push(at);
+                    let tok = wheel.push_cancelable(SimTime::from_nanos(at), seq);
+                    tokens.push((seq, tok));
+                }
+                Op::Cancel { nth } => {
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    let (seq, tok) = tokens.remove(nth % tokens.len());
+                    let wheel_hit = wheel.cancel(tok).is_some();
+                    let heap_hit = heap.cancel(seq);
+                    prop_assert_eq!(wheel_hit, heap_hit, "cancel outcome diverged");
+                }
+                Op::Pop => {
+                    let expect = heap.pop();
+                    let got = wheel.pop().map(|(t, seq)| (t.as_nanos(), seq));
+                    prop_assert_eq!(got, expect, "pop order diverged");
+                    if let Some((at, seq)) = got {
+                        floor = at;
+                        tokens.retain(|(s, _)| *s != seq);
+                    }
+                }
+            }
+        }
+        // Drain: the remaining contents must match exactly too.
+        loop {
+            let expect = heap.pop();
+            let got = wheel.pop().map(|(t, seq)| (t.as_nanos(), seq));
+            prop_assert_eq!(got, expect, "drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
     /// The event queue always pops in non-decreasing time order, and ties
     /// preserve insertion order (determinism).
     #[test]
