@@ -60,13 +60,19 @@ fn main() -> ExitCode {
 const GUARDED: [&str; 3] = ["p99_ms", "bytes_copied_per_pdu", "peak_rss_mb"];
 
 /// Higher-is-better fields: the run must not fall more than [`TOLERANCE`]
-/// below the baseline. `slo_attainment` guards the QoS isolation claim;
-/// `migrations` guards that the provisioning control loop still fires;
-/// `hit_rate` and `dedup_ratio` guard the data-reduction suite's
-/// effectiveness on its reference workloads; `events_per_sec` guards the
-/// fleet executor's throughput (committed baseline is a conservative
-/// floor, ~half a healthy run, because wall clocks are noisy on CI).
-const GUARDED_MIN: [&str; 5] = [
+/// below the baseline. `throughput_mbps` guards data-path bandwidth —
+/// most pointedly the deep-queue `transport.qd_sweep.qd32` point, whose
+/// whole reason to exist is throughput; `cq_batch_avg` guards that
+/// interrupt moderation keeps coalescing completions; `slo_attainment`
+/// guards the QoS isolation claim; `migrations` guards that the
+/// provisioning control loop still fires; `hit_rate` and `dedup_ratio`
+/// guard the data-reduction suite's effectiveness on its reference
+/// workloads; `events_per_sec` guards the fleet executor's throughput
+/// (committed baseline is a conservative floor, ~half a healthy run,
+/// because wall clocks are noisy on CI).
+const GUARDED_MIN: [&str; 7] = [
+    "throughput_mbps",
+    "cq_batch_avg",
     "slo_attainment",
     "migrations",
     "hit_rate",
@@ -171,8 +177,9 @@ mod tests {
         format!(
             concat!(
                 "{{\n  \"benchmarks\": [\n",
-                "    {{\"name\":\"a\",\"p99_ms\":{:.3}}},\n",
-                "    {{\"name\":\"z\",\"p99_ms\":{:.3},\"bytes_copied_per_pdu\":{:.3}}}\n",
+                "    {{\"name\":\"a\",\"throughput_mbps\":1.00,\"p99_ms\":{:.3}}},\n",
+                "    {{\"name\":\"z\",\"throughput_mbps\":1.00,\"p99_ms\":{:.3},\
+                 \"bytes_copied_per_pdu\":{:.3}}}\n",
                 "  ]\n}}"
             ),
             p99_a, p99_z, copied
@@ -215,7 +222,8 @@ mod tests {
 
     fn qos_run(p99: f64, migrations: f64, attainment: f64) -> String {
         format!(
-            "{{\n  \"benchmarks\": [\n    {{\"name\":\"q\",\"p99_ms\":{p99:.3},\
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"q\",\"throughput_mbps\":1.00,\
+             \"p99_ms\":{p99:.3},\
              \"migrations\":{migrations:.3},\"slo_attainment\":{attainment:.3}}}\n  ]\n}}"
         )
     }
@@ -247,8 +255,10 @@ mod tests {
 
     fn suite_run(hit_rate: f64, ratio: f64) -> String {
         format!(
-            "{{\n  \"benchmarks\": [\n    {{\"name\":\"c\",\"p99_ms\":2.000,\
-             \"hit_rate\":{hit_rate:.3}}},\n    {{\"name\":\"d\",\"p99_ms\":2.000,\
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"c\",\"throughput_mbps\":1.00,\
+             \"p99_ms\":2.000,\
+             \"hit_rate\":{hit_rate:.3}}},\n    {{\"name\":\"d\",\"throughput_mbps\":1.00,\
+             \"p99_ms\":2.000,\
              \"dedup_ratio\":{ratio:.3}}}\n  ]\n}}"
         )
     }
@@ -280,6 +290,7 @@ mod tests {
     fn fleet_run(p99: f64, eps: f64, rss: f64) -> String {
         format!(
             "{{\n  \"benchmarks\": [\n    {{\"name\":\"fleet.1k_tenants.1m_requests\",\
+             \"throughput_mbps\":1.00,\
              \"p99_ms\":{p99:.3},\"wall_ms\":1500.000,\"events_per_sec\":{eps:.3},\
              \"peak_rss_mb\":{rss:.3}}}\n  ]\n}}"
         )
@@ -308,5 +319,43 @@ mod tests {
     #[test]
     fn fleet_within_tolerance_passes() {
         assert!(compare(FLEET_BASE, &fleet_run(0.15, 950_000.0, 420.0)).is_ok());
+    }
+
+    const SWEEP_BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"transport.qd_sweep.qd32","mode":"MB-ACTIVE-RELAY","block_bytes":65536,"threads":32,"queue_depth":32,"ops":3000,"iops":3000.0,"throughput_mbps":196.00,"mean_ms":10.000,"p50_ms":9.000,"p99_ms":20.000,"bytes_copied_per_pdu":0.000,"cq_batch_avg":4.000}
+  ]
+}"#;
+
+    fn sweep_run(mbps: f64, cq_batch: f64) -> String {
+        format!(
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"transport.qd_sweep.qd32\",\
+             \"throughput_mbps\":{mbps:.2},\"p99_ms\":20.000,\
+             \"bytes_copied_per_pdu\":0.000,\"cq_batch_avg\":{cq_batch:.3}}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn qd32_throughput_drop_fails() {
+        let err = compare(SWEEP_BASE, &sweep_run(150.0, 4.0)).unwrap_err();
+        assert!(
+            err.contains("FAIL transport.qd_sweep.qd32: throughput_mbps"),
+            "{err}"
+        );
+        assert!(err.contains("falls below"), "{err}");
+    }
+
+    #[test]
+    fn coalescing_collapse_fails() {
+        let err = compare(SWEEP_BASE, &sweep_run(200.0, 1.0)).unwrap_err();
+        assert!(
+            err.contains("FAIL transport.qd_sweep.qd32: cq_batch_avg"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sweep_within_tolerance_passes() {
+        assert!(compare(SWEEP_BASE, &sweep_run(190.0, 3.8)).is_ok());
     }
 }

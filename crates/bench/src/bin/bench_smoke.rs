@@ -11,9 +11,11 @@ use std::sync::Arc;
 
 use storm_bench::{
     cache_hit_point, dedup_ratio_point, fio_point, fio_point_traced, interference_point,
-    passthrough_point, provisioning_churn_point, run_fleet, suite_passthrough_point, BenchResults,
-    FioPoint, FleetConfig, PathMode, Testbed,
+    passthrough_point, provisioning_churn_point, run_fleet, suite_passthrough_point,
+    transport_point, BenchResults, FioPoint, FleetConfig, PassthroughPoint, PathMode, Testbed,
+    TransportPoint,
 };
+use storm_iscsi::TransportKind;
 use storm_sim::SimDuration;
 use storm_telemetry::{analyze, names, MetricsRegistry, Recorder};
 
@@ -35,6 +37,63 @@ fn peak_rss_mb() -> f64 {
         }
     }
     0.0
+}
+
+/// The shared tail of every fio-shaped scenario: print the standard line
+/// and record the row. fig4/fig5 and the transport lab all funnel
+/// through here instead of cloning the print/push pair per scenario.
+fn record_fio(
+    results: &mut BenchResults,
+    name: &str,
+    mode: PathMode,
+    block: usize,
+    threads: usize,
+    queue_depth: usize,
+    p: FioPoint,
+) {
+    println!(
+        "{name}: {} ops, {:.0} iops, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+        p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
+    );
+    results.push(name, mode, block, threads, queue_depth, p);
+}
+
+/// The shared tail of a zero-copy acceptance scenario: print, enforce
+/// the invariant, record the row with its copy-accounting extras. The
+/// passthrough and suite-idle variants differ only in name.
+fn record_zerocopy(results: &mut BenchResults, name: &str, block: usize, pt: &PassthroughPoint) {
+    println!(
+        "{name}: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
+         {:.3} data bytes copied/pdu ({} pdus, {} verbatim)",
+        pt.point.ops,
+        pt.point.p50_ms,
+        pt.point.p99_ms,
+        pt.bytes_copied_per_pdu(),
+        pt.pdus_forwarded,
+        pt.copy.verbatim_forwards
+    );
+    assert_eq!(
+        pt.copy.data_bytes_copied, 0,
+        "{name}: chain must not copy data segments"
+    );
+    results.push_with_extras(
+        name,
+        PathMode::MbActiveRelay,
+        block,
+        1,
+        1,
+        pt.point,
+        vec![
+            (
+                "bytes_copied_per_pdu".to_string(),
+                pt.bytes_copied_per_pdu(),
+            ),
+            (
+                "verbatim_forwards".to_string(),
+                pt.copy.verbatim_forwards as f64,
+            ),
+        ],
+    );
 }
 
 fn main() {
@@ -87,6 +146,7 @@ fn main() {
         PathMode::Legacy,
         4096,
         fleet_cfg.shards,
+        1,
         fleet_point,
         vec![
             ("wall_ms".to_string(), wall_ms),
@@ -101,11 +161,7 @@ fn main() {
         ("fig5.passive.64k", PathMode::MbPassiveRelay),
     ] {
         let p = fio_point(mode, block, 1, &testbed);
-        println!(
-            "{name}: {} ops, {:.0} iops, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
-            p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
-        );
-        results.push(name, mode, block, 1, p);
+        record_fio(&mut results, name, mode, block, 1, 1, p);
     }
 
     // The active-relay scenario runs with the recorder armed: its trace is
@@ -118,11 +174,15 @@ fn main() {
         &testbed,
         Recorder::hook(&rec),
     );
-    println!(
-        "fig5.active.64k: {} ops, {:.0} iops, mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
-        p.ops, p.iops, p.mean_latency_ms, p.p50_ms, p.p99_ms
+    record_fio(
+        &mut results,
+        "fig5.active.64k",
+        PathMode::MbActiveRelay,
+        block,
+        1,
+        1,
+        p,
     );
-    results.push("fig5.active.64k", PathMode::MbActiveRelay, block, 1, p);
 
     // Zero-copy acceptance: an active relay with an empty chain must
     // forward every data segment verbatim — 0 data bytes copied per PDU.
@@ -135,38 +195,107 @@ fn main() {
     );
     metrics.inc(names::RELAY_VERBATIM_FORWARDS, pt.copy.verbatim_forwards);
     metrics.inc(names::RELAY_PDUS_FORWARDED, pt.pdus_forwarded);
-    println!(
-        "zerocopy.passthrough.64k: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
-         {:.3} data bytes copied/pdu ({} pdus, {} verbatim)",
-        pt.point.ops,
-        pt.point.p50_ms,
-        pt.point.p99_ms,
-        pt.bytes_copied_per_pdu(),
-        pt.pdus_forwarded,
-        pt.copy.verbatim_forwards
-    );
+    record_zerocopy(&mut results, "zerocopy.passthrough.64k", block, &pt);
     print!("{}", metrics.report());
-    assert_eq!(
-        pt.copy.data_bytes_copied, 0,
-        "passthrough chain must not copy data segments"
+
+    // Transport lab (offload-vs-relay): sweep the multi-queue protocol
+    // over submission-queue depth through a bare active relay on a 10G
+    // fabric. Deep pipelining must close the middle-box throughput gap —
+    // QD=32 has to clear 4x the QD=1 figure — while the passthrough path
+    // stays zero-copy with many commands in flight.
+    let sweep: Vec<TransportPoint> = [1u16, 8, 32]
+        .iter()
+        .map(|&qd| transport_point(TransportKind::Nvmeq, qd, block, &testbed))
+        .collect();
+    for tp in &sweep {
+        let name = format!("transport.qd_sweep.qd{}", tp.queue_depth);
+        println!(
+            "{name}: {} ops, {:.1} MB/s, p50 {:.2} ms, p99 {:.2} ms, sq peak {}, \
+             {:.1} sqes/doorbell, {:.1} cqes/interrupt, {:.1} cmds/dispatch tick",
+            tp.point.ops,
+            tp.throughput_mbps(),
+            tp.point.p50_ms,
+            tp.point.p99_ms,
+            tp.sq_peak,
+            tp.doorbell_batch(),
+            tp.cq_batch(),
+            tp.dispatch_batch()
+        );
+        assert_eq!(
+            tp.copy.data_bytes_copied, 0,
+            "{name}: deep pipelining broke the zero-copy passthrough path"
+        );
+        results.push_with_extras(
+            &name,
+            PathMode::MbActiveRelay,
+            block,
+            tp.queue_depth as usize,
+            tp.queue_depth as usize,
+            tp.point,
+            vec![
+                (
+                    "bytes_copied_per_pdu".to_string(),
+                    tp.bytes_copied_per_pdu(),
+                ),
+                ("sq_peak".to_string(), tp.sq_peak as f64),
+                ("doorbell_batch".to_string(), tp.doorbell_batch()),
+                ("cq_batch_avg".to_string(), tp.cq_batch()),
+            ],
+        );
+    }
+    let (qd1, qd32) = (&sweep[0], &sweep[2]);
+    assert!(
+        qd32.throughput_mbps() >= 4.0 * qd1.throughput_mbps(),
+        "deep queues must close the relay gap: qd32 {:.1} MB/s vs qd1 {:.1} MB/s",
+        qd32.throughput_mbps(),
+        qd1.throughput_mbps()
+    );
+    assert!(
+        qd32.cq_batch() > 1.0,
+        "interrupt moderation never coalesced completions: {:.2} cqes/frame",
+        qd32.cq_batch()
+    );
+
+    // Head-to-head at the same depth: the serial protocol's best effort
+    // with 32 outstanding commands is the row; the extras carry the
+    // multi-queue side of the comparison.
+    let is32 = transport_point(TransportKind::Iscsi, 32, block, &testbed);
+    println!(
+        "transport.nvmeq_vs_iscsi.64k: iscsi {:.1} MB/s vs nvmeq {:.1} MB/s \
+         ({:.2}x) at qd 32",
+        is32.throughput_mbps(),
+        qd32.throughput_mbps(),
+        qd32.throughput_mbps() / is32.throughput_mbps()
     );
     results.push_with_extras(
-        "zerocopy.passthrough.64k",
+        "transport.nvmeq_vs_iscsi.64k",
         PathMode::MbActiveRelay,
         block,
-        1,
-        pt.point,
+        32,
+        32,
+        is32.point,
         vec![
+            ("nvmeq_mbps".to_string(), qd32.throughput_mbps()),
             (
-                "bytes_copied_per_pdu".to_string(),
-                pt.bytes_copied_per_pdu(),
-            ),
-            (
-                "verbatim_forwards".to_string(),
-                pt.copy.verbatim_forwards as f64,
+                "nvmeq_over_iscsi".to_string(),
+                qd32.throughput_mbps() / is32.throughput_mbps(),
             ),
         ],
     );
+
+    // Queue-occupancy and batching counters for the deep point go through
+    // the shared telemetry namespace, like the relay copy counters above.
+    let mut tmetrics = MetricsRegistry::new();
+    tmetrics.set_gauge(names::TRANSPORT_SQ_PEAK, qd32.sq_peak as i64);
+    tmetrics.inc(names::TRANSPORT_DOORBELL_FRAMES, qd32.doorbell.0);
+    tmetrics.inc(names::TRANSPORT_DOORBELL_SQES, qd32.doorbell.1);
+    tmetrics.inc(names::TRANSPORT_CQ_FRAMES, qd32.cq.0);
+    tmetrics.inc(names::TRANSPORT_CQ_CQES, qd32.cq.1);
+    tmetrics.set_gauge(
+        names::TARGET_DISPATCH_BATCH_X100,
+        (qd32.dispatch_batch() * 100.0) as i64,
+    );
+    print!("{}", tmetrics.report());
 
     // Data-reduction suite: hot-set reads against the write-back cache.
     let ch = cache_hit_point(&testbed);
@@ -192,6 +321,7 @@ fn main() {
         PathMode::MbActiveRelay,
         4096,
         1,
+        1,
         ch.point,
         vec![
             ("hit_rate".to_string(), ch.hit_rate),
@@ -216,6 +346,7 @@ fn main() {
         PathMode::MbActiveRelay,
         65536,
         1,
+        1,
         dr.point,
         vec![
             ("dedup_ratio".to_string(), dr.ratio),
@@ -226,37 +357,7 @@ fn main() {
     // The whole suite installed but idle must keep the verbatim fast
     // path: zero data bytes copied per forwarded PDU.
     let sp = suite_passthrough_point(block, 1, &testbed);
-    println!(
-        "zerocopy.suite_idle.64k: {} ops, p50 {:.2} ms, p99 {:.2} ms, \
-         {:.3} data bytes copied/pdu ({} pdus, {} verbatim)",
-        sp.point.ops,
-        sp.point.p50_ms,
-        sp.point.p99_ms,
-        sp.bytes_copied_per_pdu(),
-        sp.pdus_forwarded,
-        sp.copy.verbatim_forwards
-    );
-    assert_eq!(
-        sp.copy.data_bytes_copied, 0,
-        "idle suite must not copy data segments"
-    );
-    results.push_with_extras(
-        "zerocopy.suite_idle.64k",
-        PathMode::MbActiveRelay,
-        block,
-        1,
-        sp.point,
-        vec![
-            (
-                "bytes_copied_per_pdu".to_string(),
-                sp.bytes_copied_per_pdu(),
-            ),
-            (
-                "verbatim_forwards".to_string(),
-                sp.copy.verbatim_forwards as f64,
-            ),
-        ],
-    );
+    record_zerocopy(&mut results, "zerocopy.suite_idle.64k", block, &sp);
 
     // Suite counters go through the per-tenant namespace so reports stay
     // greppable by tenant (the workloads above all ran as tenant 0).
@@ -308,6 +409,7 @@ fn main() {
         PathMode::Legacy,
         block,
         1,
+        1,
         qi.shaped,
         vec![
             ("solo_p99_ms".to_string(), qi.solo.p99_ms),
@@ -343,6 +445,7 @@ fn main() {
         "qos.provisioning.churn",
         PathMode::Legacy,
         4096,
+        1,
         1,
         qc.point,
         vec![

@@ -12,8 +12,11 @@
 #![warn(missing_docs)]
 
 use storm_cloud::{Cloud, CloudConfig, VolumeHandle};
-use storm_core::{ActiveRelayMb, MbSpec, RelayCopyStats, RelayMode, StormPlatform};
-use storm_net::AppId;
+use storm_core::{
+    ActiveRelayMb, ChainDeployment, MbSpec, RelayCopyStats, RelayMode, StormPlatform,
+};
+use storm_iscsi::TransportKind;
+use storm_net::{AppId, LinkSpec};
 use storm_services::EncryptionService;
 use storm_sim::trace::TraceHook;
 use storm_sim::{SimDuration, SimTime};
@@ -193,24 +196,42 @@ pub fn fio_point_traced(
         testbed,
         false,
     );
+    run_and_measure(&mut cloud, app, testbed, &mode.to_string())
+}
+
+/// Drives an attached client to the end of the measurement window (plus
+/// drain slack) and folds its stats into a [`FioPoint`]. Every scenario
+/// runner funnels through here so the window arithmetic and the
+/// ready/error acceptance checks live in exactly one place.
+fn run_and_measure(cloud: &mut Cloud, app: AppId, testbed: &Testbed, label: &str) -> FioPoint {
     let start = cloud.net.now();
     let end = start + testbed.duration + SimDuration::from_secs(2);
     cloud.net.run_until(SimTime::from_nanos(end.as_nanos()));
     let client = cloud.client_mut(0, app);
-    assert!(client.is_ready(), "login failed in {mode}");
-    assert_eq!(client.stats.errors, 0, "I/O errors in {mode}");
+    assert!(client.is_ready(), "login failed in {label}");
+    assert_eq!(client.stats.errors, 0, "I/O errors in {label}");
     let ops = client.stats.ops();
-    let iops = ops as f64 / testbed.duration.as_secs_f64();
-    let mean_latency_ms = client.stats.latency.mean().as_nanos() as f64 / 1e6;
-    let p50_ms = client.stats.latency.percentile(50.0).as_nanos() as f64 / 1e6;
-    let p99_ms = client.stats.latency.percentile(99.0).as_nanos() as f64 / 1e6;
     FioPoint {
         ops,
-        iops,
-        mean_latency_ms,
-        p50_ms,
-        p99_ms,
+        iops: ops as f64 / testbed.duration.as_secs_f64(),
+        mean_latency_ms: client.stats.latency.mean().as_nanos() as f64 / 1e6,
+        p50_ms: client.stats.latency.percentile(50.0).as_nanos() as f64 / 1e6,
+        p99_ms: client.stats.latency.percentile(99.0).as_nanos() as f64 / 1e6,
     }
+}
+
+/// Reads `(pdus_forwarded, copy_stats)` back out of the first middle-box
+/// of a deployed chain.
+fn relay_copy_stats(cloud: &mut Cloud, deployment: &ChainDeployment) -> (u64, RelayCopyStats) {
+    let node = deployment.mb_nodes[0].node;
+    let mb_app = deployment.mb_apps[0].expect("active relay has an app");
+    let relay = cloud
+        .net
+        .app_mut(node, mb_app)
+        .expect("middle-box app present")
+        .downcast_ref::<ActiveRelayMb>()
+        .expect("app is an ActiveRelayMb");
+    (relay.pdus_forwarded(), relay.copy_stats())
 }
 
 /// Result of one passthrough-chain run: the fio point plus the relay's
@@ -268,32 +289,146 @@ pub fn passthrough_point(
         testbed.seed,
         false,
     );
-    let start = cloud.net.now();
-    let end = start + testbed.duration + SimDuration::from_secs(2);
-    cloud.net.run_until(SimTime::from_nanos(end.as_nanos()));
-    let client = cloud.client_mut(0, app);
-    assert!(client.is_ready(), "login failed on passthrough path");
-    assert_eq!(client.stats.errors, 0, "I/O errors on passthrough path");
-    let ops = client.stats.ops();
-    let point = FioPoint {
-        ops,
-        iops: ops as f64 / testbed.duration.as_secs_f64(),
-        mean_latency_ms: client.stats.latency.mean().as_nanos() as f64 / 1e6,
-        p50_ms: client.stats.latency.percentile(50.0).as_nanos() as f64 / 1e6,
-        p99_ms: client.stats.latency.percentile(99.0).as_nanos() as f64 / 1e6,
-    };
-    let node = deployment.mb_nodes[0].node;
-    let mb_app = deployment.mb_apps[0].expect("active relay has an app");
-    let relay = cloud
-        .net
-        .app_mut(node, mb_app)
-        .expect("middle-box app present")
-        .downcast_ref::<ActiveRelayMb>()
-        .expect("app is an ActiveRelayMb");
+    let point = run_and_measure(&mut cloud, app, testbed, "passthrough path");
+    let (pdus_forwarded, copy) = relay_copy_stats(&mut cloud, &deployment);
     PassthroughPoint {
         point,
-        pdus_forwarded: relay.pdus_forwarded(),
-        copy: relay.copy_stats(),
+        pdus_forwarded,
+        copy,
+    }
+}
+
+/// One point of the transport lab: the chosen wire protocol at a given
+/// submission-queue depth, pushed through a bare active relay.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportPoint {
+    /// The measured latency/throughput point.
+    pub point: FioPoint,
+    /// Request size the point ran with.
+    pub block_bytes: usize,
+    /// Submission-queue depth the session ran with.
+    pub queue_depth: u16,
+    /// High-water mark of commands in the submission ring (0 on iSCSI).
+    pub sq_peak: usize,
+    /// `(doorbell frames sent, SQEs they carried)` — `(0, 0)` on iSCSI.
+    pub doorbell: (u64, u64),
+    /// `(completion frames received, CQEs they carried)` — `(0, 0)` on
+    /// iSCSI.
+    pub cq: (u64, u64),
+    /// `(target dispatch ticks, commands admitted across them)`.
+    pub dispatch: (u64, u64),
+    /// Command units forwarded through the relay chain.
+    pub pdus_forwarded: u64,
+    /// The relay's memcpy accounting.
+    pub copy: RelayCopyStats,
+}
+
+impl TransportPoint {
+    /// Data throughput in MB/s (decimal, as the paper's figures label).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.point.iops * self.block_bytes as f64 / 1e6
+    }
+
+    /// Average SQEs flushed per doorbell write.
+    pub fn doorbell_batch(&self) -> f64 {
+        ratio(self.doorbell.1, self.doorbell.0)
+    }
+
+    /// Average CQEs per completion interrupt — the realized
+    /// interrupt-moderation coalescing factor.
+    pub fn cq_batch(&self) -> f64 {
+        ratio(self.cq.1, self.cq.0)
+    }
+
+    /// Average commands the target admitted per dispatch tick.
+    pub fn dispatch_batch(&self) -> f64 {
+        ratio(self.dispatch.1, self.dispatch.0)
+    }
+
+    /// Data-segment bytes copied per forwarded unit (the zero-copy
+    /// acceptance metric; 0.0 when nothing was forwarded).
+    pub fn bytes_copied_per_pdu(&self) -> f64 {
+        ratio(self.copy.data_bytes_copied, self.pdus_forwarded)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Runs one transport-lab point: `kind` at `queue_depth`, `block_bytes`
+/// requests through a **bare** active relay (the offload-vs-relay
+/// scenario), with the workload keeping `queue_depth` requests
+/// outstanding so the ring actually fills.
+///
+/// The lab swaps the testbed's 1 GbE storage fabric for 10 GbE and its
+/// vhost-copied virtio vifs for SR-IOV-style passthrough vNICs (full
+/// duplex, no 7 µs per-packet software copy) — the sweep measures how
+/// deep queues amortize per-command costs, and either software ceiling
+/// would clip the QD=32 point at ~110 MB/s before the rings matter.
+pub fn transport_point(
+    kind: TransportKind,
+    queue_depth: u16,
+    block_bytes: usize,
+    testbed: &Testbed,
+) -> TransportPoint {
+    let mut cfg = CloudConfig {
+        seed: testbed.seed,
+        backing_bytes: 64 << 30,
+        transport: kind,
+        queue_depth,
+        phys_link: LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            ..LinkSpec::gigabit()
+        },
+        virtio_link: LinkSpec {
+            per_packet: SimDuration::from_micros(1),
+            half_duplex: false,
+            ..LinkSpec::virtio()
+        },
+        ..CloudConfig::default()
+    };
+    cfg.target.disk.prewarmed = true;
+    let mut cloud = Cloud::build(cfg);
+    let vol = cloud.create_volume(testbed.volume_bytes, 0);
+    let platform = StormPlatform::default();
+    let deployment = platform.deploy_chain(
+        &mut cloud,
+        &vol,
+        (1, 2),
+        vec![MbSpec::bare(3, RelayMode::Active)],
+    );
+    let job =
+        FioJob::randrw(block_bytes, testbed.duration, vol.sectors).threads(queue_depth as usize);
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:tenant",
+        &vol,
+        Box::new(FioWorkload::new(job)),
+        testbed.seed,
+        false,
+    );
+    let label = format!("{kind} qd{queue_depth}");
+    let point = run_and_measure(&mut cloud, app, testbed, &label);
+    let (pdus_forwarded, copy) = relay_copy_stats(&mut cloud, &deployment);
+    let (ticks, admitted, _peak_batch) = cloud.target_mut(0).dispatch_stats();
+    let t = cloud.client_mut(0, app).transport();
+    TransportPoint {
+        point,
+        block_bytes,
+        queue_depth,
+        sq_peak: t.sq_peak(),
+        doorbell: t.doorbell_stats(),
+        cq: t.cq_stats(),
+        dispatch: (ticks, admitted),
+        pdus_forwarded,
+        copy,
     }
 }
 

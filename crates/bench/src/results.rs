@@ -16,6 +16,9 @@ pub struct ScenarioResult {
     pub block_bytes: usize,
     /// Outstanding requests.
     pub threads: usize,
+    /// Transport submission-queue depth the session ran with (1 for the
+    /// serial iSCSI scenarios) — makes QD-sweep rows self-describing.
+    pub queue_depth: usize,
     /// The measured point.
     pub point: FioPoint,
     /// Extra scenario-specific metrics, serialized after `p99_ms` in
@@ -50,18 +53,29 @@ impl BenchResults {
         mode: PathMode,
         block_bytes: usize,
         threads: usize,
+        queue_depth: usize,
         point: FioPoint,
     ) {
-        self.push_with_extras(name, mode, block_bytes, threads, point, Vec::new());
+        self.push_with_extras(
+            name,
+            mode,
+            block_bytes,
+            threads,
+            queue_depth,
+            point,
+            Vec::new(),
+        );
     }
 
     /// Adds one measured scenario with extra named metrics.
+    #[allow(clippy::too_many_arguments)]
     pub fn push_with_extras(
         &mut self,
         name: &str,
         mode: PathMode,
         block_bytes: usize,
         threads: usize,
+        queue_depth: usize,
         point: FioPoint,
         extras: Vec<(String, f64)>,
     ) {
@@ -70,6 +84,7 @@ impl BenchResults {
             mode,
             block_bytes,
             threads,
+            queue_depth,
             point,
             extras,
         });
@@ -90,12 +105,13 @@ impl BenchResults {
             let _ = write!(
                 out,
                 "    {{\"name\":\"{}\",\"mode\":\"{}\",\"block_bytes\":{},\"threads\":{},\
-                 \"ops\":{},\"iops\":{:.1},\"throughput_mbps\":{:.2},\
+                 \"queue_depth\":{},\"ops\":{},\"iops\":{:.1},\"throughput_mbps\":{:.2},\
                  \"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3}",
                 s.name,
                 s.mode,
                 s.block_bytes,
                 s.threads,
+                s.queue_depth,
                 p.ops,
                 p.iops,
                 throughput_mbps,
@@ -136,6 +152,7 @@ mod tests {
             PathMode::Legacy,
             4096,
             1,
+            1,
             FioPoint {
                 ops: 1000,
                 iops: 500.0,
@@ -149,6 +166,7 @@ mod tests {
             PathMode::MbActiveRelay,
             65536,
             1,
+            32,
             FioPoint {
                 ops: 100,
                 iops: 50.0,
@@ -162,6 +180,9 @@ mod tests {
         assert!(json.starts_with("{\n  \"benchmarks\": [\n"));
         assert!(json.contains("\"name\":\"fig4.legacy.4k\""));
         assert!(json.contains("\"mode\":\"MB-ACTIVE-RELAY\""));
+        // queue_depth sits between threads and ops in the fixed order.
+        assert!(json.contains("\"threads\":1,\"queue_depth\":1,\"ops\":1000"));
+        assert!(json.contains("\"threads\":1,\"queue_depth\":32,\"ops\":100"));
         assert!(json.contains("\"throughput_mbps\":2.05"));
         assert!(json.contains("\"p99_ms\":3.500"));
         // Extras append after p99_ms inside the same object.

@@ -1,18 +1,26 @@
-//! The tenant VM's block I/O path: virtio-blk → host initiator → iSCSI.
+//! The tenant VM's block I/O path: virtio-blk → host initiator → wire.
 //!
-//! A [`VolumeClient`] is the compute-host application that owns one iSCSI
+//! A [`VolumeClient`] is the compute-host application that owns one block
 //! session for one attached volume and drives it with a pluggable
 //! [`Workload`] (Fio-like generators, PostMark, OLTP clients — see
-//! `storm-workloads`). CPU spent issuing and completing I/O is charged to
-//! the VM's label, which is how the Figure-10 utilization breakdown gets
-//! its per-VM numbers.
+//! `storm-workloads`). The wire protocol is pluggable too: the client
+//! holds a `Box<dyn Transport>` and [`TransportKind`] in the config picks
+//! iSCSI (the paper's deployment) or the nvmeq multi-queue protocol,
+//! whose submission ring keeps up to `queue_depth` tagged commands in
+//! flight and batches each burst into one doorbell frame. CPU spent
+//! issuing and completing I/O is charged to the VM's label, which is how
+//! the Figure-10 utilization breakdown gets its per-VM numbers.
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use storm_iscsi::{Initiator, InitiatorConfig, InitiatorEvent, IoTag, ScsiStatus};
+use storm_iscsi::{
+    Initiator, InitiatorConfig, IoTag, IscsiTransport, ScsiStatus, Transport, TransportEvent,
+    TransportKind,
+};
 use storm_net::{App, CloseReason, Cx, SendQueue, SockAddr, SockId};
+use storm_nvmeq::{NvmeqConfig, NvmeqInitiator};
 use storm_sim::metrics::{LatencyStats, Meter, Timeline};
 use storm_sim::trace::{req_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{SimDuration, SimRng, SimTime};
@@ -188,8 +196,14 @@ pub struct VolumeClientConfig {
     /// The target portal (always the *real* storage address — StorM's
     /// splicing redirects transparently underneath).
     pub target: SockAddr,
-    /// iSCSI initiator identity and parameters.
+    /// iSCSI initiator identity and parameters. The IQNs double as the
+    /// nvmeq connect identities, so one config covers both protocols.
     pub initiator: InitiatorConfig,
+    /// Wire protocol for the session.
+    pub transport: TransportKind,
+    /// Submission-ring depth for [`TransportKind::Nvmeq`]: commands
+    /// beyond this park in the host's software queue. Ignored by iSCSI.
+    pub queue_depth: u16,
     /// CPU label for this VM (e.g. `"vm:mysql"`).
     pub vm_label: String,
     /// Per-request virtio-blk + guest block-layer CPU cost.
@@ -209,6 +223,8 @@ impl VolumeClientConfig {
         VolumeClientConfig {
             target,
             initiator,
+            transport: TransportKind::Iscsi,
+            queue_depth: 32,
             vm_label: vm_label.into(),
             per_io_cpu: SimDuration::from_micros(40),
             seed: 1,
@@ -221,7 +237,7 @@ impl VolumeClientConfig {
 /// The compute-host app owning one volume session + workload.
 pub struct VolumeClient {
     cfg: VolumeClientConfig,
-    ini: Initiator,
+    ini: Box<dyn Transport>,
     sock: Option<SockId>,
     sendq: SendQueue,
     workload: Option<Box<dyn Workload>>,
@@ -239,7 +255,16 @@ impl VolumeClient {
     /// Creates a client that will run `workload` once attached.
     pub fn new(cfg: VolumeClientConfig, workload: Box<dyn Workload>) -> Self {
         let rng = SimRng::seed_from_u64(cfg.seed);
-        let ini = Initiator::new(cfg.initiator.clone());
+        let ini: Box<dyn Transport> = match cfg.transport {
+            TransportKind::Iscsi => {
+                Box::new(IscsiTransport::new(Initiator::new(cfg.initiator.clone())))
+            }
+            TransportKind::Nvmeq => Box::new(NvmeqInitiator::new(NvmeqConfig {
+                initiator_iqn: cfg.initiator.initiator_iqn.clone(),
+                target_iqn: cfg.initiator.target_iqn.clone(),
+                queue_depth: cfg.queue_depth,
+            })),
+        };
         let timeline = cfg
             .timeline
             .then(|| Timeline::new(SimDuration::from_secs(1)));
@@ -276,6 +301,11 @@ impl VolumeClient {
     /// Downcast-friendly access to the workload.
     pub fn workload_ref(&self) -> Option<&dyn Workload> {
         self.workload.as_deref()
+    }
+
+    /// The session's transport (ring/doorbell/coalescing counters).
+    pub fn transport(&self) -> &dyn Transport {
+        self.ini.as_ref()
     }
 
     fn flush_out(&mut self, cx: &mut Cx<'_>) {
@@ -435,7 +465,7 @@ impl App for VolumeClient {
 
     fn on_connected(&mut self, cx: &mut Cx<'_>, sock: SockId) {
         self.tuple = cx.tuple_of(sock);
-        self.ini.start_login();
+        self.ini.start();
         self.flush_out(cx);
     }
 
@@ -447,14 +477,14 @@ impl App for VolumeClient {
         let events = self.ini.feed_bytes(data);
         for ev in events {
             match ev {
-                InitiatorEvent::LoginComplete => {
+                TransportEvent::Ready => {
                     self.ready = true;
                     self.drive(cx, |w, io| w.start(io));
                 }
-                InitiatorEvent::LoginFailed { .. } => {
+                TransportEvent::ConnectFailed { .. } => {
                     self.drive(cx, |w, io| w.disconnected(io));
                 }
-                InitiatorEvent::ReadComplete { tag, status, data } => {
+                TransportEvent::ReadDone { tag, status, data } => {
                     if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
                         let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
                         let ok = status == ScsiStatus::Good;
@@ -466,8 +496,8 @@ impl App for VolumeClient {
                         });
                     }
                 }
-                InitiatorEvent::WriteComplete { tag, status }
-                | InitiatorEvent::FlushComplete { tag, status } => {
+                TransportEvent::WriteDone { tag, status }
+                | TransportEvent::FlushDone { tag, status } => {
                     if let Some((req, kind, issued, bytes)) = self.pending.remove(&tag) {
                         let _ = cx.charge(self.cfg.per_io_cpu / 2, &self.cfg.vm_label);
                         let ok = status == ScsiStatus::Good;
@@ -488,10 +518,10 @@ impl App for VolumeClient {
                         });
                     }
                 }
-                InitiatorEvent::LoggedOut => {
+                TransportEvent::Closed => {
                     self.ready = false;
                 }
-                InitiatorEvent::ProtocolError(_) => {
+                TransportEvent::ProtocolError(_) => {
                     if let Some(sock) = self.sock {
                         cx.abort(sock);
                     }

@@ -1,10 +1,19 @@
-//! The storage host application: iSCSI targets over the disk model.
+//! The storage host application: block targets over the disk model.
 //!
-//! One `TargetHostApp` per storage host listens on port 3260 and serves
-//! every volume exported from that host (sessions select their volume by
-//! `TargetName` at login). Reads and writes pass through the shared
-//! [`DiskModel`] so concurrent sessions contend for the spindle, as on the
-//! paper's Cinder node.
+//! One `TargetHostApp` per storage host listens on the iSCSI (3260) and
+//! nvmeq (4420) portals and serves every volume exported from that host
+//! (sessions select their volume by `TargetName` at login/connect). The
+//! wire protocol is sniffed per connection from the first byte — nvmeq
+//! frames open with magic `0xB5`, iSCSI logins with opcode `0x43` — so
+//! steering rules written for one portal cover both. Reads and writes
+//! pass through the shared [`DiskModel`] so concurrent sessions contend
+//! for the spindle, as on the paper's Cinder node.
+//!
+//! An nvmeq doorbell delivers a whole batch of submissions in one frame;
+//! `handle_events` drains them in one dispatch tick (every command is
+//! admitted to the disk model before the first completes), and held
+//! completions go out when the connection's interrupt-moderation timer
+//! fires ([`storm_iscsi::TargetTransport::cq_deadline_ns`]).
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -12,9 +21,11 @@ use bytes::Bytes;
 
 use storm_block::{BlockDevice, SharedVolume};
 use storm_iscsi::{
-    Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, ISCSI_PORT,
+    Iqn, ScsiStatus, SessionParams, TargetConfig, TargetConn, TargetEvent, TargetTransport,
+    ISCSI_PORT,
 };
 use storm_net::{App, CloseReason, Cx, FourTuple, SendQueue, SockId};
+use storm_nvmeq::{scan_connect_payload, NvmeqTargetConfig, NvmeqTargetConn, MAGIC, NVMEQ_PORT};
 use storm_qos::{DiskTier, RateLimitSpec, RateLimiter, WeightedFairQueue};
 use storm_sim::trace::{req_token, Hop, ReqToken, TraceEvent, TraceHook};
 use storm_sim::{FaultAction, FaultHook, FaultSite, Histogram, SimDuration, SimTime};
@@ -32,6 +43,12 @@ pub struct TargetHostConfig {
     pub per_io_cpu: SimDuration,
     /// Per-byte target CPU cost (TCP + page-cache copies).
     pub per_byte_cpu: SimDuration,
+    /// Ring size offered to nvmeq hosts in the connect ack.
+    pub queue_depth: u16,
+    /// nvmeq completion coalescing: flush once this many CQEs are held.
+    pub cq_max_batch: usize,
+    /// nvmeq interrupt-moderation window in nanoseconds.
+    pub cq_window_ns: u64,
 }
 
 impl Default for TargetHostConfig {
@@ -41,13 +58,16 @@ impl Default for TargetHostConfig {
             params: SessionParams::default(),
             per_io_cpu: SimDuration::from_micros(20),
             per_byte_cpu: SimDuration::from_nanos(4),
+            queue_depth: 32,
+            cq_max_batch: 8,
+            cq_window_ns: 20_000,
         }
     }
 }
 
 #[derive(Debug)]
 struct Session {
-    conn: TargetConn,
+    conn: Box<dyn TargetTransport>,
     volume: Option<SharedVolume>,
     /// IQN the session bound to (QoS tenant/tier lookups).
     iqn: Option<String>,
@@ -55,6 +75,9 @@ struct Session {
     /// The initiator name seen at login (connection attribution).
     initiator: Option<Iqn>,
     tuple: Option<FourTuple>,
+    /// The coalescing deadline a timer is currently armed for, so one
+    /// deadline never arms two timers.
+    armed_cq: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -170,6 +193,12 @@ pub struct TargetHostApp {
     /// blocks every other tenant for its whole delay.
     qos_admit: HashMap<u64, QosJob>,
     qos: Option<QosState>,
+    /// Interrupt-moderation timers: token → session whose completion
+    /// queue should flush when it fires.
+    cq_wait: HashMap<u64, SockId>,
+    /// Submission-batch dispatch stats: `(ticks, commands, max batch)` —
+    /// one tick per `handle_events` call that admitted commands.
+    dispatch: (u64, u64, usize),
     next_token: u64,
     /// Completed (initiator IQN, 4-tuple) pairs for attribution queries.
     logins: Vec<(Iqn, FourTuple)>,
@@ -192,6 +221,8 @@ impl TargetHostApp {
             qos_slot: HashMap::new(),
             qos_admit: HashMap::new(),
             qos: None,
+            cq_wait: HashMap::new(),
+            dispatch: (0, 0, 0),
             next_token: 1,
             logins: Vec::new(),
             fault: FaultHook::none(),
@@ -397,6 +428,40 @@ impl TargetHostApp {
         self.sessions.len()
     }
 
+    /// Submission-batch dispatch stats: `(dispatch ticks, commands
+    /// admitted, largest single-tick batch)`. Commands/ticks is the
+    /// realized batch size the disk model sees per drain.
+    pub fn dispatch_stats(&self) -> (u64, u64, usize) {
+        self.dispatch
+    }
+
+    /// Arms the interrupt-moderation timer for `sock`'s held
+    /// completions, at most one timer per deadline. Stale timers no-op
+    /// (a batch-full flush clears the deadline before they fire).
+    fn arm_cq(&mut self, cx: &mut Cx<'_>, sock: SockId) {
+        let deadline = match self.sessions.get_mut(&sock) {
+            Some(sess) => match sess.conn.cq_deadline_ns() {
+                Some(d) if sess.armed_cq != Some(d) => {
+                    sess.armed_cq = Some(d);
+                    d
+                }
+                Some(_) => return,
+                None => {
+                    sess.armed_cq = None;
+                    return;
+                }
+            },
+            None => return,
+        };
+        let token = self.token();
+        self.cq_wait.insert(token, sock);
+        let now_ns = cx.now().as_nanos();
+        cx.set_timer(
+            SimDuration::from_nanos(deadline.saturating_sub(now_ns)),
+            token,
+        );
+    }
+
     fn token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
@@ -566,6 +631,9 @@ impl TargetHostApp {
     }
 
     fn handle_events(&mut self, cx: &mut Cx<'_>, sock: SockId, events: Vec<TargetEvent>) {
+        // One call = one dispatch tick: a doorbell's whole submission
+        // batch is admitted to the disk model before anything completes.
+        let mut admitted = 0usize;
         for ev in events {
             match ev {
                 TargetEvent::LoggedIn { initiator_name } => {
@@ -584,6 +652,7 @@ impl TargetHostApp {
                 }
                 TargetEvent::ReadReady { itt, lba, sectors } => {
                     let now = cx.now();
+                    admitted += 1;
                     let cpu = self.cfg.per_io_cpu + self.cfg.per_byte_cpu * (sectors as u64 * 512);
                     let _ = cx.charge(cpu, "target");
                     let extra = match self.disk_verdict(now, false) {
@@ -594,6 +663,7 @@ impl TargetHostApp {
                         FaultAction::Fail => {
                             if let Some(sess) = self.sessions.get_mut(&sock) {
                                 sess.conn.complete_read(
+                                    now.as_nanos(),
                                     itt,
                                     Bytes::new(),
                                     ScsiStatus::CheckCondition,
@@ -622,6 +692,7 @@ impl TargetHostApp {
                 }
                 TargetEvent::WriteReady { itt, lba, data } => {
                     let now = cx.now();
+                    admitted += 1;
                     let cpu = self.cfg.per_io_cpu + self.cfg.per_byte_cpu * data.len() as u64;
                     let _ = cx.charge(cpu, "target");
                     // Functional write happens immediately; the response
@@ -666,7 +737,7 @@ impl TargetHostApp {
                         cx.set_timer(done - now, token);
                         self.trace_serve(now, sock, itt, cpu, done - now);
                     } else if let Some(sess) = self.sessions.get_mut(&sock) {
-                        sess.conn.complete_write(itt, status);
+                        sess.conn.complete_write(now.as_nanos(), itt, status);
                         for c in sess.conn.take_wire() {
                             sess.sendq.push_bytes(c);
                         }
@@ -675,13 +746,18 @@ impl TargetHostApp {
                 }
                 TargetEvent::FlushReady { itt } => {
                     let now = cx.now();
+                    admitted += 1;
                     let extra = match self.disk_verdict(now, true) {
                         FaultAction::Proceed => SimDuration::ZERO,
                         FaultAction::Delay(d) => d,
                         FaultAction::Drop => continue,
                         FaultAction::Fail => {
                             if let Some(sess) = self.sessions.get_mut(&sock) {
-                                sess.conn.complete_flush(itt, ScsiStatus::CheckCondition);
+                                sess.conn.complete_flush(
+                                    now.as_nanos(),
+                                    itt,
+                                    ScsiStatus::CheckCondition,
+                                );
                             }
                             continue;
                         }
@@ -706,30 +782,40 @@ impl TargetHostApp {
                 }
             }
         }
+        if admitted > 0 {
+            self.dispatch.0 += 1;
+            self.dispatch.1 += admitted as u64;
+            self.dispatch.2 = self.dispatch.2.max(admitted);
+        }
         if let Some(sess) = self.sessions.get_mut(&sock) {
             for c in sess.conn.take_wire() {
                 sess.sendq.push_bytes(c);
             }
             sess.sendq.pump(cx, sock);
         }
+        self.arm_cq(cx, sock);
     }
 }
 
 impl App for TargetHostApp {
     fn on_start(&mut self, cx: &mut Cx<'_>) {
         cx.listen(ISCSI_PORT);
+        cx.listen(NVMEQ_PORT);
     }
 
     fn on_accepted(&mut self, _cx: &mut Cx<'_>, _port: u16, sock: SockId) {
         // The volume is bound after login (TargetName key); export the
         // largest registered capacity so READ CAPACITY during early login
-        // phases is sane; per-session capacity is fixed at bind time.
-        let conn = TargetConn::new(TargetConfig {
+        // phases is sane; per-session capacity is fixed at bind time. The
+        // protocol is unknown until the first bytes arrive: start with an
+        // iSCSI placeholder and swap in an nvmeq connection if the first
+        // byte is the nvmeq magic.
+        let conn = Box::new(TargetConn::new(TargetConfig {
             target_iqn: Iqn::for_volume(0),
             params: self.cfg.params.clone(),
             num_sectors: 0,
             tsih: 1,
-        });
+        }));
         self.sessions.insert(
             sock,
             Session {
@@ -739,28 +825,55 @@ impl App for TargetHostApp {
                 sendq: SendQueue::new(),
                 initiator: None,
                 tuple: None,
+                armed_cq: None,
             },
         );
     }
 
     fn on_data(&mut self, cx: &mut Cx<'_>, sock: SockId, data: Bytes) {
-        // Bind the volume on the first bytes if not yet bound: peek the
-        // login's TargetName. TargetConn handles parsing; we pre-scan for
-        // the key (cheap linear scan over the login text).
+        // Bind the volume on the first bytes if not yet bound: sniff the
+        // protocol by magic byte, then peek the login/connect TargetName.
+        // The state machines handle real parsing; we pre-scan for the key
+        // (cheap linear scan over the handshake text).
         if let Some(sess) = self.sessions.get_mut(&sock) {
             if sess.volume.is_none() {
-                if let Some(name) = scan_target_name(&data) {
+                if data.first() == Some(&MAGIC) {
+                    // nvmeq connect: bind and swap the protocol machine.
+                    // An unknown TargetName gets a deliberately unbound
+                    // connection, which refuses the connect itself.
+                    let name = scan_connect_payload(&data, "TargetName");
+                    let bound = name
+                        .as_ref()
+                        .and_then(|n| self.volumes.get(n))
+                        .map(|v| (v.clone(), v.clone().num_sectors()));
+                    let target_iqn = match (&bound, name) {
+                        (Some(_), Some(n)) => {
+                            sess.iqn = Some(n.clone());
+                            Iqn::parse(n).unwrap_or_else(|_| Iqn::for_volume(0))
+                        }
+                        _ => Iqn::for_volume(u32::MAX),
+                    };
+                    let num_sectors = bound.as_ref().map_or(0, |(_, s)| *s);
+                    sess.volume = bound.map(|(v, _)| v);
+                    sess.conn = Box::new(NvmeqTargetConn::new(NvmeqTargetConfig {
+                        target_iqn,
+                        num_sectors,
+                        queue_depth: self.cfg.queue_depth,
+                        cq_max_batch: self.cfg.cq_max_batch,
+                        cq_window_ns: self.cfg.cq_window_ns,
+                    }));
+                } else if let Some(name) = scan_target_name(&data) {
                     if let Some(vol) = self.volumes.get(&name) {
                         let volume = vol.clone();
                         let sectors = volume.num_sectors();
                         sess.volume = Some(volume);
                         sess.iqn = Some(name.clone());
-                        sess.conn = TargetConn::new(TargetConfig {
+                        sess.conn = Box::new(TargetConn::new(TargetConfig {
                             target_iqn: Iqn::parse(name).unwrap_or_else(|_| Iqn::for_volume(0)),
                             params: self.cfg.params.clone(),
                             num_sectors: sectors,
                             tsih: 1,
-                        });
+                        }));
                     }
                 }
             }
@@ -779,6 +892,24 @@ impl App for TargetHostApp {
     }
 
     fn on_timer(&mut self, cx: &mut Cx<'_>, token: u64) {
+        // An interrupt-moderation timer firing flushes the session's held
+        // completions (unless a batch-full flush already drained them, or
+        // the deadline moved — then re-arm for the new instant).
+        if let Some(sock) = self.cq_wait.remove(&token) {
+            let now_ns = cx.now().as_nanos();
+            if let Some(sess) = self.sessions.get_mut(&sock) {
+                sess.armed_cq = None;
+                if sess.conn.cq_deadline_ns().is_some_and(|d| d <= now_ns) {
+                    sess.conn.flush_cq(now_ns);
+                    for c in sess.conn.take_wire() {
+                        sess.sendq.push_bytes(c);
+                    }
+                    sess.sendq.pump(cx, sock);
+                }
+            }
+            self.arm_cq(cx, sock);
+            return;
+        }
         // A shaping delay elapsing makes its job scheduler-eligible.
         if let Some(job) = self.qos_admit.remove(&token) {
             self.enqueue_qos(cx, job);
@@ -811,6 +942,12 @@ impl App for TargetHostApp {
             }
             FaultAction::Fail => force_error = true,
         }
+        let now_ns = cx.now().as_nanos();
+        let done_sock = match &pending {
+            PendingDisk::Read { sock, .. }
+            | PendingDisk::Write { sock, .. }
+            | PendingDisk::Flush { sock, .. } => *sock,
+        };
         match pending {
             PendingDisk::Read {
                 sock,
@@ -831,7 +968,8 @@ impl App for TargetHostApp {
                             None => ScsiStatus::CheckCondition,
                         }
                     };
-                    sess.conn.complete_read(itt, Bytes::from(buf), status);
+                    sess.conn
+                        .complete_read(now_ns, itt, Bytes::from(buf), status);
                     for c in sess.conn.take_wire() {
                         sess.sendq.push_bytes(c);
                     }
@@ -845,7 +983,7 @@ impl App for TargetHostApp {
                     } else {
                         ScsiStatus::Good
                     };
-                    sess.conn.complete_write(itt, status);
+                    sess.conn.complete_write(now_ns, itt, status);
                     for c in sess.conn.take_wire() {
                         sess.sendq.push_bytes(c);
                     }
@@ -865,7 +1003,7 @@ impl App for TargetHostApp {
                             None => ScsiStatus::CheckCondition,
                         }
                     };
-                    sess.conn.complete_flush(itt, status);
+                    sess.conn.complete_flush(now_ns, itt, status);
                     for c in sess.conn.take_wire() {
                         sess.sendq.push_bytes(c);
                     }
@@ -873,6 +1011,7 @@ impl App for TargetHostApp {
                 }
             }
         }
+        self.arm_cq(cx, done_sock);
     }
 
     fn on_closed(&mut self, _cx: &mut Cx<'_>, sock: SockId, _reason: CloseReason) {

@@ -18,6 +18,7 @@
 
 mod active;
 mod passive;
+mod queue;
 
 pub use active::{
     ActiveRelayConfig, ActiveRelayMb, MbControl, RelayCopyStats, RelayQosConfig, ReplicaTarget,

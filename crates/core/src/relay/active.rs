@@ -9,10 +9,12 @@ use storm_iscsi::{
     SessionParams, SHARE_THRESHOLD,
 };
 use storm_net::{App, BusMsg, CloseReason, Cx, HostId, SendQueue, SockAddr, SockId};
+use storm_nvmeq::{FrameKind, FrameWire, UnitEntry, FRAME_HDR_LEN, MAGIC};
 use storm_qos::{RateLimitSpec, RateLimiter};
 use storm_sim::trace::{flow_token, req_token, Hop, TraceEvent, TraceHook};
 use storm_sim::{FaultAction, FaultHook, FaultSite, SerialResource, SimDuration, SimTime};
 
+use super::queue::{self, NvqPair, UnitOut};
 use crate::service::{Dir, ReplicaIo, StorageService, SvcAction, SvcCtx};
 
 /// A replica volume the middle-box attaches for side I/O (the replication
@@ -139,12 +141,26 @@ enum Side {
     Client,
 }
 
+/// Which wire protocol a relayed flow speaks. Decided by the first byte
+/// the tenant VM sends (nvmeq's frame magic `0xB5` vs iSCSI's login
+/// opcode), exactly like the storage target's portal sniffing — so one
+/// steering rule covers both transports.
+enum PairProto {
+    /// No tenant-side bytes seen yet.
+    Undecided,
+    /// Classic one-command-conversation iSCSI.
+    Iscsi,
+    /// Multi-queue doorbell/completion frames with per-flow ring state.
+    Nvmeq(Box<NvqPair>),
+}
+
 struct FlowPair {
     server: SockId,
     client: SockId,
     /// The flow's original (initiator-side) source port — the request-token
     /// prefix shared with the guest and the target.
     src_port: u16,
+    proto: PairProto,
     s_stream: PduStream,
     c_stream: PduStream,
     s_out: SendQueue,
@@ -189,6 +205,18 @@ struct ReplicaSession {
 enum PduOut {
     Verbatim(Vec<Bytes>),
     Encode(Pdu),
+    /// An nvmeq frame every unit of which passed the chain untouched:
+    /// the received wire image re-emitted as-is (`units` commands).
+    NvqVerbatim {
+        wire: Vec<Bytes>,
+        units: u64,
+    },
+    /// An nvmeq frame rebuilt from chain outputs (fresh header; entries
+    /// re-encoded as needed; data segments still shared views).
+    NvqFrame {
+        kind: FrameKind,
+        units: Vec<UnitOut>,
+    },
 }
 
 enum Deferred {
@@ -238,6 +266,10 @@ pub struct ActiveRelayMb {
     pdus_forwarded: u64,
     verbatim_forwards: u64,
     encode_bytes_copied: u64,
+    /// Fixed-size metadata copies on nvmeq re-framing (fresh frame
+    /// headers + re-encoded entries) — the multi-queue analogue of BHS
+    /// decode scratch.
+    encode_header_bytes: u64,
     /// Copy counters of streams whose pairs were dropped by a crash.
     retired_copy_stats: RelayCopyStats,
     crashed: bool,
@@ -269,6 +301,7 @@ impl ActiveRelayMb {
             pdus_forwarded: 0,
             verbatim_forwards: 0,
             encode_bytes_copied: 0,
+            encode_header_bytes: 0,
             retired_copy_stats: RelayCopyStats::default(),
             crashed: false,
             fault: FaultHook::none(),
@@ -342,11 +375,17 @@ impl ActiveRelayMb {
     pub fn copy_stats(&self) -> RelayCopyStats {
         let mut s = self.retired_copy_stats;
         s.data_bytes_copied += self.encode_bytes_copied;
+        s.header_bytes_copied += self.encode_header_bytes;
         s.verbatim_forwards += self.verbatim_forwards;
         for p in &self.pairs {
             s.data_bytes_copied += p.s_stream.bytes_copied() + p.c_stream.bytes_copied();
             s.header_bytes_copied +=
                 p.s_stream.header_bytes_copied() + p.c_stream.header_bytes_copied();
+            if let PairProto::Nvmeq(nvq) = &p.proto {
+                s.data_bytes_copied += nvq.s_stream.bytes_copied() + nvq.c_stream.bytes_copied();
+                s.header_bytes_copied +=
+                    nvq.s_stream.header_bytes_copied() + nvq.c_stream.header_bytes_copied();
+            }
         }
         s
     }
@@ -618,6 +657,23 @@ impl ActiveRelayMb {
     }
 
     fn handle_pair_data(&mut self, cx: &mut Cx<'_>, pair_idx: usize, side: Side, data: Bytes) {
+        // The tenant VM's first byte decides the flow's wire protocol:
+        // nvmeq frames all start with the magic byte, iSCSI logins never
+        // do. One relay (and one steering rule) serves both transports.
+        {
+            let pair = &mut self.pairs[pair_idx];
+            if matches!(pair.proto, PairProto::Undecided) && side == Side::Server {
+                pair.proto = if data.first() == Some(&MAGIC) {
+                    PairProto::Nvmeq(Box::new(NvqPair::new()))
+                } else {
+                    PairProto::Iscsi
+                };
+            }
+        }
+        if matches!(self.pairs[pair_idx].proto, PairProto::Nvmeq(_)) {
+            self.handle_pair_data_nvq(cx, pair_idx, side, data);
+            return;
+        }
         let now = cx.now();
         let dir = match side {
             Side::Server => Dir::ToTarget,
@@ -764,6 +820,237 @@ impl ActiveRelayMb {
         }
     }
 
+    /// The multi-queue datapath: reassembles nvmeq frames, runs every
+    /// command unit of a doorbell/completion frame through the service
+    /// chain, and releases each frame as one store-and-forward deferral —
+    /// so up to `queue_depth` commands stay in flight across the relay
+    /// while the chain still sees one PDU at a time.
+    fn handle_pair_data_nvq(&mut self, cx: &mut Cx<'_>, pair_idx: usize, side: Side, data: Bytes) {
+        let now = cx.now();
+        let dir = match side {
+            Side::Server => Dir::ToTarget,
+            Side::Client => Dir::ToInitiator,
+        };
+        let frames = {
+            let pair = &mut self.pairs[pair_idx];
+            if side == Side::Server {
+                pair.buffered_in += data.len();
+            }
+            let PairProto::Nvmeq(nvq) = &mut pair.proto else {
+                return;
+            };
+            let stream = match side {
+                Side::Server => &mut nvq.s_stream,
+                Side::Client => &mut nvq.c_stream,
+            };
+            match stream.feed_bytes(data) {
+                Ok(f) => f,
+                Err(_) => {
+                    let (s, c) = (pair.server, pair.client);
+                    pair.closed = true;
+                    cx.abort(s);
+                    cx.abort(c);
+                    return;
+                }
+            }
+        };
+        // Backpressure: the persistence buffer is full.
+        {
+            let pair = &mut self.pairs[pair_idx];
+            if side == Side::Server && !pair.paused && pair.buffered_in > self.cfg.buffer_cap {
+                pair.paused = true;
+                let s = pair.server;
+                let src_port = pair.src_port;
+                cx.pause(s);
+                self.trace.emit_with(now, || TraceEvent::Mark {
+                    req: flow_token(src_port),
+                    hop: Hop::Buffer,
+                    id: self.trace_mb,
+                });
+            }
+        }
+        for fw in frames {
+            let input_bytes = FRAME_HDR_LEN + fw.header.payload_len as usize;
+            let mut fault_delay = SimDuration::ZERO;
+            match self
+                .fault
+                .decide(now, FaultSite::MbProcess { mb: self.fault_mb })
+            {
+                FaultAction::Proceed => {}
+                FaultAction::Drop | FaultAction::Fail => {
+                    if side == Side::Server {
+                        let p = &mut self.pairs[pair_idx];
+                        p.buffered_in = p.buffered_in.saturating_sub(input_bytes);
+                    }
+                    continue;
+                }
+                FaultAction::Delay(d) => fault_delay = d,
+            }
+            // Tenant rate limiting draws one admit per frame — a doorbell
+            // batch is one shaping decision, matching its one network
+            // transfer.
+            let qos_delay = match &mut self.limiter {
+                Some(l) if dir == Dir::ToTarget => l.admit(now, input_bytes as u64),
+                _ => SimDuration::ZERO,
+            };
+            if qos_delay > SimDuration::ZERO && self.trace.is_armed() {
+                let cid = fw.units.first().map_or(0, |u| match &u.entry {
+                    UnitEntry::Sqe(s) => s.cid,
+                    UnitEntry::Cqe(c) => c.cid,
+                });
+                let req = req_token(self.pairs[pair_idx].src_port, cid);
+                self.trace.emit(
+                    now,
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Qos,
+                        id: self.trace_mb,
+                        dur: qos_delay,
+                    },
+                );
+            }
+            let (fout, replies, replica_ops, cost) =
+                if matches!(fw.header.kind, FrameKind::Doorbell | FrameKind::Completion) {
+                    self.run_chain_frame(cx, now, dir, pair_idx, &fw, fault_delay)
+                } else {
+                    // Handshake frames bypass the chain: the relay
+                    // forwards the connect/disconnect exchange verbatim,
+                    // like splicing does for iSCSI login on the passive
+                    // path.
+                    (
+                        PduOut::NvqVerbatim {
+                            wire: fw.wire,
+                            units: 1,
+                        },
+                        Vec::new(),
+                        Vec::new(),
+                        self.cfg.per_pdu_cost + fault_delay,
+                    )
+                };
+            let _ = cx.charge(cost, &self.cfg.label);
+            let done = self.pairs[pair_idx].proc.serve(now + qos_delay, cost);
+            let token = self.token();
+            self.deferred.insert(
+                token,
+                Deferred::Release {
+                    pair: pair_idx,
+                    forwards: vec![fout],
+                    replies,
+                    dir,
+                    replica_ops,
+                    input_bytes: if side == Side::Server { input_bytes } else { 0 },
+                },
+            );
+            cx.set_timer(done - now, token);
+        }
+    }
+
+    /// Runs every command unit of one doorbell/completion frame through
+    /// the service chain. Units the chain passes untouched stay wire
+    /// views; if *all* of them do, the whole received frame forwards
+    /// verbatim — the batched analogue of the iSCSI fast path.
+    #[allow(clippy::type_complexity)]
+    fn run_chain_frame(
+        &mut self,
+        cx: &mut Cx<'_>,
+        now: SimTime,
+        dir: Dir,
+        pair_idx: usize,
+        fw: &FrameWire,
+        fault_delay: SimDuration,
+    ) -> (
+        PduOut,
+        Vec<Pdu>,
+        Vec<(usize, usize, ReplicaIo, u64)>,
+        SimDuration,
+    ) {
+        let src_port = self.pairs[pair_idx].src_port;
+        let mut cost = fault_delay;
+        let mut out_units: Vec<UnitOut> = Vec::with_capacity(fw.units.len());
+        let mut replies = Vec::new();
+        let mut replica_ops = Vec::new();
+        let mut frame_verbatim = true;
+        for unit in &fw.units {
+            let pdu = queue::unit_to_pdu(unit);
+            let cid = pdu.itt();
+            let in_bhs = pdu.encode_bhs();
+            let (forwards, mut unit_replies, mut unit_replica, unit_cost, timers, svc_costs) =
+                self.run_chain(now, dir, pdu);
+            cost += unit_cost;
+            if self.trace.is_armed() {
+                let req = req_token(src_port, cid);
+                self.trace.emit(
+                    now,
+                    TraceEvent::Stage {
+                        req,
+                        hop: Hop::Relay,
+                        id: self.trace_mb,
+                        dur: self.cfg.per_pdu_cost,
+                    },
+                );
+                for (svc_idx, charged) in &svc_costs {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Stage {
+                            req,
+                            hop: Hop::Service,
+                            id: *svc_idx as u32,
+                            dur: *charged,
+                        },
+                    );
+                }
+            }
+            for (svc_idx, delay, token) in timers {
+                let t = self.token();
+                self.svc_timers.insert(t, (svc_idx, token));
+                cx.set_timer(delay, t);
+            }
+            let verbatim = forwards.len() == 1
+                && forwards[0].encode_bhs() == in_bhs
+                && forwards[0].data().same_storage(&unit.data);
+            let PairProto::Nvmeq(nvq) = &mut self.pairs[pair_idx].proto else {
+                return (
+                    PduOut::NvqVerbatim {
+                        wire: Vec::new(),
+                        units: 0,
+                    },
+                    replies,
+                    replica_ops,
+                    cost,
+                );
+            };
+            if verbatim {
+                self.verbatim_forwards += 1;
+                queue::note_verbatim(unit, nvq);
+                out_units.push(UnitOut::Verbatim {
+                    entry_wire: unit.entry_wire.clone(),
+                    data: unit.data.clone(),
+                });
+            } else {
+                frame_verbatim = false;
+                for f in &forwards {
+                    if let Some(u) = queue::pdu_to_unit(dir, f, nvq) {
+                        out_units.push(u);
+                    }
+                }
+            }
+            replies.append(&mut unit_replies);
+            replica_ops.append(&mut unit_replica);
+        }
+        let fout = if frame_verbatim {
+            PduOut::NvqVerbatim {
+                wire: fw.wire.clone(),
+                units: (fw.units.len() as u64).max(1),
+            }
+        } else {
+            PduOut::NvqFrame {
+                kind: fw.header.kind,
+                units: out_units,
+            }
+        };
+        (fout, replies, replica_ops, cost)
+    }
+
     fn release(&mut self, cx: &mut Cx<'_>, d: Deferred) {
         let Deferred::Release {
             pair,
@@ -780,29 +1067,62 @@ impl ActiveRelayMb {
             self.issue_replica(cx, svc_idx, replica, io, ctx, Some(pair));
         }
         let copied = &mut self.encode_bytes_copied;
+        let hdr_copied = &mut self.encode_header_bytes;
         let p = &mut self.pairs[pair];
         for f in forwards {
-            self.pdus_forwarded += 1;
             let q = match dir {
                 Dir::ToTarget => &mut p.c_out,
                 Dir::ToInitiator => &mut p.s_out,
             };
             match f {
                 PduOut::Verbatim(chunks) => {
-                    for c in chunks {
-                        q.push_bytes(c);
-                    }
+                    self.pdus_forwarded += 1;
+                    q.push_all(chunks);
                 }
-                PduOut::Encode(pdu) => Self::queue_pdu(copied, q, &pdu),
+                PduOut::Encode(pdu) => {
+                    self.pdus_forwarded += 1;
+                    Self::queue_pdu(copied, q, &pdu);
+                }
+                PduOut::NvqVerbatim { wire, units } => {
+                    self.pdus_forwarded += units;
+                    q.push_all(wire);
+                }
+                PduOut::NvqFrame { kind, units } => {
+                    self.pdus_forwarded += units.len() as u64;
+                    queue::queue_frame(kind, units, q, copied, hdr_copied);
+                }
             }
         }
-        for r in replies {
-            self.pdus_forwarded += 1;
-            let q = match dir {
-                Dir::ToTarget => &mut p.s_out,
-                Dir::ToInitiator => &mut p.c_out,
-            };
-            Self::queue_pdu(copied, q, &r);
+        if !replies.is_empty() {
+            if let PairProto::Nvmeq(nvq) = &mut p.proto {
+                // Chain replies on a multi-queue flow coalesce into one
+                // frame headed back where the triggering frame came from.
+                let units: Vec<UnitOut> = replies
+                    .iter()
+                    .filter_map(|r| queue::pdu_to_unit(dir.flip(), r, nvq))
+                    .collect();
+                if !units.is_empty() {
+                    let kind = match dir {
+                        Dir::ToTarget => FrameKind::Completion,
+                        Dir::ToInitiator => FrameKind::Doorbell,
+                    };
+                    let q = match dir {
+                        Dir::ToTarget => &mut p.s_out,
+                        Dir::ToInitiator => &mut p.c_out,
+                    };
+                    self.pdus_forwarded += units.len() as u64;
+                    queue::queue_frame(kind, units, q, copied, hdr_copied);
+                }
+            } else {
+                for r in replies {
+                    self.pdus_forwarded += 1;
+                    let q = match dir {
+                        Dir::ToTarget => &mut p.s_out,
+                        Dir::ToInitiator => &mut p.c_out,
+                    };
+                    Self::queue_pdu(copied, q, &r);
+                }
+            }
         }
         let (server, client) = (p.server, p.client);
         p.buffered_in = p.buffered_in.saturating_sub(input_bytes);
@@ -909,6 +1229,12 @@ impl ActiveRelayMb {
                 pair.s_stream.bytes_copied() + pair.c_stream.bytes_copied();
             self.retired_copy_stats.header_bytes_copied +=
                 pair.s_stream.header_bytes_copied() + pair.c_stream.header_bytes_copied();
+            if let PairProto::Nvmeq(nvq) = &pair.proto {
+                self.retired_copy_stats.data_bytes_copied +=
+                    nvq.s_stream.bytes_copied() + nvq.c_stream.bytes_copied();
+                self.retired_copy_stats.header_bytes_copied +=
+                    nvq.s_stream.header_bytes_copied() + nvq.c_stream.header_bytes_copied();
+            }
         }
         self.pairs.clear();
         self.by_sock.clear();
@@ -1016,6 +1342,7 @@ impl App for ActiveRelayMb {
             server: sock,
             client,
             src_port: src_port.unwrap_or(0),
+            proto: PairProto::Undecided,
             s_stream: PduStream::new(),
             c_stream: PduStream::new(),
             s_out: SendQueue::new(),

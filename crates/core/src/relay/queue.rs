@@ -1,0 +1,463 @@
+//! nvmeq ↔ PDU bridging: the active relay's multi-queue datapath.
+//!
+//! The service chain speaks iSCSI [`Pdu`]s; the nvmeq transport speaks
+//! doorbell/completion frames carrying batches of fixed-size entries.
+//! This module maps each command unit of a frame to a synthetic PDU
+//! (SQE write → `ScsiCommand` with in-capsule data, CQE read → phase-
+//! collapsed `DataIn`, and so on), so an unmodified service chain —
+//! including verbatim-forward detection — processes deeply pipelined
+//! multi-queue traffic unit by unit. Outbound units are re-framed under
+//! a fresh 16-byte header; entry re-encodes are bounded fixed-size
+//! metadata copies (counted), while data segments travel as refcounted
+//! views — the zero-copy invariant holds on this transport too.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use storm_iscsi::{Cdb, DataIn, Pdu, ScsiCommand, ScsiResponse, SHARE_THRESHOLD};
+use storm_net::SendQueue;
+use storm_nvmeq::{
+    Cqe, FrameHeader, FrameKind, FrameStream, Sqe, SqeOp, UnitEntry, UnitWire, CQE_LEN,
+    FRAME_HDR_LEN, SQE_LEN,
+};
+
+use crate::service::Dir;
+
+/// Per-flow multi-queue relay state: one frame reassembler per leg plus
+/// the in-flight command table (cid → opcode) that lets completions
+/// produced by services (which only know the SCSI shape) re-encode with
+/// the correct opcode echo.
+#[derive(Debug, Default)]
+pub(crate) struct NvqPair {
+    /// Reassembler for the tenant-VM leg (doorbell frames).
+    pub s_stream: FrameStream,
+    /// Reassembler for the upstream leg (completion frames).
+    pub c_stream: FrameStream,
+    inflight: HashMap<u32, SqeOp>,
+}
+
+impl NvqPair {
+    /// Creates empty per-flow state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a submission passing towards the target.
+    pub fn note_submit(&mut self, cid: u32, op: SqeOp) {
+        self.inflight.insert(cid, op);
+    }
+
+    /// Retires a command (a completion passed back) and returns its
+    /// opcode, if the submission was seen.
+    pub fn complete(&mut self, cid: u32) -> Option<SqeOp> {
+        self.inflight.remove(&cid)
+    }
+}
+
+/// One outbound command unit of a rebuilt frame.
+#[derive(Debug)]
+pub(crate) enum UnitOut {
+    /// The chain forwarded the unit untouched: original entry and data
+    /// wire views re-framed with zero payload copies.
+    Verbatim {
+        /// The received entry bytes (64 B SQE / 16 B CQE view).
+        entry_wire: Bytes,
+        /// The received data segment view.
+        data: Bytes,
+    },
+    /// A (re-)encoded submission.
+    Sqe {
+        /// The entry.
+        sqe: Sqe,
+        /// In-capsule data.
+        data: Bytes,
+    },
+    /// A (re-)encoded completion.
+    Cqe {
+        /// The entry.
+        cqe: Cqe,
+        /// Read payload.
+        data: Bytes,
+    },
+}
+
+impl UnitOut {
+    fn entry_len(&self) -> usize {
+        match self {
+            UnitOut::Verbatim { entry_wire, .. } => entry_wire.len(),
+            UnitOut::Sqe { .. } => SQE_LEN,
+            UnitOut::Cqe { .. } => CQE_LEN,
+        }
+    }
+
+    fn data(&self) -> &Bytes {
+        match self {
+            UnitOut::Verbatim { data, .. }
+            | UnitOut::Sqe { data, .. }
+            | UnitOut::Cqe { data, .. } => data,
+        }
+    }
+}
+
+/// Maps one received command unit to the synthetic PDU the service chain
+/// processes. Doorbell SQEs become `ScsiCommand`s (writes carry their
+/// in-capsule data, the immediate-data idiom); completion CQEs become a
+/// phase-collapsed `DataIn` (reads) or a `ScsiResponse` (writes/flushes).
+pub(crate) fn unit_to_pdu(unit: &UnitWire) -> Pdu {
+    match &unit.entry {
+        UnitEntry::Sqe(sqe) => {
+            let (read, write, cdb) = match sqe.op {
+                SqeOp::Read => (
+                    true,
+                    false,
+                    Cdb::Read {
+                        lba: sqe.lba,
+                        sectors: sqe.sectors,
+                    },
+                ),
+                SqeOp::Write => (
+                    false,
+                    true,
+                    Cdb::Write {
+                        lba: sqe.lba,
+                        sectors: sqe.sectors,
+                    },
+                ),
+                SqeOp::Flush => (false, false, Cdb::SynchronizeCache),
+            };
+            Pdu::ScsiCommand(ScsiCommand {
+                immediate: false,
+                final_pdu: true,
+                read,
+                write,
+                lun: 0,
+                itt: sqe.cid,
+                edtl: match sqe.op {
+                    SqeOp::Read => sqe.sectors * 512,
+                    _ => sqe.data_len,
+                },
+                cmd_sn: sqe.cid,
+                exp_stat_sn: 0,
+                cdb: cdb.to_bytes(),
+                data: unit.data.clone(),
+            })
+        }
+        UnitEntry::Cqe(cqe) => match cqe.op {
+            SqeOp::Read => Pdu::DataIn(DataIn {
+                final_pdu: true,
+                status_present: true,
+                status: cqe.status,
+                lun: 0,
+                itt: cqe.cid,
+                ttt: 0xffff_ffff,
+                stat_sn: 0,
+                exp_cmd_sn: 0,
+                max_cmd_sn: 0,
+                data_sn: 0,
+                buffer_offset: 0,
+                residual: 0,
+                data: unit.data.clone(),
+            }),
+            SqeOp::Write | SqeOp::Flush => Pdu::ScsiResponse(ScsiResponse {
+                itt: cqe.cid,
+                response: 0,
+                status: cqe.status,
+                stat_sn: 0,
+                exp_cmd_sn: 0,
+                max_cmd_sn: 0,
+                residual: 0,
+                data: Bytes::new(),
+            }),
+        },
+    }
+}
+
+/// Maps a chain-produced PDU back to a wire unit for the outbound frame,
+/// maintaining the pair's in-flight table. PDU shapes with no multi-queue
+/// equivalent (R2T, NOPs, text) return `None` and are dropped — no chain
+/// service emits them on the relay datapath.
+pub(crate) fn pdu_to_unit(dir: Dir, pdu: &Pdu, pair: &mut NvqPair) -> Option<UnitOut> {
+    match dir {
+        Dir::ToTarget => {
+            let Pdu::ScsiCommand(c) = pdu else {
+                return None;
+            };
+            let (op, data) = match Cdb::parse(&c.cdb).ok()? {
+                Cdb::Read { lba, sectors } => (
+                    Sqe {
+                        op: SqeOp::Read,
+                        cid: c.itt,
+                        lba,
+                        sectors,
+                        data_len: 0,
+                    },
+                    Bytes::new(),
+                ),
+                Cdb::Write { lba, sectors } => (
+                    Sqe {
+                        op: SqeOp::Write,
+                        cid: c.itt,
+                        lba,
+                        sectors,
+                        data_len: c.data.len() as u32,
+                    },
+                    c.data.clone(),
+                ),
+                Cdb::SynchronizeCache => (
+                    Sqe {
+                        op: SqeOp::Flush,
+                        cid: c.itt,
+                        lba: 0,
+                        sectors: 0,
+                        data_len: 0,
+                    },
+                    Bytes::new(),
+                ),
+                _ => return None,
+            };
+            pair.note_submit(op.cid, op.op);
+            Some(UnitOut::Sqe { sqe: op, data })
+        }
+        Dir::ToInitiator => match pdu {
+            Pdu::DataIn(d) if d.final_pdu && d.status_present => {
+                pair.complete(d.itt);
+                Some(UnitOut::Cqe {
+                    cqe: Cqe {
+                        cid: d.itt,
+                        status: d.status,
+                        op: SqeOp::Read,
+                        data_len: d.data.len() as u32,
+                    },
+                    data: d.data.clone(),
+                })
+            }
+            Pdu::ScsiResponse(r) => {
+                let op = pair.complete(r.itt).unwrap_or(SqeOp::Write);
+                Some(UnitOut::Cqe {
+                    cqe: Cqe {
+                        cid: r.itt,
+                        status: r.status,
+                        op,
+                        data_len: 0,
+                    },
+                    data: Bytes::new(),
+                })
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Keeps the pair's in-flight table current for a unit the chain passed
+/// through verbatim (the fast path skips [`pdu_to_unit`] entirely).
+pub(crate) fn note_verbatim(unit: &UnitWire, pair: &mut NvqPair) {
+    match &unit.entry {
+        UnitEntry::Sqe(sqe) => pair.note_submit(sqe.cid, sqe.op),
+        UnitEntry::Cqe(cqe) => {
+            pair.complete(cqe.cid);
+        }
+    }
+}
+
+/// Assembles one outbound frame — fresh header, entry block, then data
+/// segments in entry order — onto a send queue. Fixed-size metadata
+/// (header plus re-encoded entries) is copied and counted into
+/// `header_copied`; verbatim entries and all large data segments travel
+/// as shared views, small chain-produced segments are batched by copy
+/// into `data_copied` exactly like the iSCSI encode path.
+pub(crate) fn queue_frame(
+    kind: FrameKind,
+    units: Vec<UnitOut>,
+    q: &mut SendQueue,
+    data_copied: &mut u64,
+    header_copied: &mut u64,
+) {
+    let payload_len: usize = units.iter().map(|u| u.entry_len() + u.data().len()).sum();
+    let header = FrameHeader {
+        kind,
+        count: units.len() as u16,
+        payload_len: payload_len as u32,
+        queue_depth: 0,
+    }
+    .encode();
+    *header_copied += FRAME_HDR_LEN as u64;
+    q.push(&header);
+    for u in &units {
+        match u {
+            UnitOut::Verbatim { entry_wire, .. } => q.push_bytes(entry_wire.clone()),
+            UnitOut::Sqe { sqe, .. } => {
+                *header_copied += SQE_LEN as u64;
+                q.push(&sqe.encode());
+            }
+            UnitOut::Cqe { cqe, .. } => {
+                *header_copied += CQE_LEN as u64;
+                q.push(&cqe.encode());
+            }
+        }
+    }
+    for u in units {
+        match u {
+            UnitOut::Verbatim { data, .. } => q.push_bytes(data),
+            UnitOut::Sqe { data, .. } | UnitOut::Cqe { data, .. } => {
+                if data.len() >= SHARE_THRESHOLD {
+                    q.push_bytes(data);
+                } else {
+                    *data_copied += data.len() as u64;
+                    // storm-lint: allow(no-hot-path-copy): small-segment
+                    // batching by counted copy, the iSCSI encode idiom;
+                    // zero on the verbatim fast path.
+                    q.push(&data);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_iscsi::ScsiStatus;
+
+    fn unit(entry: UnitEntry, data: &[u8]) -> UnitWire {
+        let entry_wire = match &entry {
+            UnitEntry::Sqe(s) => Bytes::copy_from_slice(&s.encode()),
+            UnitEntry::Cqe(c) => Bytes::copy_from_slice(&c.encode()),
+        };
+        UnitWire {
+            entry,
+            entry_wire,
+            data: Bytes::copy_from_slice(data),
+        }
+    }
+
+    #[test]
+    fn sqe_maps_to_scsi_command_and_back() {
+        let mut pair = NvqPair::new();
+        let payload = vec![0xAB; 4096];
+        let sqe = Sqe {
+            op: SqeOp::Write,
+            cid: 9,
+            lba: 64,
+            sectors: 8,
+            data_len: 4096,
+        };
+        let u = unit(UnitEntry::Sqe(sqe), &payload);
+        let pdu = unit_to_pdu(&u);
+        let Pdu::ScsiCommand(ref c) = pdu else {
+            panic!("write SQE must map to a SCSI command");
+        };
+        assert!(c.write && !c.read);
+        assert_eq!(c.itt, 9);
+        assert_eq!(c.data.len(), 4096);
+        assert_eq!(
+            Cdb::parse(&c.cdb),
+            Ok(Cdb::Write {
+                lba: 64,
+                sectors: 8
+            })
+        );
+        let out = pdu_to_unit(Dir::ToTarget, &pdu, &mut pair).expect("round-trips");
+        match out {
+            UnitOut::Sqe { sqe: s, data } => {
+                assert_eq!(s, sqe);
+                assert!(data.same_storage(&u.data), "payload stays a view");
+            }
+            other => panic!("expected an SQE out, got {other:?}"),
+        }
+        assert_eq!(pair.complete(9), Some(SqeOp::Write));
+    }
+
+    #[test]
+    fn read_cqe_maps_to_data_in_and_back() {
+        let mut pair = NvqPair::new();
+        let payload = vec![0x5C; 512];
+        let cqe = Cqe {
+            cid: 3,
+            status: ScsiStatus::Good,
+            op: SqeOp::Read,
+            data_len: 512,
+        };
+        let u = unit(UnitEntry::Cqe(cqe), &payload);
+        let pdu = unit_to_pdu(&u);
+        let Pdu::DataIn(ref d) = pdu else {
+            panic!("read CQE must map to DataIn");
+        };
+        assert!(d.status_present && d.final_pdu);
+        let out = pdu_to_unit(Dir::ToInitiator, &pdu, &mut pair).expect("round-trips");
+        match out {
+            UnitOut::Cqe { cqe: c, data } => {
+                assert_eq!(c, cqe);
+                assert!(data.same_storage(&u.data));
+            }
+            other => panic!("expected a CQE out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_completion_recovers_opcode_from_inflight_table() {
+        let mut pair = NvqPair::new();
+        pair.note_submit(7, SqeOp::Flush);
+        let resp = Pdu::ScsiResponse(ScsiResponse {
+            itt: 7,
+            response: 0,
+            status: ScsiStatus::Good,
+            stat_sn: 0,
+            exp_cmd_sn: 0,
+            max_cmd_sn: 0,
+            residual: 0,
+            data: Bytes::new(),
+        });
+        match pdu_to_unit(Dir::ToInitiator, &resp, &mut pair) {
+            Some(UnitOut::Cqe { cqe, .. }) => assert_eq!(cqe.op, SqeOp::Flush),
+            other => panic!("expected a CQE, got {other:?}"),
+        }
+        // Table entry consumed; an unknown cid falls back to Write.
+        match pdu_to_unit(Dir::ToInitiator, &resp, &mut pair) {
+            Some(UnitOut::Cqe { cqe, .. }) => assert_eq!(cqe.op, SqeOp::Write),
+            other => panic!("expected a CQE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_frame_reencodes_metadata_only() {
+        let mut q = SendQueue::new();
+        let (mut dc, mut hc) = (0u64, 0u64);
+        let big = Bytes::from(vec![0x77u8; SHARE_THRESHOLD]);
+        let units = vec![UnitOut::Sqe {
+            sqe: Sqe {
+                op: SqeOp::Write,
+                cid: 1,
+                lba: 0,
+                sectors: (SHARE_THRESHOLD / 512) as u32,
+                data_len: SHARE_THRESHOLD as u32,
+            },
+            data: big,
+        }];
+        queue_frame(FrameKind::Doorbell, units, &mut q, &mut dc, &mut hc);
+        assert_eq!(dc, 0, "large data travels as a shared view");
+        assert_eq!(hc, (FRAME_HDR_LEN + SQE_LEN) as u64);
+        assert_eq!(q.backlog(), FRAME_HDR_LEN + SQE_LEN + SHARE_THRESHOLD);
+    }
+
+    #[test]
+    fn queue_frame_verbatim_units_copy_nothing_but_the_header() {
+        let mut q = SendQueue::new();
+        let (mut dc, mut hc) = (0u64, 0u64);
+        let sqe = Sqe {
+            op: SqeOp::Write,
+            cid: 2,
+            lba: 8,
+            sectors: 1,
+            data_len: 512,
+        };
+        let u = unit(UnitEntry::Sqe(sqe), &[0x11; 512]);
+        let units = vec![UnitOut::Verbatim {
+            entry_wire: u.entry_wire.clone(),
+            data: u.data.clone(),
+        }];
+        queue_frame(FrameKind::Doorbell, units, &mut q, &mut dc, &mut hc);
+        assert_eq!(dc, 0);
+        assert_eq!(hc, FRAME_HDR_LEN as u64, "only the fresh frame header");
+    }
+}

@@ -66,6 +66,7 @@ mod params;
 mod pdu;
 mod stream;
 mod target;
+mod transport;
 
 pub use cdb::{Cdb, ScsiStatus};
 pub use initiator::{Initiator, InitiatorConfig, InitiatorEvent, IoTag};
@@ -78,6 +79,7 @@ pub use pdu::{
 };
 pub use stream::{PduStream, PduWire, WireBuf, SHARE_THRESHOLD};
 pub use target::{TargetConfig, TargetConn, TargetEvent};
+pub use transport::{IscsiTransport, TargetTransport, Transport, TransportEvent, TransportKind};
 
 /// The IANA-assigned iSCSI target port.
 pub const ISCSI_PORT: u16 = 3260;

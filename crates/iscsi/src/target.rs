@@ -104,6 +104,8 @@ pub struct TargetConn {
     writes: HashMap<u32, WriteXfer>,
     reads: HashMap<u32, ()>,
     next_ttt: u32,
+    outstanding: usize,
+    peak: usize,
 }
 
 impl TargetConn {
@@ -121,7 +123,24 @@ impl TargetConn {
             writes: HashMap::new(),
             reads: HashMap::new(),
             next_ttt: 1,
+            outstanding: 0,
+            peak: 0,
         }
+    }
+
+    /// Commands surfaced to the hosting app but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding
+    }
+
+    /// High-water mark of [`TargetConn::in_flight`] (queue occupancy).
+    pub fn occupancy_peak(&self) -> usize {
+        self.peak
+    }
+
+    fn note_ready(&mut self) {
+        self.outstanding += 1;
+        self.peak = self.peak.max(self.outstanding);
     }
 
     /// The negotiated session parameters.
@@ -248,6 +267,7 @@ impl TargetConn {
                             return;
                         }
                         self.reads.insert(c.itt, ());
+                        self.note_ready();
                         events.push(TargetEvent::ReadReady {
                             itt: c.itt,
                             lba,
@@ -280,6 +300,7 @@ impl TargetConn {
                         xfer.received = imm;
                         if xfer.received >= xfer.expected {
                             let data = xfer.buf.freeze();
+                            self.note_ready();
                             events.push(TargetEvent::WriteReady {
                                 itt: c.itt,
                                 lba,
@@ -295,6 +316,7 @@ impl TargetConn {
                         }
                     }
                     Cdb::SynchronizeCache => {
+                        self.note_ready();
                         events.push(TargetEvent::FlushReady { itt: c.itt });
                     }
                 }
@@ -323,6 +345,7 @@ impl TargetConn {
                 }
                 if xfer.received >= xfer.expected {
                     let xfer = self.writes.remove(&d.itt).expect("just updated");
+                    self.note_ready();
                     events.push(TargetEvent::WriteReady {
                         itt: d.itt,
                         lba: xfer.lba,
@@ -446,6 +469,7 @@ impl TargetConn {
     /// Panics if `itt` is not an outstanding read.
     pub fn complete_read(&mut self, itt: u32, data: Bytes, status: ScsiStatus) {
         assert!(self.reads.remove(&itt).is_some(), "unknown read itt {itt}");
+        self.outstanding = self.outstanding.saturating_sub(1);
         if status == ScsiStatus::Good {
             self.data_in_with_status(itt, data, status);
         } else {
@@ -455,11 +479,13 @@ impl TargetConn {
 
     /// Completes a write surfaced by [`TargetEvent::WriteReady`].
     pub fn complete_write(&mut self, itt: u32, status: ScsiStatus) {
+        self.outstanding = self.outstanding.saturating_sub(1);
         self.scsi_response(itt, status);
     }
 
     /// Completes a flush surfaced by [`TargetEvent::FlushReady`].
     pub fn complete_flush(&mut self, itt: u32, status: ScsiStatus) {
+        self.outstanding = self.outstanding.saturating_sub(1);
         self.scsi_response(itt, status);
     }
 }

@@ -69,13 +69,16 @@ impl Default for Config {
                 "faults",
                 "qos",
                 "services",
+                "nvmeq",
             ]
             .map(String::from)
             .to_vec(),
             determinism_files: ["crates/bench/src/fleet.rs"].map(String::from).to_vec(),
             datapath_files: [
                 "crates/core/src/relay/active.rs",
+                "crates/core/src/relay/queue.rs",
                 "crates/iscsi/src/stream.rs",
+                "crates/nvmeq/src/stream.rs",
                 "crates/net/src/tcp.rs",
                 "crates/net/src/frame.rs",
                 "crates/services/src/cache.rs",
@@ -148,6 +151,11 @@ mod tests {
         )));
         assert!(cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/frame.rs")));
         assert!(!cfg.is_datapath(&FileClass::from_rel_path("crates/net/src/nat.rs")));
+        // The multi-queue wire path and its relay bridge are datapath;
+        // the whole nvmeq crate is determinism-scoped.
+        assert!(cfg.is_datapath(&FileClass::from_rel_path("crates/nvmeq/src/stream.rs")));
+        assert!(cfg.is_datapath(&FileClass::from_rel_path("crates/core/src/relay/queue.rs")));
+        assert!(cfg.is_determinism_scoped(&FileClass::from_rel_path("crates/nvmeq/src/codec.rs")));
     }
 
     #[test]

@@ -74,6 +74,15 @@ impl SendQueue {
         self.pump(cx, sock)
     }
 
+    /// Appends a whole batch of shared chunks — a multi-chunk frame or a
+    /// received wire image re-emitted verbatim — without copying any of
+    /// them. Adjacent views of one allocation re-join as they land.
+    pub fn push_all<I: IntoIterator<Item = Bytes>>(&mut self, chunks: I) {
+        for c in chunks {
+            self.push_bytes(c);
+        }
+    }
+
     /// Bytes still queued (not yet accepted by TCP).
     pub fn backlog(&self) -> usize {
         self.len
@@ -103,6 +112,16 @@ mod tests {
         assert_eq!(q.backlog(), 4);
         assert!(!q.is_drained());
         assert_eq!(q.total_sent(), 0);
+    }
+
+    #[test]
+    fn push_all_batches_without_copying() {
+        let whole = Bytes::from(vec![9u8; 32]);
+        let mut q = SendQueue::new();
+        q.push_all([whole.slice(..16), whole.slice(16..)]);
+        assert_eq!(q.backlog(), 32);
+        assert_eq!(q.chunks.len(), 1, "frame chunks re-join");
+        assert!(q.chunks[0].same_storage(&whole));
     }
 
     #[test]

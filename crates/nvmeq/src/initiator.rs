@@ -1,0 +1,491 @@
+//! Host-side queue pair: submission ring, batched doorbells, overflow
+//! software queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use storm_iscsi::{IoTag, Iqn, Transport, TransportEvent, TransportKind, WireBuf, SHARE_THRESHOLD};
+
+use crate::codec::{encode_connect_payload, Cqe, FrameHeader, FrameKind, Sqe, SqeOp, SQE_LEN};
+use crate::stream::{FrameStream, UnitEntry};
+
+/// Host-side queue-pair configuration.
+#[derive(Debug, Clone)]
+pub struct NvmeqConfig {
+    /// This host's name (connection attribution reads it).
+    pub initiator_iqn: Iqn,
+    /// The volume to bind to.
+    pub target_iqn: Iqn,
+    /// Submission ring size: commands beyond this wait in a software
+    /// queue until a completion frees a slot.
+    pub queue_depth: u16,
+}
+
+impl NvmeqConfig {
+    /// A ready-to-use example configuration (for docs and tests).
+    pub fn example(queue_depth: u16) -> Self {
+        NvmeqConfig {
+            initiator_iqn: Iqn::for_host("example"),
+            target_iqn: Iqn::for_volume(1),
+            queue_depth,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    ConnectSent,
+    Ready,
+    Closing,
+    Closed,
+}
+
+/// One queued-but-not-yet-doorbelled command.
+#[derive(Debug)]
+struct Staged {
+    sqe: Sqe,
+    data: Bytes,
+}
+
+/// The host side of an NVMe-oF-style queue pair, implementing
+/// [`Transport`].
+///
+/// Sans-io like every protocol machine in the workspace: commands go in
+/// via `read`/`write`/`flush`, wire bytes drain through
+/// [`take_wire`](Transport::take_wire) — which is the doorbell write:
+/// every SQE staged since the last drain leaves as **one** doorbell
+/// frame, so a guest that submits a burst of commands pays one frame
+/// header and one send for the whole burst. The submission ring holds at
+/// most `queue_depth` commands; extras park in a software overflow queue
+/// and enter the ring as completions retire slots, which is what keeps
+/// `queue_depth` commands on the wire continuously during a deep sweep.
+#[derive(Debug)]
+pub struct NvmeqInitiator {
+    cfg: NvmeqConfig,
+    state: State,
+    next_cid: u32,
+    /// cid → opcode for every command issued and not yet completed
+    /// (ring + overflow). Lookup/remove only — never iterated.
+    issued: HashMap<u32, SqeOp>,
+    /// Commands occupying ring slots (staged, doorbelled, or in
+    /// flight at the target).
+    in_sq: usize,
+    sq_peak: usize,
+    /// SQEs staged for the next doorbell.
+    batch: Vec<Staged>,
+    /// Commands waiting for a free ring slot.
+    overflow: VecDeque<Staged>,
+    stream: FrameStream,
+    out: WireBuf,
+    data_bytes_copied: u64,
+    num_sectors: u64,
+    doorbells: u64,
+    sqes_sent: u64,
+    cq_frames: u64,
+    cqes_received: u64,
+}
+
+impl NvmeqInitiator {
+    /// Creates an idle queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn new(cfg: NvmeqConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "zero queue depth");
+        NvmeqInitiator {
+            cfg,
+            state: State::Idle,
+            next_cid: 1,
+            issued: HashMap::new(),
+            in_sq: 0,
+            sq_peak: 0,
+            batch: Vec::new(),
+            overflow: VecDeque::new(),
+            stream: FrameStream::new(),
+            out: WireBuf::new(),
+            data_bytes_copied: 0,
+            num_sectors: 0,
+            doorbells: 0,
+            sqes_sent: 0,
+            cq_frames: 0,
+            cqes_received: 0,
+        }
+    }
+
+    /// Volume capacity in sectors, learned from the connect ack.
+    pub fn num_sectors(&self) -> u64 {
+        self.num_sectors
+    }
+
+    /// Doorbell frames sent and SQEs they carried; the ratio is the
+    /// realized submission batch size.
+    pub fn doorbell_stats(&self) -> (u64, u64) {
+        (self.doorbells, self.sqes_sent)
+    }
+
+    /// Completion frames received and CQEs they carried; the ratio is
+    /// the realized interrupt-coalescing batch size.
+    pub fn cq_stats(&self) -> (u64, u64) {
+        (self.cq_frames, self.cqes_received)
+    }
+
+    /// High-water mark of submission-ring occupancy.
+    pub fn sq_peak(&self) -> usize {
+        self.sq_peak
+    }
+
+    fn alloc_cid(&mut self) -> u32 {
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        cid
+    }
+
+    /// Stages a command: into the ring if a slot is free, else onto the
+    /// overflow queue.
+    fn submit(&mut self, sqe: Sqe, data: Bytes) -> IoTag {
+        assert_eq!(self.state, State::Ready, "submit before connect");
+        let tag = IoTag(sqe.cid);
+        self.issued.insert(sqe.cid, sqe.op);
+        let staged = Staged { sqe, data };
+        if self.in_sq < self.cfg.queue_depth as usize {
+            self.ring_in(staged);
+        } else {
+            self.overflow.push_back(staged);
+        }
+        tag
+    }
+
+    fn ring_in(&mut self, staged: Staged) {
+        self.in_sq += 1;
+        self.sq_peak = self.sq_peak.max(self.in_sq);
+        self.batch.push(staged);
+    }
+
+    /// Encodes every staged SQE as one doorbell frame. This is the
+    /// doorbell write: called from `take_wire`, so the whole batch rides
+    /// one frame header and the data segments stay shared views.
+    fn flush_batch(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let data_len: usize = batch.iter().map(|s| s.data.len()).sum();
+        let header = FrameHeader {
+            kind: FrameKind::Doorbell,
+            count: batch.len() as u16,
+            payload_len: (batch.len() * SQE_LEN + data_len) as u32,
+            queue_depth: 0,
+        };
+        self.out.push_slice(&header.encode());
+        for s in &batch {
+            self.out.push_slice(&s.sqe.encode());
+        }
+        for s in batch {
+            if s.data.len() >= SHARE_THRESHOLD {
+                self.out.push_bytes(s.data);
+            } else {
+                self.data_bytes_copied += s.data.len() as u64;
+                self.out.push_slice(&s.data);
+            }
+        }
+        self.doorbells += 1;
+        self.sqes_sent += header.count as u64;
+    }
+
+    fn complete(&mut self, cqe: &Cqe, data: Bytes, events: &mut Vec<TransportEvent>) {
+        let Some(op) = self.issued.remove(&cqe.cid) else {
+            events.push(TransportEvent::ProtocolError(format!(
+                "completion for unknown cid {}",
+                cqe.cid
+            )));
+            return;
+        };
+        // Retire the ring slot and promote a parked command into it.
+        self.in_sq = self.in_sq.saturating_sub(1);
+        if let Some(next) = self.overflow.pop_front() {
+            self.ring_in(next);
+        }
+        let tag = IoTag(cqe.cid);
+        events.push(match op {
+            SqeOp::Read => TransportEvent::ReadDone {
+                tag,
+                status: cqe.status,
+                data,
+            },
+            SqeOp::Write => TransportEvent::WriteDone {
+                tag,
+                status: cqe.status,
+            },
+            SqeOp::Flush => TransportEvent::FlushDone {
+                tag,
+                status: cqe.status,
+            },
+        });
+    }
+}
+
+impl Transport for NvmeqInitiator {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Nvmeq
+    }
+
+    fn start(&mut self) {
+        assert_eq!(self.state, State::Idle, "connect already started");
+        let payload = encode_connect_payload(
+            self.cfg.initiator_iqn.as_str(),
+            self.cfg.target_iqn.as_str(),
+        );
+        let header = FrameHeader {
+            kind: FrameKind::Connect,
+            count: 0,
+            payload_len: payload.len() as u32,
+            queue_depth: self.cfg.queue_depth,
+        };
+        self.out.push_slice(&header.encode());
+        self.out.push_slice(&payload);
+        self.state = State::ConnectSent;
+    }
+
+    fn is_ready(&self) -> bool {
+        self.state == State::Ready
+    }
+
+    fn read(&mut self, lba: u64, sectors: u32) -> IoTag {
+        assert!(sectors > 0, "zero-length read");
+        let cid = self.alloc_cid();
+        self.submit(
+            Sqe {
+                op: SqeOp::Read,
+                cid,
+                lba,
+                sectors,
+                data_len: 0,
+            },
+            Bytes::new(),
+        )
+    }
+
+    fn write(&mut self, lba: u64, data: Bytes) -> IoTag {
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(512),
+            "unaligned write"
+        );
+        let cid = self.alloc_cid();
+        let sqe = Sqe {
+            op: SqeOp::Write,
+            cid,
+            lba,
+            sectors: (data.len() / 512) as u32,
+            data_len: data.len() as u32,
+        };
+        self.submit(sqe, data)
+    }
+
+    fn flush(&mut self) -> IoTag {
+        let cid = self.alloc_cid();
+        self.submit(
+            Sqe {
+                op: SqeOp::Flush,
+                cid,
+                lba: 0,
+                sectors: 0,
+                data_len: 0,
+            },
+            Bytes::new(),
+        )
+    }
+
+    fn shutdown(&mut self) {
+        if self.state == State::Closing || self.state == State::Closed {
+            return;
+        }
+        // Any staged commands go out ahead of the disconnect.
+        self.flush_batch();
+        let header = FrameHeader {
+            kind: FrameKind::Disconnect,
+            count: 0,
+            payload_len: 0,
+            queue_depth: 0,
+        };
+        self.out.push_slice(&header.encode());
+        self.state = State::Closing;
+    }
+
+    fn in_flight(&self) -> usize {
+        self.issued.len()
+    }
+
+    fn feed_bytes(&mut self, bytes: Bytes) -> Vec<TransportEvent> {
+        let frames = match self.stream.feed_bytes(bytes) {
+            Ok(f) => f,
+            Err(e) => return vec![TransportEvent::ProtocolError(e.to_string())],
+        };
+        let mut events = Vec::new();
+        for fw in frames {
+            match fw.header.kind {
+                FrameKind::ConnectAck => {
+                    if self.state != State::ConnectSent {
+                        events.push(TransportEvent::ProtocolError(
+                            "unexpected connect ack".to_string(),
+                        ));
+                        continue;
+                    }
+                    let status = fw.payload.first().copied().unwrap_or(0xFF);
+                    if status == 0 && fw.payload.len() >= 16 {
+                        let mut ns = [0u8; 8];
+                        ns.copy_from_slice(&fw.payload[8..16]);
+                        self.num_sectors = u64::from_be_bytes(ns);
+                        // The ring never exceeds what the target offers.
+                        if fw.header.queue_depth > 0 {
+                            self.cfg.queue_depth = self.cfg.queue_depth.min(fw.header.queue_depth);
+                        }
+                        self.state = State::Ready;
+                        events.push(TransportEvent::Ready);
+                    } else {
+                        self.state = State::Closed;
+                        events.push(TransportEvent::ConnectFailed {
+                            class: 2,
+                            detail: status,
+                        });
+                    }
+                }
+                FrameKind::Completion => {
+                    self.cq_frames += 1;
+                    self.cqes_received += fw.units.len() as u64;
+                    for unit in fw.units {
+                        match unit.entry {
+                            UnitEntry::Cqe(cqe) => self.complete(&cqe, unit.data, &mut events),
+                            UnitEntry::Sqe(_) => events.push(TransportEvent::ProtocolError(
+                                "SQE in completion frame".to_string(),
+                            )),
+                        }
+                    }
+                }
+                FrameKind::DisconnectAck => {
+                    self.state = State::Closed;
+                    events.push(TransportEvent::Closed);
+                }
+                other => events.push(TransportEvent::ProtocolError(format!(
+                    "unexpected frame {other:?} on host side"
+                ))),
+            }
+        }
+        events
+    }
+
+    fn take_wire(&mut self) -> Vec<Bytes> {
+        self.flush_batch();
+        self.out.take_chunks()
+    }
+
+    fn bytes_copied(&self) -> u64 {
+        self.data_bytes_copied + self.stream.bytes_copied()
+    }
+
+    fn sq_peak(&self) -> usize {
+        NvmeqInitiator::sq_peak(self)
+    }
+
+    fn doorbell_stats(&self) -> (u64, u64) {
+        NvmeqInitiator::doorbell_stats(self)
+    }
+
+    fn cq_stats(&self) -> (u64, u64) {
+        NvmeqInitiator::cq_stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FRAME_HDR_LEN;
+    use storm_iscsi::ScsiStatus;
+
+    #[test]
+    fn batch_rides_one_doorbell_frame() {
+        let mut ini = NvmeqInitiator::new(NvmeqConfig::example(8));
+        ini.start();
+        let _ = ini.take_wire();
+        // Fake the ack.
+        let mut ack = Vec::new();
+        let mut payload = vec![0u8; 16];
+        payload[8..16].copy_from_slice(&2048u64.to_be_bytes());
+        ack.extend_from_slice(
+            &FrameHeader {
+                kind: FrameKind::ConnectAck,
+                count: 0,
+                payload_len: 16,
+                queue_depth: 32,
+            }
+            .encode(),
+        );
+        ack.extend_from_slice(&payload);
+        let evs = ini.feed_bytes(Bytes::from(ack));
+        assert!(matches!(evs[..], [TransportEvent::Ready]));
+        assert_eq!(ini.num_sectors(), 2048);
+
+        // Three commands staged, one take_wire: a single frame whose
+        // header announces all three SQEs.
+        ini.read(0, 8);
+        ini.write(8, Bytes::from(vec![0xAA; 4096]));
+        ini.flush();
+        assert_eq!(ini.in_flight(), 3);
+        let chunks = ini.take_wire();
+        let mut hdr = [0u8; FRAME_HDR_LEN];
+        hdr.copy_from_slice(&chunks[0][..FRAME_HDR_LEN]);
+        let h = FrameHeader::decode(&hdr).unwrap();
+        assert_eq!((h.kind, h.count), (FrameKind::Doorbell, 3));
+        assert_eq!(ini.doorbell_stats(), (1, 3));
+        // The 4 KiB write payload is a shared view, not a copy.
+        assert_eq!(ini.bytes_copied(), 0);
+        assert!(chunks.len() >= 2, "scratch batch + shared data");
+    }
+
+    #[test]
+    fn ring_caps_at_queue_depth_and_promotes_overflow() {
+        let mut ini = NvmeqInitiator::new(NvmeqConfig::example(2));
+        ini.state = State::Ready; // skip handshake for the unit test
+        let t1 = ini.read(0, 1);
+        let _t2 = ini.read(1, 1);
+        let t3 = ini.read(2, 1);
+        assert_eq!(ini.in_flight(), 3, "all issued commands count");
+        let chunks = ini.take_wire();
+        let mut hdr = [0u8; FRAME_HDR_LEN];
+        hdr.copy_from_slice(&chunks[0][..FRAME_HDR_LEN]);
+        let h = FrameHeader::decode(&hdr).unwrap();
+        assert_eq!(h.count, 2, "third command parked in overflow");
+        assert_eq!(ini.sq_peak(), 2);
+
+        // Completing one ring command promotes the parked one.
+        let cqe = Cqe {
+            cid: t1.0,
+            status: ScsiStatus::Good,
+            op: SqeOp::Read,
+            data_len: 512,
+        };
+        let mut frame = FrameHeader {
+            kind: FrameKind::Completion,
+            count: 1,
+            payload_len: (crate::codec::CQE_LEN + 512) as u32,
+            queue_depth: 0,
+        }
+        .encode()
+        .to_vec();
+        frame.extend_from_slice(&cqe.encode());
+        frame.extend_from_slice(&[0x11; 512]);
+        let evs = ini.feed_bytes(Bytes::from(frame));
+        assert!(matches!(&evs[..], [TransportEvent::ReadDone { tag, .. }] if *tag == t1));
+        let chunks = ini.take_wire();
+        let mut hdr = [0u8; FRAME_HDR_LEN];
+        hdr.copy_from_slice(&chunks[0][..FRAME_HDR_LEN]);
+        let h = FrameHeader::decode(&hdr).unwrap();
+        assert_eq!(h.count, 1, "promoted overflow command doorbells");
+        let sqe = Sqe::decode(&chunks[0][FRAME_HDR_LEN..]).unwrap();
+        assert_eq!(IoTag(sqe.cid), t3);
+        assert_eq!(ini.in_flight(), 2);
+        assert_eq!(ini.cq_stats(), (1, 1));
+    }
+}

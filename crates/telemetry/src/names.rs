@@ -23,6 +23,30 @@ pub const RELAY_VERBATIM_FORWARDS: &str = "relay.verbatim_forwards";
 /// Total PDUs forwarded through the relay's service chain.
 pub const RELAY_PDUS_FORWARDED: &str = "relay.pdus_forwarded";
 
+/// High-water mark of commands simultaneously in a session's submission
+/// ring (gauge; 0 for transports without rings).
+pub const TRANSPORT_SQ_PEAK: &str = "transport.sq_peak";
+
+/// Doorbell frames the initiator sent (counter). Together with
+/// [`TRANSPORT_DOORBELL_SQES`] this yields the submission batching
+/// factor — SQEs flushed per doorbell write.
+pub const TRANSPORT_DOORBELL_FRAMES: &str = "transport.doorbell_frames";
+
+/// SQEs carried by all doorbell frames (counter).
+pub const TRANSPORT_DOORBELL_SQES: &str = "transport.doorbell_sqes";
+
+/// Completion frames the initiator received (counter). Together with
+/// [`TRANSPORT_CQ_CQES`] this yields the realized interrupt-moderation
+/// coalescing factor — CQEs per completion interrupt.
+pub const TRANSPORT_CQ_FRAMES: &str = "transport.cq_frames";
+
+/// CQEs carried by all completion frames (counter).
+pub const TRANSPORT_CQ_CQES: &str = "transport.cq_cqes";
+
+/// Commands the target admitted per dispatch tick, published as a gauge
+/// in hundredths (250 = 2.5 commands per batch drain).
+pub const TARGET_DISPATCH_BATCH_X100: &str = "target.dispatch_batch_x100";
+
 /// Operations delayed by a tenant's token-bucket rate limiter (counter).
 pub const QOS_THROTTLED_OPS: &str = "qos.throttled_ops";
 

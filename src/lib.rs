@@ -13,6 +13,7 @@ pub use storm_extfs as extfs;
 pub use storm_faults as faults;
 pub use storm_iscsi as iscsi;
 pub use storm_net as net;
+pub use storm_nvmeq as nvmeq;
 pub use storm_qos as qos;
 pub use storm_services as services;
 pub use storm_sim as sim;

@@ -6,6 +6,7 @@ use bytes::Bytes;
 use storm::cloud::{Cloud, CloudConfig, IoCtx, IoKind, IoResult, ReqId, Workload};
 use storm::core::relay::{ActiveRelayMb, ReplicaTarget};
 use storm::core::{MbSpec, RelayMode, StormPlatform};
+use storm::iscsi::TransportKind;
 use storm::services::ReplicationService;
 use storm_sim::SimTime;
 
@@ -127,6 +128,63 @@ fn passthrough_relay_forwards_verbatim_with_zero_copies() {
         copy.verbatim_forwards,
         relay.pdus_forwarded(),
         "every forwarded PDU must take the verbatim fast path"
+    );
+}
+
+/// The same acceptance over the multi-queue transport: the relay sniffs
+/// the nvmeq magic byte, bridges doorbell/completion units through the
+/// (empty) chain, and still forwards every frame verbatim with zero data
+/// bytes copied — the zero-copy invariant is wire-protocol agnostic.
+#[test]
+fn passthrough_relay_stays_zero_copy_over_nvmeq() {
+    let mut cloud = Cloud::build(CloudConfig {
+        transport: TransportKind::Nvmeq,
+        ..CloudConfig::default()
+    });
+    let platform = StormPlatform::default();
+    let vol = cloud.create_volume(64 << 20, 0);
+    let mbs = vec![MbSpec::bare(3, RelayMode::Active)];
+    let deployment = platform.deploy_chain(&mut cloud, &vol, (1, 2), mbs);
+    let app = platform.attach_volume_steered(
+        &mut cloud,
+        &deployment,
+        0,
+        "vm:zc-nvq",
+        &vol,
+        Box::new(PatternRounds::new(5, 64, 8)),
+        21,
+        false,
+    );
+    cloud.net.run_until(SimTime::from_nanos(10_000_000_000));
+    let client = cloud.client_mut(0, app);
+    assert_eq!(client.stats.errors, 0);
+    assert_eq!(client.transport().kind(), TransportKind::Nvmeq);
+    assert_eq!(
+        client
+            .workload_ref()
+            .unwrap()
+            .downcast_ref::<PatternRounds>()
+            .unwrap()
+            .verified,
+        8,
+        "every round must read back byte-identical data through the relay"
+    );
+
+    let relay = cloud
+        .net
+        .app_mut(deployment.mb_nodes[0].node, deployment.mb_apps[0].unwrap())
+        .unwrap()
+        .downcast_mut::<ActiveRelayMb>()
+        .unwrap();
+    let copy = relay.copy_stats();
+    assert!(relay.pdus_forwarded() > 0, "chain must have carried units");
+    assert_eq!(
+        copy.data_bytes_copied, 0,
+        "passthrough must not copy forwarded data segments on nvmeq either"
+    );
+    assert!(
+        copy.verbatim_forwards > 0,
+        "command units must take the verbatim fast path"
     );
 }
 
