@@ -56,8 +56,10 @@ fn main() -> ExitCode {
 /// tail latency; `bytes_copied_per_pdu` guards the zero-copy relay
 /// invariant; `peak_rss_mb` guards the fleet run's memory ceiling (its
 /// committed baseline carries generous slack because RSS measures the
-/// host, not the simulation).
-const GUARDED: [&str; 3] = ["p99_ms", "bytes_copied_per_pdu", "peak_rss_mb"];
+/// host, not the simulation); `scan_ms` guards the cold storm-lint
+/// workspace scan so interprocedural analysis never becomes the slow
+/// step of CI (its baseline is also a slack host-clock ceiling).
+const GUARDED: [&str; 4] = ["p99_ms", "bytes_copied_per_pdu", "peak_rss_mb", "scan_ms"];
 
 /// Higher-is-better fields: the run must not fall more than [`TOLERANCE`]
 /// below the baseline. `throughput_mbps` guards data-path bandwidth —
@@ -357,5 +359,39 @@ mod tests {
     #[test]
     fn sweep_within_tolerance_passes() {
         assert!(compare(SWEEP_BASE, &sweep_run(190.0, 3.8)).is_ok());
+    }
+
+    const LINT_BASE: &str = r#"{
+  "benchmarks": [
+    {"name":"lint.workspace","mode":"LEGACY","block_bytes":0,"threads":1,"queue_depth":1,"ops":120,"iops":0.0,"throughput_mbps":0.00,"mean_ms":0.000,"p50_ms":0.000,"p99_ms":0.000,"scan_ms":2000.000,"files_scanned":120.000,"findings":0.000}
+  ]
+}"#;
+
+    fn lint_run(scan_ms: f64) -> String {
+        format!(
+            "{{\n  \"benchmarks\": [\n    {{\"name\":\"lint.workspace\",\
+             \"throughput_mbps\":0.00,\"p99_ms\":0.000,\
+             \"scan_ms\":{scan_ms:.3},\"files_scanned\":123.000,\
+             \"findings\":0.000}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn lint_scan_blowup_fails() {
+        let err = compare(LINT_BASE, &lint_run(2500.0)).unwrap_err();
+        assert!(err.contains("FAIL lint.workspace: scan_ms"), "{err}");
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn lint_scan_within_tolerance_passes() {
+        assert!(compare(LINT_BASE, &lint_run(2100.0)).is_ok());
+    }
+
+    #[test]
+    fn lint_scan_missing_from_results_fails() {
+        let no_scan = "{\"name\":\"lint.workspace\",\"throughput_mbps\":0.00,\"p99_ms\":0.000}";
+        let err = compare(LINT_BASE, no_scan).unwrap_err();
+        assert!(err.contains("results lack \"scan_ms\""), "{err}");
     }
 }

@@ -454,6 +454,45 @@ fn main() {
         ],
     );
 
+    // Static-analysis budget: a cold interprocedural scan of the whole
+    // workspace (parse + call-graph fixpoint, cache disabled) must stay
+    // inside the committed `scan_ms` ceiling so the linter never becomes
+    // the slow step of CI. Runs from the repo root, like the JSON output
+    // paths below.
+    let lint_start = std::time::Instant::now();
+    let (lint_findings, lint_stats) = storm_lint::analyze_workspace_opts(
+        Path::new("."),
+        &storm_lint::Config::default(),
+        storm_lint::ScanOptions { cache: false },
+    )
+    .expect("storm-lint workspace scan");
+    let scan_ms = lint_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "lint.workspace: {} files scanned, {} finding(s), {:.0} ms cold (no cache)",
+        lint_stats.files_scanned,
+        lint_findings.len(),
+        scan_ms
+    );
+    results.push_with_extras(
+        "lint.workspace",
+        PathMode::Legacy,
+        0,
+        1,
+        1,
+        FioPoint {
+            ops: lint_stats.files_scanned as u64,
+            iops: 0.0,
+            mean_latency_ms: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+        },
+        vec![
+            ("scan_ms".to_string(), scan_ms),
+            ("files_scanned".to_string(), lint_stats.files_scanned as f64),
+            ("findings".to_string(), lint_findings.len() as f64),
+        ],
+    );
+
     results
         .write(Path::new("BENCH_results.json"))
         .expect("write BENCH_results.json");

@@ -304,9 +304,6 @@ pub(crate) fn queue_frame(
                     q.push_bytes(data);
                 } else {
                     *data_copied += data.len() as u64;
-                    // storm-lint: allow(no-hot-path-copy): small-segment
-                    // batching by counted copy, the iSCSI encode idiom;
-                    // zero on the verbatim fast path.
                     q.push(&data);
                 }
             }

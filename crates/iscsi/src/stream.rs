@@ -148,6 +148,9 @@ impl PduStream {
     /// bookkeeping bug; reporting it (instead of panicking) lets a relay
     /// drop the one poisoned connection and keep serving the rest.
     fn take_wire(&mut self, mut total: usize) -> Result<Vec<Bytes>, PduError> {
+        // storm-lint: allow(no-alloc-on-datapath): the wire image owns
+        // its chunk list by contract — one exact-sized Vec per completed
+        // PDU, not per byte; payload Bytes stay refcounted.
         let mut wire = Vec::with_capacity(1);
         while total > 0 {
             let Some(front) = self.chunks.front_mut() else {
@@ -187,6 +190,9 @@ impl PduStream {
         }
         // Straddles chunk boundaries: assemble (the counted slow path).
         self.bytes_copied += len as u64;
+        // storm-lint: allow(no-alloc-on-datapath): counted slow path for
+        // header fields straddling a chunk boundary; the verbatim fast
+        // path above returns a refcounted slice without allocating.
         let mut buf = Vec::with_capacity(len);
         let mut off = 0;
         for c in wire {

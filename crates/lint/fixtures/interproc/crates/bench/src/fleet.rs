@@ -1,0 +1,14 @@
+//! Shard fixture: a `ShardSim` method reaching a blocking call through
+//! a helper.
+
+pub struct FleetShard;
+
+impl ShardSim for FleetShard {
+    fn deliver(&mut self, now_us: u64) {
+        drain(now_us);
+    }
+}
+
+fn drain(_now_us: u64) {
+    let _guard = QUEUE_LOCK.lock();
+}

@@ -1,0 +1,15 @@
+//! Hot-path fixture: `pump` is a curated `no-alloc-on-datapath` root.
+
+pub struct Conn;
+
+impl Conn {
+    /// One direct allocation and one reached through a helper.
+    pub fn pump(&mut self) {
+        let _header = vec![0u8; 4];
+        self.log_drop();
+    }
+
+    fn log_drop(&self) {
+        let _msg = format!("drop");
+    }
+}

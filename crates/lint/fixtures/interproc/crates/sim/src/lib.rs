@@ -1,0 +1,28 @@
+//! Determinism-scoped crate of the fixture workspace: every call that
+//! leaves it toward a tainted helper must be flagged at the boundary.
+#![forbid(unsafe_code)]
+
+/// Two-hop taint: `tick -> sample -> leaf -> Instant::now()`.
+pub fn tick() {
+    storm_workloads::probe::sample();
+}
+
+/// Trait-method dispatch: `read` resolves to the `Sampler` impl.
+pub fn observe(gauge: &storm_workloads::probe::Gauge) {
+    gauge.read();
+}
+
+/// Ambiguous plain-name resolution inside the helper crate must be
+/// linked conservatively, so this still reports.
+pub fn audit() {
+    storm_workloads::probe::scan();
+}
+
+/// The helper carries an inline allow on its own tainted call, which
+/// silences the whole chain from here.
+pub fn setup() {
+    storm_workloads::probe::cold_init();
+}
+
+// storm-lint: allow(no-hash-iter): leftover escape, nothing here iterates
+pub fn quiet() {}

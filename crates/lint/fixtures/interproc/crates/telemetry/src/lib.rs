@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+
+pub mod names;
+
+/// The first two calls are legal (constant / registered literal); the
+/// third literal has a typo and must be flagged.
+pub fn record(reg: &mut Registry) {
+    reg.inc(names::RELAY_PDUS_TOTAL, 1);
+    reg.inc("storm_shard_events_total", 1);
+    reg.inc("storm_relay_pdus_totl", 1);
+}

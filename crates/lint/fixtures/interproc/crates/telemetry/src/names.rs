@@ -1,0 +1,4 @@
+//! The metric-name registry the fixture's literals are checked against.
+
+pub const RELAY_PDUS_TOTAL: &str = "storm_relay_pdus_total";
+pub const SHARD_EVENTS_TOTAL: &str = "storm_shard_events_total";

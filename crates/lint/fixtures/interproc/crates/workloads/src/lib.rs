@@ -1,0 +1,5 @@
+//! Unscoped helper crate: wall-clock use is legal here, but scoped
+//! callers reaching it transitively are not.
+#![forbid(unsafe_code)]
+
+pub mod probe;

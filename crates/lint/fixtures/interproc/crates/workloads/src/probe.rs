@@ -1,0 +1,47 @@
+//! Helpers the scoped crate reaches into.
+
+/// Middle frame of the two-hop chain.
+pub fn sample() {
+    leaf();
+}
+
+/// The actual source.
+pub fn leaf() {
+    let _t = Instant::now();
+}
+
+pub struct Gauge;
+
+pub trait Sampler {
+    fn read(&self);
+}
+
+impl Sampler for Gauge {
+    fn read(&self) {
+        let _t = SystemTime::now();
+    }
+}
+
+/// Setup path: the allow below covers the tainted call, so scoped
+/// callers of `cold_init` stay quiet and the allow counts as used.
+pub fn cold_init() {
+    // storm-lint: allow(no-transitive-nondeterminism): one-shot setup, not replayed
+    leaf();
+}
+
+pub mod disk {
+    /// The tainted one of the two `latency` candidates.
+    pub fn latency() {
+        let _t = Instant::now();
+    }
+}
+
+pub mod nic {
+    pub fn latency() {}
+}
+
+/// `latency()` is ambiguous between `disk` and `nic`; the resolver
+/// links both, so the taint from `disk::latency` flows here.
+pub fn scan() {
+    latency();
+}

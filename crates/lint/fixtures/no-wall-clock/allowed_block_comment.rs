@@ -1,0 +1,10 @@
+// Regression: the allow must stay in force across the multi-line block
+// comment between it and the code line (the lexer once recorded only
+// the first line of a block comment, breaking the walk).
+pub fn stamp() -> u64 {
+    // storm-lint: allow(no-wall-clock): epoch header stamp, reviewed
+    /* the stamp is cosmetic: replay ignores it
+       and the value never feeds simulation state */
+    let _secs = SystemTime::now();
+    0
+}

@@ -1,0 +1,429 @@
+//! Per-file parse-result cache keyed by content hash.
+//!
+//! [`crate::symbols::FileSummary`] is derived purely from a file's
+//! bytes (no config, no cross-file state), so it can be reused across
+//! runs as long as the bytes — and the summarizer itself — have not
+//! changed. The cache is one flat text file under
+//! `target/storm-lint-cache/` mapping `rel_path -> (fnv64(content),
+//! summary)`; a run re-summarizes only files whose hash differs, which
+//! turns warm `--workspace` scans into a read-and-hash pass.
+//!
+//! The format is line-based with tab-separated, escaped fields — the
+//! same hand-rolled-deterministic policy as the JSON renderers. The
+//! header pins [`LINT_VERSION`]: bumping it (whenever summarization
+//! semantics change) invalidates every entry at once. Any parse
+//! irregularity discards the whole cache silently; correctness never
+//! depends on it, and a cold scan is cheap.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::Rule;
+use crate::symbols::{
+    AllowDecl, CallKind, CallSite, DirectProp, FileSummary, FnDef, LexHit, MetricLit, UseImport,
+};
+
+/// Summarizer fingerprint; bump when `symbols::summarize` output
+/// changes shape or semantics.
+pub const LINT_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn cache_path(root: &Path) -> PathBuf {
+    root.join("target")
+        .join("storm-lint-cache")
+        .join("summaries.v1.txt")
+}
+
+/// The loaded cache: `rel_path -> (content hash, summary)`.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileSummary)>,
+}
+
+impl Cache {
+    /// Loads the cache for `root`. Any error — missing file, version
+    /// mismatch, corruption — yields an empty cache.
+    pub fn load(root: &Path) -> Cache {
+        let text = match fs::read_to_string(cache_path(root)) {
+            Ok(t) => t,
+            Err(_) => return Cache::default(),
+        };
+        match parse(&text) {
+            Some(entries) => Cache { entries },
+            None => Cache::default(),
+        }
+    }
+
+    /// Returns the cached summary for `rel` iff the stored hash matches.
+    pub fn get(&self, rel: &str, hash: u64) -> Option<&FileSummary> {
+        match self.entries.get(rel) {
+            Some((h, s)) if *h == hash => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces the entry for `rel`.
+    pub fn put(&mut self, rel: &str, hash: u64, summary: FileSummary) {
+        self.entries.insert(rel.to_string(), (hash, summary));
+    }
+
+    /// Drops entries for files no longer present.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let keep: std::collections::BTreeSet<&str> = live.iter().map(|s| s.as_str()).collect();
+        self.entries.retain(|k, _| keep.contains(k.as_str()));
+    }
+
+    /// Writes the cache under `root/target/storm-lint-cache/`.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        let path = cache_path(root);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(&path, self.serialize())
+    }
+
+    fn serialize(&self) -> String {
+        let mut out = format!("storm-lint-cache {LINT_VERSION}\n");
+        for (rel, (hash, s)) in &self.entries {
+            out.push_str(&format!("F\t{hash:016x}\t{}\n", esc(rel)));
+            for u in &s.uses {
+                out.push_str(&format!(
+                    "u\t{}\t{}\n",
+                    esc(&u.alias),
+                    esc(&u.path.join("::"))
+                ));
+            }
+            for (n, v) in &s.consts {
+                out.push_str(&format!("c\t{}\t{}\n", esc(n), esc(v)));
+            }
+            for m in &s.metric_lits {
+                out.push_str(&format!(
+                    "m\t{}\t{}\t{}\t{}\n",
+                    esc(&m.method),
+                    esc(&m.value),
+                    m.line,
+                    m.col
+                ));
+            }
+            for a in &s.allows {
+                out.push_str(&format!(
+                    "a\t{}\t{}\t{}\t{}\n",
+                    a.line,
+                    a.end_line,
+                    a.in_test as u8,
+                    esc(&a.rules.join(","))
+                ));
+            }
+            for h in &s.lexical {
+                out.push_str(&format!(
+                    "x\t{}\t{}\t{}\t{}\n",
+                    h.rule.name(),
+                    h.line,
+                    h.col,
+                    esc(&h.message)
+                ));
+            }
+            for f in &s.fns {
+                out.push_str(&format!(
+                    "f\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    esc(&f.name),
+                    esc(&f.modules.join("::")),
+                    esc(&f.impl_type),
+                    esc(&f.trait_name),
+                    f.line,
+                    f.end_line,
+                    f.in_test as u8
+                ));
+                for c in &f.calls {
+                    let kind = match c.kind {
+                        CallKind::Plain => 'P',
+                        CallKind::Path => 'T',
+                        CallKind::Method => 'M',
+                    };
+                    out.push_str(&format!(
+                        "k\t{kind}\t{}\t{}\t{}\t{}\n",
+                        esc(&c.path.join("::")),
+                        c.recv_self as u8,
+                        c.line,
+                        c.col
+                    ));
+                }
+                for p in &f.props {
+                    out.push_str(&format!(
+                        "p\t{}\t{}\t{}\t{}\n",
+                        p.prop,
+                        p.line,
+                        p.col,
+                        esc(&p.what)
+                    ));
+                }
+            }
+            out.push_str(&format!("!\t{}\n", s.has_forbid_unsafe as u8));
+        }
+        out
+    }
+}
+
+fn split_path(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split("::").map(|p| p.to_string()).collect()
+    }
+}
+
+fn parse(text: &str) -> Option<BTreeMap<String, (u64, FileSummary)>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("storm-lint-cache {LINT_VERSION}") {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    let mut cur: Option<(String, u64, FileSummary)> = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "F" => {
+                if let Some((rel, h, s)) = cur.take() {
+                    entries.insert(rel, (h, s));
+                }
+                if fields.len() != 3 {
+                    return None;
+                }
+                let hash = u64::from_str_radix(fields[1], 16).ok()?;
+                let rel = unesc(fields[2])?;
+                let summary = FileSummary {
+                    rel_path: rel.clone(),
+                    ..FileSummary::default()
+                };
+                cur = Some((rel, hash, summary));
+            }
+            "u" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                s.uses.push(UseImport {
+                    alias: unesc(fields[1])?,
+                    path: split_path(&unesc(fields[2])?),
+                });
+            }
+            "c" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                s.consts.push((unesc(fields[1])?, unesc(fields[2])?));
+            }
+            "m" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                s.metric_lits.push(MetricLit {
+                    method: unesc(fields[1])?,
+                    value: unesc(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    col: fields[4].parse().ok()?,
+                });
+            }
+            "a" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                let rules = unesc(fields[4])?;
+                s.allows.push(AllowDecl {
+                    rules: if rules.is_empty() {
+                        Vec::new()
+                    } else {
+                        rules.split(',').map(|r| r.to_string()).collect()
+                    },
+                    line: fields[1].parse().ok()?,
+                    end_line: fields[2].parse().ok()?,
+                    in_test: fields[3] == "1",
+                });
+            }
+            "x" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                s.lexical.push(LexHit {
+                    rule: Rule::from_name(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    col: fields[3].parse().ok()?,
+                    message: unesc(fields[4])?,
+                });
+            }
+            "f" => {
+                if fields.len() != 8 {
+                    return None;
+                }
+                let s = &mut cur.as_mut()?.2;
+                s.fns.push(FnDef {
+                    name: unesc(fields[1])?,
+                    modules: split_path(&unesc(fields[2])?),
+                    impl_type: unesc(fields[3])?,
+                    trait_name: unesc(fields[4])?,
+                    line: fields[5].parse().ok()?,
+                    end_line: fields[6].parse().ok()?,
+                    in_test: fields[7] == "1",
+                    calls: Vec::new(),
+                    props: Vec::new(),
+                });
+            }
+            "k" => {
+                if fields.len() != 6 {
+                    return None;
+                }
+                let f = cur.as_mut()?.2.fns.last_mut()?;
+                f.calls.push(CallSite {
+                    kind: match fields[1] {
+                        "P" => CallKind::Plain,
+                        "T" => CallKind::Path,
+                        "M" => CallKind::Method,
+                        _ => return None,
+                    },
+                    path: split_path(&unesc(fields[2])?),
+                    recv_self: fields[3] == "1",
+                    line: fields[4].parse().ok()?,
+                    col: fields[5].parse().ok()?,
+                });
+            }
+            "p" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let f = cur.as_mut()?.2.fns.last_mut()?;
+                f.props.push(DirectProp {
+                    prop: fields[1].parse().ok()?,
+                    line: fields[2].parse().ok()?,
+                    col: fields[3].parse().ok()?,
+                    what: unesc(fields[4])?,
+                });
+            }
+            "!" => {
+                if fields.len() != 2 {
+                    return None;
+                }
+                cur.as_mut()?.2.has_forbid_unsafe = fields[1] == "1";
+            }
+            _ => return None,
+        }
+    }
+    if let Some((rel, h, s)) = cur.take() {
+        entries.insert(rel, (h, s));
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::summarize;
+
+    const SRC: &str = "use std::time::Instant;\n\
+        // storm-lint: allow(no-wall-clock): bench only\n\
+        pub fn f() {\n    let t = Instant::now();\n    helper(\"x\\ty\");\n}\n";
+
+    #[test]
+    fn roundtrip_preserves_summary() {
+        let s = summarize("crates/sim/src/engine.rs", SRC);
+        let mut c = Cache::default();
+        c.put("crates/sim/src/engine.rs", fnv64(SRC.as_bytes()), s.clone());
+        let parsed = parse(&c.serialize()).expect("parses back");
+        let (h, got) = &parsed["crates/sim/src/engine.rs"];
+        assert_eq!(*h, fnv64(SRC.as_bytes()));
+        assert_eq!(*got, s);
+    }
+
+    #[test]
+    fn hash_mismatch_misses() {
+        let s = summarize("a.rs", "fn f() {}\n");
+        let mut c = Cache::default();
+        c.put("a.rs", 1, s);
+        assert!(c.get("a.rs", 1).is_some());
+        assert!(c.get("a.rs", 2).is_none());
+        assert!(c.get("b.rs", 1).is_none());
+    }
+
+    #[test]
+    fn corrupt_text_parses_to_none() {
+        assert!(parse("storm-lint-cache 999\n").is_none());
+        assert!(parse(&format!("storm-lint-cache {LINT_VERSION}\nZ\tjunk\n")).is_none());
+        assert!(parse(&format!("storm-lint-cache {LINT_VERSION}\nu\ta\tb\n")).is_none());
+        assert!(parse(&format!(
+            "storm-lint-cache {LINT_VERSION}\nF\tnothex\ta.rs\n"
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["plain", "tab\there", "nl\nhere", "back\\slash", ""] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+        }
+        assert!(unesc("bad\\q").is_none());
+    }
+
+    #[test]
+    fn retain_drops_dead_files() {
+        let mut c = Cache::default();
+        c.put("a.rs", 1, FileSummary::default());
+        c.put("b.rs", 2, FileSummary::default());
+        c.retain_files(&["a.rs".to_string()]);
+        assert!(c.get("a.rs", 1).is_some());
+        assert!(c.get("b.rs", 2).is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+}

@@ -55,6 +55,21 @@ pub struct Config {
     pub datapath_files: Vec<String>,
     /// `(rule, path suffix)` pairs exempting whole files from a rule.
     pub allow_paths: Vec<(Rule, String)>,
+    /// `(file suffix, fn name)` roots of the `no-alloc-on-datapath`
+    /// rule: the hot functions from which reachable allocations are
+    /// flagged. Curated rather than "every fn in a datapath file" so
+    /// that constructors and setup paths stay free to allocate.
+    pub alloc_roots: Vec<(String, String)>,
+    /// Trait names whose impl methods root `no-blocking-in-shard`.
+    pub shard_traits: Vec<String>,
+    /// Files whose `pub const NAME: &str = "..."` items define the
+    /// legal metric names for `metric-name-registry`.
+    pub metric_name_files: Vec<String>,
+    /// Extra metric names accepted by `metric-name-registry` on top of
+    /// the constants harvested from `metric_name_files`. Workspace mode
+    /// unions both; single-file mode (`analyze_source`) only checks the
+    /// rule at all when this list is non-empty.
+    pub metric_names: Vec<String>,
 }
 
 impl Default for Config {
@@ -89,6 +104,38 @@ impl Default for Config {
             .map(String::from)
             .to_vec(),
             allow_paths: Vec::new(),
+            // The curation line: these functions move bytes per PDU and
+            // are allocation-free today — the rule locks that in.
+            // Deliberately absent: the chain orchestrators
+            // (`run_chain`, `handle_pair_data*`, `release`, ...) whose
+            // contract is to *produce* new PDUs and side actions, and
+            // the wire-image extractors (`take_wire`, `extract`,
+            // `split_units`, `next_frame`) which return owned buffers
+            // by design.
+            alloc_roots: [
+                ("crates/core/src/relay/active.rs", "queue_pdu"),
+                ("crates/core/src/relay/queue.rs", "note_submit"),
+                ("crates/core/src/relay/queue.rs", "complete"),
+                ("crates/iscsi/src/stream.rs", "feed_bytes"),
+                ("crates/iscsi/src/stream.rs", "push_chunk"),
+                ("crates/iscsi/src/stream.rs", "peek_into"),
+                ("crates/iscsi/src/stream.rs", "next_pdu"),
+                ("crates/iscsi/src/stream.rs", "push_bytes"),
+                ("crates/nvmeq/src/stream.rs", "feed_bytes"),
+                ("crates/nvmeq/src/stream.rs", "push_chunk"),
+                ("crates/nvmeq/src/stream.rs", "peek_into"),
+                ("crates/net/src/tcp.rs", "send_bytes"),
+                ("crates/net/src/tcp.rs", "send_chunks"),
+                ("crates/net/src/tcp.rs", "input"),
+                ("crates/net/src/tcp.rs", "rx_data"),
+                ("crates/net/src/tcp.rs", "pump"),
+                ("crates/net/src/tcp.rs", "unsent_payload"),
+            ]
+            .map(|(f, n)| (f.to_string(), n.to_string()))
+            .to_vec(),
+            shard_traits: ["ShardSim"].map(String::from).to_vec(),
+            metric_name_files: ["crates/telemetry/src/names.rs"].map(String::from).to_vec(),
+            metric_names: Vec::new(),
         }
     }
 }
@@ -117,6 +164,25 @@ impl Config {
         self.allow_paths
             .iter()
             .any(|(r, p)| *r == rule && class.rel_path.ends_with(p.as_str()))
+    }
+
+    /// Whether `fn_name` in `rel_path` roots `no-alloc-on-datapath`.
+    pub fn is_alloc_root(&self, rel_path: &str, fn_name: &str) -> bool {
+        self.alloc_roots
+            .iter()
+            .any(|(f, n)| rel_path.ends_with(f.as_str()) && n == fn_name)
+    }
+
+    /// Whether `trait_name` roots `no-blocking-in-shard`.
+    pub fn is_shard_trait(&self, trait_name: &str) -> bool {
+        self.shard_traits.iter().any(|t| t == trait_name)
+    }
+
+    /// Whether `rel_path` defines the legal metric names.
+    pub fn is_metric_name_file(&self, rel_path: &str) -> bool {
+        self.metric_name_files
+            .iter()
+            .any(|f| rel_path.ends_with(f.as_str()))
     }
 }
 

@@ -15,23 +15,29 @@
 
 use std::collections::BTreeMap;
 
-/// Token kind. Literals keep no text (rules never match on them).
+/// Token kind. Number and char literals keep no text; string literals
+/// keep their inner text so registry-facing rules (metric names) can
+/// match on the value — no other rule reads it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword.
     Ident,
     /// Single punctuation character.
     Punct(char),
-    /// Number, string, char or byte literal.
+    /// Number, char or byte literal.
     Lit,
+    /// String / byte-string / raw-string literal; `text` holds the
+    /// content between the quotes (escape sequences unprocessed).
+    Str,
 }
 
 /// One token with its source position (1-based line and column).
 #[derive(Debug, Clone)]
 pub struct Tok {
-    /// Kind (identifier text lives in `text`).
+    /// Kind (identifier and string text lives in `text`).
     pub kind: TokKind,
-    /// Identifier text; empty for punctuation and literals.
+    /// Identifier or string-literal text; empty for punctuation and
+    /// other literals.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -147,15 +153,25 @@ pub fn lex(src: &str) -> Lexed {
             }
             let text = &src[start..i];
             lx.comment_lines.insert(line);
-            if let Some(rules) = parse_allow(text) {
-                lx.allows.entry(line).or_default().extend(rules);
+            // Doc comments never declare allows — they merely *mention*
+            // the syntax (rule docs would otherwise register escapes).
+            let is_doc = text.starts_with("///") || text.starts_with("//!");
+            if !is_doc {
+                if let Some(rules) = parse_allow(text) {
+                    lx.allows.entry(line).or_default().extend(rules);
+                }
             }
             continue;
         }
-        // Block comment, with nesting.
+        // Block comment, with nesting. Every line the comment touches
+        // is recorded as a comment line so the allow-walk can look
+        // through multi-line `/* ... */` blocks exactly like it looks
+        // through runs of `//` lines (token-bearing lines are removed
+        // after lexing).
         if c == '/' && i + 1 < b.len() && b[i + 1] == b'*' {
             let mut depth = 0;
             while i < b.len() {
+                lx.comment_lines.insert(line);
                 if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
                     depth += 1;
                     bump!();
@@ -181,14 +197,18 @@ pub fn lex(src: &str) -> Lexed {
                 bump!();
             }
             bump!(); // the opening quote
+            let content_start = i;
+            let content_end;
             loop {
                 if i >= b.len() {
+                    content_end = i;
                     break;
                 }
                 if b[i] == b'"'
                     && b[i + 1..].len() >= hashes
                     && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
                 {
+                    content_end = i;
                     bump!();
                     for _ in 0..hashes {
                         bump!();
@@ -198,8 +218,8 @@ pub fn lex(src: &str) -> Lexed {
                 bump!();
             }
             lx.toks.push(Tok {
-                kind: TokKind::Lit,
-                text: String::new(),
+                kind: TokKind::Str,
+                text: src[content_start..content_end].to_string(),
                 line: l,
                 col: cl,
             });
@@ -212,18 +232,20 @@ pub fn lex(src: &str) -> Lexed {
                 bump!();
             }
             bump!(); // opening quote
+            let content_start = i;
             while i < b.len() && b[i] != b'"' {
                 if b[i] == b'\\' && i + 1 < b.len() {
                     bump!();
                 }
                 bump!();
             }
+            let content_end = i;
             if i < b.len() {
                 bump!(); // closing quote
             }
             lx.toks.push(Tok {
-                kind: TokKind::Lit,
-                text: String::new(),
+                kind: TokKind::Str,
+                text: src[content_start..content_end].to_string(),
                 line: l,
                 col: cl,
             });
@@ -347,8 +369,12 @@ fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
         return None;
     }
     if b[j] == b'\\' {
-        // Escaped char: scan to the closing quote.
+        // Escaped char: step over the escaped character itself (it may
+        // be `'`, as in `'\''`), then scan to the closing quote.
         j += 1;
+        if j < b.len() {
+            j += 1;
+        }
         while j < b.len() && b[j] != b'\'' {
             j += 1;
         }
@@ -370,7 +396,9 @@ fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
 
 /// Finds `#[cfg(test)]` / `#[test]` attributed items and records their
 /// line ranges. Any attribute containing the identifier `test` counts
-/// (`#[cfg(all(test, ...))]` included).
+/// (`#[cfg(all(test, ...))]` included) — unless the occurrence is
+/// directly negated as `not(test)`, so `#[cfg(not(test))]` items stay
+/// under the rules.
 fn find_test_ranges(lx: &mut Lexed) {
     let toks = &lx.toks;
     let mut i = 0;
@@ -390,7 +418,10 @@ fn find_test_ranges(lx: &mut Lexed) {
             } else if toks[j].is_punct(']') {
                 depth -= 1;
             } else if toks[j].is_ident("test") {
-                has_test = true;
+                let negated = j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
+                if !negated {
+                    has_test = true;
+                }
             }
             j += 1;
         }
@@ -527,5 +558,70 @@ mod tests {
         let lx = lex("/* outer /* inner */ still comment */ let x = 1;");
         assert!(lx.toks.iter().any(|t| t.is_ident("let")));
         assert!(!lx.toks.iter().any(|t| t.is_ident("outer")));
+    }
+
+    #[test]
+    fn allow_covers_through_block_comment() {
+        // Regression: a multi-line `/* */` block between the allow and
+        // its target used to end the upward walk (block-comment lines
+        // were never recorded as comment lines).
+        let src = "fn f() {\n    // storm-lint: allow(no-panic): next code line\n    /* a block\n       comment between\n       allow and target */\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let lx = lex(src);
+        assert!(lx.allowed("no-panic", 6), "reaches through the block");
+        assert!(!lx.allowed("no-panic", 7), "but only the next code line");
+    }
+
+    #[test]
+    fn nested_block_comment_keeps_line_map() {
+        // Lines after a nested block comment must keep their true
+        // numbers so `#[cfg(test)]` ranges and allows anchor correctly.
+        let src = "/* outer\n /* inner\n  */\n still outer */\nfn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let lx = lex(src);
+        let f = lx.toks.iter().find(|t| t.is_ident("live")).unwrap();
+        assert_eq!(f.line, 5);
+        assert!(!lx.in_test(5));
+        assert!(lx.in_test(8));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_map() {
+        // A raw string spanning lines (with embedded quotes and hashes)
+        // must advance the line counter like any other bytes.
+        let src =
+            "let s = r##\"line one\n\"quoted\"# and\nmore\"##;\nfn live() {}\n#[test]\nfn t() {}\n";
+        let lx = lex(src);
+        let f = lx.toks.iter().find(|t| t.is_ident("live")).unwrap();
+        assert_eq!(f.line, 4);
+        assert!(lx.in_test(6));
+        assert!(!lx.in_test(4));
+    }
+
+    #[test]
+    fn string_tokens_keep_inner_text() {
+        let lx = lex("reg.inc(\"relay.pdus\", 1); let r = r#\"raw.name\"#; let b = b\"bytes\";");
+        let strs: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["relay.pdus", "raw.name", "bytes"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // `'\''` is a char literal, not a lifetime plus stray quotes.
+        let lx = lex("let q = '\\''; let after = 1;");
+        assert!(lx.toks.iter().any(|t| t.is_ident("after")));
+        assert!(!lx.toks.iter().any(|t| t.kind == TokKind::Punct('\'')));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src =
+            "#[cfg(not(test))]\nfn live() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {}\n";
+        let lx = lex(src);
+        assert!(!lx.in_test(3), "not(test) items stay under the rules");
+        assert!(lx.in_test(5));
     }
 }

@@ -11,9 +11,12 @@
 //!
 //! Because the offline build vendors no parser crates, the scanner is a
 //! small hand-rolled token lexer ([`lexer`]) rather than a `syn` AST
-//! walk; every rule matches on identifier/punctuation sequences with
-//! strings and comments stripped, which is precise enough for the whole
-//! rule set and keeps the tool dependency-free.
+//! walk. On top of it, [`symbols`] extracts per-file item summaries
+//! (functions, calls, imports, direct taint sources), [`callgraph`]
+//! links call sites to definitions workspace-wide, and [`taint`] runs a
+//! fixpoint that propagates source properties backward along calls — so
+//! a simulation function that reaches `Instant::now()` three crates
+//! away is flagged at the boundary call with the full chain.
 //!
 //! # Rules
 //!
@@ -25,30 +28,47 @@
 //! | `no-hot-path-copy` | datapath modules | no `.to_vec()`/`copy_from_slice`/`extend_from_slice` |
 //! | `no-panic` | datapath modules | no `unwrap`/`expect`/`panic!` |
 //! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
+//! | `no-transitive-nondeterminism` | determinism crates | no call chain reaching clock/rand/hash-order sources |
+//! | `no-alloc-on-datapath` | curated hot functions | no reachable allocation (`vec!`, `Box::new`, `.collect()`, ...) |
+//! | `no-blocking-in-shard` | `ShardSim` impls | no reachable `sleep`/`.lock()`/`.recv()` |
+//! | `metric-name-registry` | whole workspace | metric-name literals must match `storm_telemetry::names` constants |
+//! | `stale-allow` | whole workspace | every allow-comment must suppress something |
 //!
 //! Escape hatches: a per-rule path allowlist in [`Config`], and inline
 //! `// storm-lint: allow(<rule>): <why>` comments covering their own
 //! line and the next code line (the justification may continue over
-//! further comment lines). Test code (`#[cfg(test)]` / `#[test]` items)
-//! is exempt from all location rules.
+//! further comment lines). For chain findings an allow on **any frame**
+//! of the chain silences the finding. Test code (`#[cfg(test)]` /
+//! `#[test]` items) is exempt from all location rules. Allows that
+//! suppress nothing are themselves findings (`stale-allow`).
 //!
 //! # Invocation
 //!
 //! ```text
-//! cargo run -p storm-lint -- --workspace          # human diagnostics
-//! cargo run -p storm-lint -- --workspace --json   # machine-readable
+//! cargo run -p storm-lint -- --workspace            # human diagnostics
+//! cargo run -p storm-lint -- --workspace --json     # machine-readable
+//! cargo run -p storm-lint -- --workspace --sarif    # code-scanning upload
+//! cargo run -p storm-lint -- --workspace --no-cache # ignore summary cache
 //! ```
+//!
+//! Workspace scans keep a per-file summary cache under
+//! `target/storm-lint-cache/` keyed by content hash (see [`cache`]);
+//! `--no-cache` bypasses it.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod walk;
 
 pub use config::{Config, FileClass};
-pub use diag::{render_human, render_json, Finding};
+pub use diag::{render_human, render_json, render_sarif, Finding};
 pub use rules::{Rule, ALL_RULES};
 
 use std::fs;
@@ -56,7 +76,9 @@ use std::io;
 use std::path::Path;
 
 /// Analyzes one file's source text under `class`, appending findings.
-/// Findings within the file come out in source order.
+/// Findings within the file come out in source order. Single-file mode
+/// runs only the lexical rules — interprocedural rules need the whole
+/// workspace ([`analyze_workspace`]).
 pub fn analyze_source(class: &FileClass, source: &str, cfg: &Config) -> Vec<Finding> {
     let lexed = lexer::lex(source);
     let mut out = Vec::new();
@@ -65,20 +87,76 @@ pub fn analyze_source(class: &FileClass, source: &str, cfg: &Config) -> Vec<Find
     out
 }
 
-/// Scans the whole workspace rooted at `root`. Returns `(findings,
-/// files_scanned)`, findings sorted by `(file, line, col, rule)`.
-pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<(Vec<Finding>, usize)> {
-    let files = walk::workspace_files(root)?;
-    let mut findings = Vec::new();
-    for rel in &files {
-        let class = FileClass::from_rel_path(rel);
-        let source = fs::read_to_string(root.join(rel))?;
-        findings.extend(analyze_source(&class, &source, cfg));
+/// Knobs for [`analyze_workspace_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Use the on-disk summary cache under `target/storm-lint-cache/`.
+    pub cache: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> ScanOptions {
+        ScanOptions { cache: true }
     }
+}
+
+/// What a workspace scan did, for reporting and benchmarking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanStats {
+    /// Files visited.
+    pub files_scanned: usize,
+    /// Files whose summary came from the cache.
+    pub cache_hits: usize,
+}
+
+/// Scans the whole workspace rooted at `root`: summarize (or reuse
+/// cached summaries), build the call graph, run taint propagation, and
+/// evaluate every rule. Findings sorted by `(file, line, col, rule)`.
+pub fn analyze_workspace_opts(
+    root: &Path,
+    cfg: &Config,
+    opts: ScanOptions,
+) -> io::Result<(Vec<Finding>, ScanStats)> {
+    let files = walk::workspace_files(root)?;
+    let mut store = if opts.cache {
+        cache::Cache::load(root)
+    } else {
+        cache::Cache::default()
+    };
+    let mut stats = ScanStats {
+        files_scanned: files.len(),
+        cache_hits: 0,
+    };
+    let mut summaries = Vec::with_capacity(files.len());
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let hash = cache::fnv64(source.as_bytes());
+        if let Some(s) = store.get(rel, hash) {
+            stats.cache_hits += 1;
+            summaries.push(s.clone());
+        } else {
+            let s = symbols::summarize(rel, &source);
+            store.put(rel, hash, s.clone());
+            summaries.push(s);
+        }
+    }
+    if opts.cache {
+        store.retain_files(&files);
+        // Best-effort: a read-only checkout still lints fine.
+        let _ = store.save(root);
+    }
+    let ws = callgraph::Workspace::build(summaries);
+    let t = taint::propagate(&ws);
+    let mut findings = taint::evaluate(&ws, &t, cfg);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
-    Ok((findings, files.len()))
+    Ok((findings, stats))
+}
+
+/// [`analyze_workspace_opts`] with defaults (cache enabled).
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<(Vec<Finding>, usize)> {
+    analyze_workspace_opts(root, cfg, ScanOptions::default()).map(|(f, s)| (f, s.files_scanned))
 }
 
 #[cfg(test)]

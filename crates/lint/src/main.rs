@@ -1,5 +1,5 @@
-//! CLI entry point: `storm-lint [--workspace] [--json] [--root DIR]
-//! [FILES...]`.
+//! CLI entry point: `storm-lint [--workspace] [--json | --sarif]
+//! [--no-cache] [--root DIR] [FILES...]`.
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
 
@@ -9,11 +9,21 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use storm_lint::{analyze_source, analyze_workspace, render_human, render_json, Config, FileClass};
+use storm_lint::{
+    analyze_source, analyze_workspace_opts, render_human, render_json, render_sarif, Config,
+    FileClass, ScanOptions,
+};
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     workspace: bool,
-    json: bool,
+    format: Format,
+    cache: bool,
     root: PathBuf,
     files: Vec<String>,
 }
@@ -21,7 +31,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
-        json: false,
+        format: Format::Human,
+        cache: true,
         root: PathBuf::from("."),
         files: Vec::new(),
     };
@@ -29,13 +40,17 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--sarif" => args.format = Format::Sarif,
+            "--no-cache" => args.cache = false,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: storm-lint [--workspace] [--json] [--root DIR] [FILES...]".to_string(),
+                    "usage: storm-lint [--workspace] [--json | --sarif] [--no-cache] \
+                     [--root DIR] [FILES...]"
+                        .to_string(),
                 )
             }
             f if !f.starts_with('-') => args.files.push(f.to_string()),
@@ -58,8 +73,9 @@ fn main() -> ExitCode {
     };
     let cfg = Config::default();
     let (findings, scanned) = if args.workspace {
-        match analyze_workspace(&args.root, &cfg) {
-            Ok(r) => r,
+        let opts = ScanOptions { cache: args.cache };
+        match analyze_workspace_opts(&args.root, &cfg, opts) {
+            Ok((f, stats)) => (f, stats.files_scanned),
             Err(e) => {
                 eprintln!("storm-lint: workspace scan failed: {e}");
                 return ExitCode::from(2);
@@ -83,10 +99,10 @@ fn main() -> ExitCode {
         let n = args.files.len();
         (findings, n)
     };
-    let rendered = if args.json {
-        render_json(&findings, scanned)
-    } else {
-        render_human(&findings, scanned)
+    let rendered = match args.format {
+        Format::Json => render_json(&findings, scanned),
+        Format::Sarif => render_sarif(&findings),
+        Format::Human => render_human(&findings, scanned),
     };
     print!("{rendered}");
     if findings.is_empty() {

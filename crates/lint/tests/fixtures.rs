@@ -69,6 +69,21 @@ fn inline_allow_is_honored() {
     }
 }
 
+/// Regression (lexer line-map): an allow stays in force across a
+/// multi-line block comment sitting between it and the code line.
+#[test]
+fn allow_covers_through_block_comment() {
+    let findings = run(
+        "no-wall-clock",
+        "crates/net/src/fixture.rs",
+        "allowed_block_comment.rs",
+    );
+    assert!(
+        findings.is_empty(),
+        "allow did not survive the block comment: {findings:?}"
+    );
+}
+
 #[test]
 fn test_code_is_exempt() {
     let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v: Vec<u8> = Vec::new();\n        v.first().unwrap();\n        let w = v.to_vec();\n        assert!(w.is_empty());\n    }\n}\n";

@@ -177,6 +177,9 @@ impl FrameStream {
     /// (instead of panicking) lets a relay drop the one poisoned
     /// connection and keep serving the rest.
     fn take_wire(&mut self, mut total: usize) -> Result<Vec<Bytes>, NvmeqError> {
+        // storm-lint: allow(no-alloc-on-datapath): the wire image owns
+        // its chunk list by contract — one exact-sized Vec per completed
+        // frame, not per byte; payload Bytes stay refcounted.
         let mut wire = Vec::with_capacity(1);
         while total > 0 {
             let Some(front) = self.chunks.front_mut() else {

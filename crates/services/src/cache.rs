@@ -681,8 +681,6 @@ impl WriteBackCacheService {
             .any(|s| self.sectors.get(&s).is_some_and(|e| e.dirty || e.flushing));
         if any_dirty {
             self.stats.dirty_patches += 1;
-            // storm-lint: allow(no-hot-path-copy): armed dirty-patch path;
-            // the cache is point of truth until the flush lands.
             let mut buf = BytesMut::from(&d.data[..]);
             for i in 0..n {
                 if let Some(e) = self.sectors.get(&(start + i as u64)) {

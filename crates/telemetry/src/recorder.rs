@@ -64,6 +64,9 @@ impl Recorder {
 
 impl TraceSink for Recorder {
     fn record(&self, now: SimTime, ev: &TraceEvent) {
+        // storm-lint: allow(no-blocking-in-shard): uncontended in-process
+        // trace mutex with a bounded append critical section — not a
+        // scheduling block for the shard executor.
         self.events.lock().push((now, ev.clone()));
     }
 }
